@@ -1,0 +1,41 @@
+// Command genie-server runs a disaggregated accelerator backend: it
+// answers the Genie wire protocol on a TCP address, holding remote
+// resident objects (weights, KV caches) and executing SRG subgraphs
+// shipped by clients.
+//
+// Usage:
+//
+//	genie-server -addr :7009 -device a100-80g
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"genie/internal/backend"
+	"genie/internal/device"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7009", "TCP address to listen on")
+	dev := flag.String("device", "a100-80g", "modeled device (a100-80g, h100-80g, a10g-24g, cpu-host)")
+	flag.Parse()
+
+	spec, err := device.ByName(*dev)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("genie-server: %v", err)
+	}
+	log.Printf("genie-server: %s backend listening on %s", spec.Name, l.Addr())
+	srv := backend.NewServer(spec)
+	if err := srv.Listen(l); err != nil {
+		log.Fatalf("genie-server: %v", err)
+	}
+}

@@ -1,0 +1,108 @@
+package genie_test
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"genie"
+	"genie/internal/global"
+)
+
+// ExampleNewBuilder shows the capture flow: operations on lazy values
+// build an SRG instead of executing.
+func ExampleNewBuilder() {
+	b := genie.NewBuilder("demo")
+	x := b.Input("x", genie.FromF32(genie.Shape{1, 2}, []float32{1, 2}))
+	w := b.Param("w", genie.FromF32(genie.Shape{2, 2}, []float32{1, 0, 0, 1}))
+	y := b.Softmax(b.MatMul(x, w))
+	b.MarkOutput(y)
+
+	fmt.Println("nodes captured:", b.Graph().Len())
+	fmt.Println("executed yet:", false)
+	// Output:
+	// nodes captured: 4
+	// executed yet: false
+}
+
+// ExampleExecuteLocal evaluates a captured graph in-process.
+func ExampleExecuteLocal() {
+	b := genie.NewBuilder("demo")
+	x := b.Input("x", genie.FromF32(genie.Shape{2}, []float32{-1, 3}))
+	y := b.ReLU(x)
+	b.MarkOutput(y)
+
+	vals, err := genie.ExecuteLocal(b)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(vals[y.ID()].F32())
+	// Output:
+	// [0 3]
+}
+
+// ExampleAnnotate runs the pattern-recognizer library over a captured
+// model, inferring execution phases from structure alone.
+func ExampleAnnotate() {
+	rng := rand.New(rand.NewSource(1))
+	model := genie.NewCNNModel(rng, genie.TinyCNN)
+	img := genie.NewTensor(genie.F32, 3, 32, 32)
+	b, _ := model.BuildForward(img)
+
+	rep := genie.Annotate(b.Graph())
+	fmt.Println("phases:", rep.Phases)
+	// Output:
+	// phases: [cv_stage]
+}
+
+// ExampleSchedule plans an annotated graph onto a pool with the
+// semantics-aware policy.
+func ExampleSchedule() {
+	b := genie.NewBuilder("demo")
+	x := b.Input("x", genie.NewTensor(genie.F32, 4, 8))
+	w := b.Param("w", genie.NewTensor(genie.F32, 8, 8))
+	b.MarkOutput(b.MatMul(x, w))
+	genie.Annotate(b.Graph())
+
+	pool := genie.NewCluster()
+	_ = pool.AddAccelerator(&genie.Accelerator{
+		ID: "gpu0", Spec: genie.A100,
+		Link: genie.Link{Bandwidth: 25e9 / 8, RTT: time.Millisecond},
+	})
+	plan, err := genie.Schedule(b.Graph(), pool, genie.SemanticsAware{}, nil)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("policy:", plan.Policy)
+	fmt.Println("weights kept remote:", len(plan.KeepRemote))
+	// Output:
+	// policy: semantics_aware
+	// weights kept remote: 1
+}
+
+// ExampleGPTConfig shows paper-scale accounting: the GPT-J geometry that
+// drives the evaluation's traffic numbers.
+func ExampleGPTConfig() {
+	cfg := genie.GPTJ6B
+	fmt.Printf("params: %.2fB\n", float64(cfg.ParamCount())/1e9)
+	fmt.Printf("fp16 weights: %.1f GB\n", float64(cfg.WeightBytes())/1e9)
+	fmt.Printf("KV delta per token: %.2f MB\n", float64(cfg.KVBytesPerToken())/1e6)
+	// Output:
+	// params: 6.06B
+	// fp16 weights: 12.1 GB
+	// KV delta per token: 0.92 MB
+}
+
+// ExampleCoordinator classifies tenant SRGs by their semantic
+// annotations.
+func ExampleCoordinator() {
+	rng := rand.New(rand.NewSource(2))
+	model := genie.NewGPTModel(rng, genie.TinyGPT)
+	b, _ := model.BuildPrefill([]int64{1, 2, 3})
+	genie.Annotate(b.Graph())
+	fmt.Println("class:", global.Classify(b.Graph()))
+	// Output:
+	// class: llm
+}

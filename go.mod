@@ -1,0 +1,3 @@
+module genie
+
+go 1.22

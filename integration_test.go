@@ -1,0 +1,222 @@
+package genie
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"genie/internal/cluster"
+	"genie/internal/runtime"
+	"genie/internal/scheduler"
+	"genie/internal/srg"
+	"genie/internal/tensor"
+	"genie/internal/transport"
+)
+
+// startPool brings up n live TCP backends and registers them as a
+// heterogeneous cluster.
+func startPool(t *testing.T, specs []DeviceSpec) (*Cluster, map[AcceleratorID]runtime.Endpoint) {
+	t.Helper()
+	cs := NewCluster()
+	eps := map[AcceleratorID]runtime.Endpoint{}
+	for i, spec := range specs {
+		srv := NewServer(spec)
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { l.Close() })
+		go func() { _ = Serve(srv, l) }()
+		client, err := Dial(l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { client.Close() })
+		id := AcceleratorID(spec.Name + "-" + string(rune('0'+i)))
+		if err := cs.AddAccelerator(&Accelerator{
+			ID: id, Spec: spec,
+			Link: Link{Bandwidth: 25e9 / 8, RTT: 200 * time.Microsecond},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		eps[id] = client
+	}
+	return cs, eps
+}
+
+// TestGlobalPlacementExecutesOnLiveBackends is the full §3.6 → §3.4 path:
+// the coordinator classifies two tenants' SRGs, places them on different
+// device classes, and the plan executor runs each plan against its live
+// backend — with results matching local execution.
+func TestGlobalPlacementExecutesOnLiveBackends(t *testing.T) {
+	cs, eps := startPool(t, []DeviceSpec{H100, A10G})
+	coord := NewCoordinator(cs, NewCostModel(RDMAProfile))
+
+	// Tenant 1: an LLM prefill. Tenant 2: a recommendation query.
+	rng := rand.New(rand.NewSource(31))
+	gpt := NewGPTModel(rng, TinyGPT)
+	gb, gout := gpt.BuildPrefill([]int64{2, 7, 1, 8})
+	Annotate(gb.Graph())
+
+	dlrm := NewDLRMModel(rng, TinyDLRM)
+	db, dout := dlrm.BuildForward(DLRMRequest{
+		Dense:     NewTensor(F32, 1, TinyDLRM.DenseFeatures),
+		SparseIDs: [][]int64{{1, 2}, {3}, {4, 5}},
+	})
+	Annotate(db.Graph())
+
+	subs := []Submission{
+		{Tenant: "llm", Graph: gb.Graph(), SLO: SLOInteractive},
+		{Tenant: "rec", Graph: db.Graph(), SLO: SLOBatch},
+	}
+	devices := map[string]AcceleratorID{}
+	plans := map[string]*Plan{}
+	for _, sub := range subs {
+		plan, dev, err := coord.PlaceTenant(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		devices[sub.Tenant] = dev
+		plans[sub.Tenant] = plan
+	}
+	if devices["llm"] == devices["rec"] {
+		t.Errorf("heterogeneous placement put both tenants on %q", devices["llm"])
+	}
+
+	// Execute each plan against its placed backend.
+	runPlan := func(plan *Plan, b *Builder, want NodeID) *Tensor {
+		t.Helper()
+		pe := &runtime.PlanExecutor{EPs: eps}
+		got, err := pe.Execute(plan, b, []srg.NodeID{want})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got[want]
+	}
+	gotNext := runPlan(plans["llm"], gb, gout.NextToken)
+	gotScore := runPlan(plans["rec"], db, dout.Score)
+
+	// Compare against local execution.
+	wantVals, err := ExecuteLocal(gb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotNext.I64()[0] != wantVals[gout.NextToken].I64()[0] {
+		t.Error("LLM tenant result diverges from local")
+	}
+	wantVals, err = ExecuteLocal(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(gotScore, wantVals[dout.Score], 1e-5, 1e-5) {
+		t.Error("rec tenant result diverges from local")
+	}
+}
+
+// TestShapedLoopbackMatchesPaperLinkRegime drives the real transport
+// through a 25 Gbps shaper and checks a bulk upload is bandwidth-bound as
+// the paper's testbed would be.
+func TestShapedLoopbackMatchesPaperLinkRegime(t *testing.T) {
+	srv := NewServer(A100)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() { _ = Serve(srv, l) }()
+
+	var ctr Counters
+	client, err := DialShaped(l.Addr().String(), &ctr, &Shaper{
+		Bandwidth: 25e9 / 8, // 25 Gbps
+		RTT:       time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// 16 MB at 3.125 GB/s ≈ 5.1 ms + RTT. Allow generous headroom but
+	// require ≥ the theoretical floor.
+	payload := NewTensor(U8, 16<<20)
+	start := time.Now()
+	if _, err := client.Upload("bulk", payload); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if floor := 5 * time.Millisecond; elapsed < floor {
+		t.Errorf("shaped upload took %v, below the 25 Gbps floor %v", elapsed, floor)
+	}
+	if sent, _, _ := ctr.Snapshot(); sent < 16<<20 {
+		t.Errorf("counter saw %d bytes", sent)
+	}
+}
+
+// TestRuntimeHintsAdaptFromLiveTransport closes the measurement loop over
+// a real socket: AdaptHints probes the live connection and the cluster's
+// RTT estimate lands in a plausible loopback range.
+func TestRuntimeHintsAdaptFromLiveTransport(t *testing.T) {
+	cs, eps := startPool(t, []DeviceSpec{A100})
+	var id AcceleratorID
+	var ep runtime.Endpoint
+	for k, v := range eps {
+		id, ep = k, v
+	}
+	prober, ok := ep.(interface {
+		Ping() (time.Duration, error)
+	})
+	if !ok {
+		t.Fatal("endpoint is not probeable")
+	}
+	if err := adaptHints(cs, id, prober); err != nil {
+		t.Fatal(err)
+	}
+	rtt := cs.Accelerator(id).Link.RTT
+	if rtt <= 0 || rtt > 100*time.Millisecond {
+		t.Errorf("adapted loopback RTT %v implausible", rtt)
+	}
+}
+
+// adaptHints bridges the facade types to the scheduler helper.
+func adaptHints(cs *cluster.State, id cluster.AcceleratorID, p scheduler.Prober) error {
+	return scheduler.AdaptHints(cs, id, p, 3)
+}
+
+// TestPlanExecutorAttestedSegments runs a plan through verified
+// execution: every segment's attestation must match.
+func TestPlanExecutorAttestedSegments(t *testing.T) {
+	cs, eps := startPool(t, []DeviceSpec{A100, A100})
+	// Wrap endpoints to verify attestation on every exec.
+	verified := map[AcceleratorID]runtime.Endpoint{}
+	for id, ep := range eps {
+		verified[id] = attestingEndpoint{ep.(*Client)}
+	}
+	rng := rand.New(rand.NewSource(41))
+	cnn := NewCNNModel(rng, TinyCNN)
+	img := NewTensor(F32, 3, 32, 32)
+	img.RandN(rng, 1)
+	b, out := cnn.BuildForward(img)
+	Annotate(b.Graph())
+	plan, err := Schedule(b.Graph(), cs, SemanticsAware{}, NewCostModel(RDMAProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe := &runtime.PlanExecutor{EPs: verified}
+	if _, err := pe.Execute(plan, b, []srg.NodeID{out.Logits}); err != nil {
+		t.Fatalf("attested plan execution failed: %v", err)
+	}
+}
+
+type attestingEndpoint struct{ c *Client }
+
+func (a attestingEndpoint) Upload(key string, data *tensor.Tensor) (*transport.UploadOK, error) {
+	return a.c.Upload(key, data)
+}
+func (a attestingEndpoint) Exec(x *transport.Exec) (*transport.ExecOK, error) {
+	return a.c.ExecVerified(x)
+}
+func (a attestingEndpoint) Fetch(key string, epoch uint32) (*tensor.Tensor, error) {
+	return a.c.Fetch(key, epoch)
+}
+func (a attestingEndpoint) Free(key string) error            { return a.c.Free(key) }
+func (a attestingEndpoint) Stats() (*transport.Stats, error) { return a.c.Stats() }

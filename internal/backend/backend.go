@@ -1,0 +1,233 @@
+// Package backend implements the disaggregated accelerator server: it
+// holds remote-resident objects (weights, KV caches) addressed by opaque
+// keys with epochs, executes SRG subgraphs shipped by clients, and
+// accounts modeled device busy time (§3.4 "Execution Backends").
+//
+// The same Server runs in-process (tests, examples) or behind TCP
+// (cmd/genie-server). Failure injection (Crash) drops all resident state
+// and advances the epoch so lineage recovery (§3.5) can be exercised.
+package backend
+
+import (
+	"fmt"
+	"sync"
+
+	"genie/internal/device"
+	"genie/internal/exec"
+	"genie/internal/srg"
+	"genie/internal/tensor"
+	"genie/internal/transport"
+)
+
+// Object is one remote-resident tensor.
+type Object struct {
+	Data  *tensor.Tensor
+	Epoch uint32
+}
+
+// Server is one accelerator endpoint.
+type Server struct {
+	spec device.Spec
+
+	mu        sync.Mutex
+	store     map[string]Object
+	epoch     uint32
+	busyNs    int64
+	execCalls int64
+	resident  int64
+	// failNextExecs makes the next n Exec calls fail (fault injection for
+	// tests beyond full crashes).
+	failNextExecs int
+}
+
+// NewServer creates a backend modeling the given device.
+func NewServer(spec device.Spec) *Server {
+	return &Server{spec: spec, store: make(map[string]Object), epoch: 1}
+}
+
+// Spec returns the modeled device.
+func (s *Server) Spec() device.Spec { return s.spec }
+
+// Epoch returns the current store epoch.
+func (s *Server) Epoch() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Upload stores a tensor under key in the current epoch. It fails when
+// the object would not fit in device memory — disaggregated servers
+// enforce capacity; clients see the refusal and can spill to another
+// pool member instead of silently thrashing.
+func (s *Server) Upload(key string, t *tensor.Tensor) (*transport.UploadOK, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	newBytes := int64(t.NumBytes())
+	after := s.resident + newBytes
+	if old, ok := s.store[key]; ok {
+		after -= int64(old.Data.NumBytes())
+	}
+	if s.spec.MemBytes > 0 && after > s.spec.MemBytes {
+		return nil, fmt.Errorf("backend: object %q (%d B) exceeds device capacity (%d of %d B resident)",
+			key, newBytes, s.resident, s.spec.MemBytes)
+	}
+	if old, ok := s.store[key]; ok {
+		s.resident -= int64(old.Data.NumBytes())
+	}
+	s.store[key] = Object{Data: t, Epoch: s.epoch}
+	s.resident += newBytes
+	return &transport.UploadOK{Epoch: s.epoch, Bytes: newBytes}, nil
+}
+
+// Lookup fetches a resident object, validating the epoch when epoch != 0.
+func (s *Server) Lookup(key string, epoch uint32) (*tensor.Tensor, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.store[key]
+	if !ok {
+		return nil, fmt.Errorf("backend: no resident object %q", key)
+	}
+	if epoch != 0 && o.Epoch != epoch {
+		return nil, fmt.Errorf("backend: object %q is epoch %d, caller expected %d (stale handle)",
+			key, o.Epoch, epoch)
+	}
+	return o.Data, nil
+}
+
+// Free drops a resident object (missing keys are a no-op).
+func (s *Server) Free(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if o, ok := s.store[key]; ok {
+		s.resident -= int64(o.Data.NumBytes())
+		delete(s.store, key)
+	}
+}
+
+// Crash simulates a device/host failure: every resident object is lost
+// and the epoch advances, so stale handles held by clients are detected
+// on next use.
+func (s *Server) Crash() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.store = make(map[string]Object)
+	s.resident = 0
+	s.epoch++
+}
+
+// FailNextExecs arms exec-level fault injection: the next n Exec calls
+// return an error without executing.
+func (s *Server) FailNextExecs(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failNextExecs = n
+}
+
+// Stats snapshots server counters.
+func (s *Server) Stats() *transport.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &transport.Stats{
+		Epoch:         s.epoch,
+		ResidentBytes: s.resident,
+		ResidentCount: int64(len(s.store)),
+		GPUBusyNs:     s.busyNs,
+		ExecCalls:     s.execCalls,
+	}
+}
+
+// Exec runs a subgraph: binds leaves from inline data or the resident
+// store, interprets every node, retains Keep outputs under their keys,
+// and returns Want values. Device busy time is accounted from the
+// roofline model over node cost hints (real wall-clock of the Go kernels
+// is not the experiment's GPU — the model is).
+func (s *Server) Exec(x *transport.Exec) (*transport.ExecOK, error) {
+	s.mu.Lock()
+	if s.failNextExecs > 0 {
+		s.failNextExecs--
+		s.mu.Unlock()
+		return nil, fmt.Errorf("backend: injected exec failure")
+	}
+	s.execCalls++
+	s.mu.Unlock()
+
+	if err := x.Graph.Validate(); err != nil {
+		return nil, fmt.Errorf("backend: invalid graph: %w", err)
+	}
+	binds := make(map[string]transport.Binding, len(x.Binds))
+	for _, b := range x.Binds {
+		binds[b.Ref] = b
+	}
+	bind := func(op, ref string) (*tensor.Tensor, error) {
+		b, ok := binds[ref]
+		if !ok {
+			// Fall back to a resident object under the ref itself
+			// (weights installed once under their param refs).
+			return s.Lookup(ref, 0)
+		}
+		if b.Inline != nil {
+			return b.Inline, nil
+		}
+		return s.Lookup(b.Key, b.Epoch)
+	}
+
+	vals, err := exec.Graph(x.Graph, bind)
+	if err != nil {
+		return nil, err
+	}
+
+	// Account modeled device time across compute nodes.
+	var busy int64
+	for _, n := range x.Graph.Nodes() {
+		if n.Op == "param" || n.Op == "input" {
+			continue
+		}
+		busy += int64(s.spec.KernelTime(n.Cost.FLOPs, n.Cost.Bytes))
+	}
+	s.mu.Lock()
+	s.busyNs += busy
+	epoch := s.epoch
+	s.mu.Unlock()
+
+	out := &transport.ExecOK{Epoch: epoch, GPUTimeNs: busy, GraphFP: x.Graph.Fingerprint()}
+	if len(x.Keep) > 0 {
+		out.Kept = make(map[string]int64, len(x.Keep))
+		for id, key := range x.Keep {
+			t, ok := vals[id]
+			if !ok {
+				return nil, fmt.Errorf("backend: keep of unknown node %d", id)
+			}
+			if _, err := s.Upload(key, t); err != nil {
+				return nil, err
+			}
+			out.Kept[key] = int64(t.NumBytes())
+		}
+	}
+	if len(x.Want) > 0 {
+		out.Results = make(map[srg.NodeID]*tensor.Tensor, len(x.Want))
+		for _, id := range x.Want {
+			t, ok := vals[id]
+			if !ok {
+				return nil, fmt.Errorf("backend: want of unknown node %d", id)
+			}
+			out.Results[id] = t
+		}
+	}
+	return out, nil
+}
+
+// GPUBusyNs returns accumulated modeled device time.
+func (s *Server) GPUBusyNs() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.busyNs
+}
+
+// ResetAccounting zeroes busy-time and call counters (between experiment
+// phases) without touching resident state.
+func (s *Server) ResetAccounting() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.busyNs = 0
+	s.execCalls = 0
+}

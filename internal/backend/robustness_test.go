@@ -1,0 +1,163 @@
+package backend
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"genie/internal/device"
+	"genie/internal/tensor"
+	"genie/internal/transport"
+)
+
+// startRawServer returns a live listener address for robustness probing.
+func startRawServer(t *testing.T) string {
+	t.Helper()
+	srv := NewServer(device.A100)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() { _ = srv.Listen(l) }()
+	return l.Addr().String()
+}
+
+// TestServerSurvivesMalformedPayloads sends garbage payloads for every
+// message type: the server must answer MsgErr (not crash, not hang) and
+// the connection must remain usable.
+func TestServerSurvivesMalformedPayloads(t *testing.T) {
+	addr := startRawServer(t)
+	conn, err := transport.Dial(addr, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	garbage := []byte{0xde, 0xad, 0xbe, 0xef, 0x01}
+	for _, mt := range []transport.MsgType{
+		transport.MsgUpload, transport.MsgExec, transport.MsgFetch, transport.MsgFree,
+	} {
+		rt, _, err := conn.Call(mt, garbage)
+		if err == nil && rt != transport.MsgErr && rt != transport.MsgFreeOK {
+			t.Errorf("msg %d: garbage accepted (reply %d)", mt, rt)
+		}
+	}
+	// Unknown message type → MsgErr.
+	if _, _, err := conn.Call(transport.MsgType(250), nil); err == nil {
+		t.Error("unknown message type should error")
+	}
+	// Connection still healthy afterwards.
+	client := transport.NewClient(conn)
+	if _, err := client.Ping(); err != nil {
+		t.Fatalf("connection broken after garbage: %v", err)
+	}
+}
+
+// TestServerSurvivesAbruptDisconnect opens and kills connections
+// mid-protocol; the server keeps serving others.
+func TestServerSurvivesAbruptDisconnect(t *testing.T) {
+	addr := startRawServer(t)
+	for i := 0; i < 5; i++ {
+		raw, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Write half a frame header, then slam the door.
+		_, _ = raw.Write([]byte{0x10, 0x00})
+		_ = raw.Close()
+	}
+	conn, err := transport.Dial(addr, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	client := transport.NewClient(conn)
+	if _, err := client.Ping(); err != nil {
+		t.Fatalf("server unusable after abrupt disconnects: %v", err)
+	}
+}
+
+// TestServerRejectsOversizedFrameHeader verifies the frame-size guard
+// closes the connection rather than allocating attacker-controlled
+// gigabytes.
+func TestServerRejectsOversizedFrameHeader(t *testing.T) {
+	addr := startRawServer(t)
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	// 4 GiB-1 length header.
+	_, err = raw.Write([]byte{0xff, 0xff, 0xff, 0xff, byte(transport.MsgPing)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = raw.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 16)
+	if _, err := raw.Read(buf); err == nil {
+		t.Log("server replied; acceptable if it was an error frame")
+	}
+	// Fresh connections still work.
+	conn, err := transport.Dial(addr, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := transport.NewClient(conn).Ping(); err != nil {
+		t.Fatalf("server unusable after oversized frame: %v", err)
+	}
+}
+
+// TestConcurrentMixedWorkload hammers one server with concurrent uploads,
+// execs, fetches, and crashes to shake out races (run with -race).
+func TestConcurrentMixedWorkload(t *testing.T) {
+	addr := startRawServer(t)
+	const workers = 6
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			conn, err := transport.Dial(addr, nil, nil)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			c := transport.NewClient(conn)
+			for i := 0; i < 25; i++ {
+				key := "w" + string(rune('a'+w))
+				data := make([]float32, 16)
+				data[0] = float32(i)
+				tns := tensorFrom(data)
+				if _, err := c.Upload(key, tns); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := c.Fetch(key, 0); err != nil {
+					// Concurrent crashes may race this; only transport
+					// failures are fatal.
+					if transport.IsClosed(err) {
+						errs <- err
+						return
+					}
+				}
+				if i%10 == 9 && w == 0 {
+					if err := c.Crash(); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func tensorFrom(v []float32) *tensor.Tensor {
+	return tensor.FromF32(tensor.Shape{len(v)}, v)
+}

@@ -1,0 +1,114 @@
+package backend
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"genie/internal/transport"
+)
+
+// Serve answers the Genie wire protocol on one framed connection until
+// the peer disconnects. It is safe to run one Serve per connection
+// concurrently against the same Server.
+func (s *Server) Serve(conn *transport.Conn) error {
+	for {
+		t, payload, err := conn.Recv()
+		if err != nil {
+			if transport.IsClosed(err) {
+				return nil
+			}
+			return err
+		}
+		rt, rp := s.handle(t, payload)
+		if err := conn.Send(rt, rp); err != nil {
+			if transport.IsClosed(err) {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+func (s *Server) handle(t transport.MsgType, payload []byte) (transport.MsgType, []byte) {
+	fail := func(err error) (transport.MsgType, []byte) {
+		return transport.MsgErr, transport.EncodeErr(err)
+	}
+	switch t {
+	case transport.MsgPing:
+		return transport.MsgPong, nil
+	case transport.MsgUpload:
+		u, err := transport.DecodeUpload(payload)
+		if err != nil {
+			return fail(err)
+		}
+		ack, err := s.Upload(u.Key, u.Data)
+		if err != nil {
+			return fail(err)
+		}
+		return transport.MsgUploadOK, transport.EncodeUploadOK(ack)
+	case transport.MsgExec:
+		x, err := transport.DecodeExec(payload)
+		if err != nil {
+			return fail(err)
+		}
+		ok, err := s.Exec(x)
+		if err != nil {
+			return fail(err)
+		}
+		return transport.MsgExecOK, transport.EncodeExecOK(ok)
+	case transport.MsgFetch:
+		f, err := transport.DecodeFetch(payload)
+		if err != nil {
+			return fail(err)
+		}
+		data, err := s.Lookup(f.Key, f.Epoch)
+		if err != nil {
+			return fail(err)
+		}
+		return transport.MsgTensor, transport.EncodeTensorMsg(data)
+	case transport.MsgFree:
+		f, err := transport.DecodeFetch(payload)
+		if err != nil {
+			return fail(err)
+		}
+		s.Free(f.Key)
+		return transport.MsgFreeOK, nil
+	case transport.MsgCrash:
+		s.Crash()
+		return transport.MsgCrashOK, nil
+	case transport.MsgStats:
+		return transport.MsgStatsOK, transport.EncodeStats(s.Stats())
+	}
+	return fail(fmt.Errorf("backend: unknown message type %d", t))
+}
+
+// Listen serves the protocol on a TCP listener until the listener closes.
+// Each connection gets its own goroutine.
+func (s *Server) Listen(l net.Listener) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		raw, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		if tc, ok := raw.(*net.TCPConn); ok {
+			_ = tc.SetNoDelay(true)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn := transport.NewConn(raw, nil, nil)
+			defer conn.Close()
+			if err := s.Serve(conn); err != nil {
+				log.Printf("backend: connection error: %v", err)
+			}
+		}()
+	}
+}

@@ -1,0 +1,97 @@
+package backend
+
+import (
+	"fmt"
+	"strings"
+
+	"genie/internal/srg"
+	"genie/internal/tensor"
+	"genie/internal/transport"
+)
+
+// TenantView is a namespaced facade over a shared Server: every key the
+// tenant reads or writes is transparently prefixed, so tenants cannot
+// name — and therefore cannot read, overwrite, or free — each other's
+// resident objects. This is the data-isolation mechanism for the
+// multi-tenant remote memory of the paper's §5 "trust and verifiability"
+// challenge: isolation is enforced server-side at the object namespace,
+// not by client goodwill.
+type TenantView struct {
+	s      *Server
+	prefix string
+}
+
+// Tenant returns the namespaced view for the given tenant name.
+func (s *Server) Tenant(name string) (*TenantView, error) {
+	if name == "" || strings.ContainsAny(name, "/\x00") {
+		return nil, fmt.Errorf("backend: invalid tenant name %q", name)
+	}
+	return &TenantView{s: s, prefix: "tenant/" + name + "/"}, nil
+}
+
+func (v *TenantView) key(k string) string { return v.prefix + k }
+
+// Upload stores a tensor in the tenant's namespace.
+func (v *TenantView) Upload(key string, t *tensor.Tensor) (*transport.UploadOK, error) {
+	return v.s.Upload(v.key(key), t)
+}
+
+// Fetch reads a tenant object.
+func (v *TenantView) Fetch(key string, epoch uint32) (*tensor.Tensor, error) {
+	return v.s.Lookup(v.key(key), epoch)
+}
+
+// Free drops a tenant object.
+func (v *TenantView) Free(key string) error {
+	v.s.Free(v.key(key))
+	return nil
+}
+
+// Stats reports the shared server's counters (aggregate; per-tenant
+// accounting would live here in a production system).
+func (v *TenantView) Stats() (*transport.Stats, error) { return v.s.Stats(), nil }
+
+// Exec runs a subgraph with every remote reference rewritten into the
+// tenant's namespace: explicit bind keys and keep keys are prefixed, and
+// param leaves with no explicit binding — which would otherwise fall back
+// to the server's global store — are rebound to the tenant's copies.
+func (v *TenantView) Exec(x *transport.Exec) (*transport.ExecOK, error) {
+	rewritten := &transport.Exec{Graph: x.Graph, Want: x.Want}
+	bound := map[string]bool{}
+	for _, b := range x.Binds {
+		nb := b
+		if nb.Inline == nil {
+			nb.Key = v.key(nb.Key)
+		}
+		bound[nb.Ref] = true
+		rewritten.Binds = append(rewritten.Binds, nb)
+	}
+	// Close the fallback hole: unbound leaves resolve inside the
+	// namespace, never the global store.
+	for _, n := range x.Graph.Nodes() {
+		if (n.Op == "param" || n.Op == "input") && !bound[n.Ref] {
+			rewritten.Binds = append(rewritten.Binds,
+				transport.Binding{Ref: n.Ref, Key: v.key(n.Ref)})
+		}
+	}
+	if len(x.Keep) > 0 {
+		rewritten.Keep = make(map[srg.NodeID]string, len(x.Keep))
+		for id, key := range x.Keep {
+			rewritten.Keep[id] = v.key(key)
+		}
+	}
+	ok, err := v.s.Exec(rewritten)
+	if err != nil {
+		return nil, err
+	}
+	// Strip the prefix from the kept-key echo so the tenant sees its own
+	// namespace.
+	if len(ok.Kept) > 0 {
+		stripped := make(map[string]int64, len(ok.Kept))
+		for k, n := range ok.Kept {
+			stripped[strings.TrimPrefix(k, v.prefix)] = n
+		}
+		ok.Kept = stripped
+	}
+	return ok, nil
+}

@@ -1,0 +1,147 @@
+package backend
+
+import (
+	"testing"
+
+	"genie/internal/device"
+	"genie/internal/lazy"
+	"genie/internal/srg"
+	"genie/internal/tensor"
+	"genie/internal/transport"
+)
+
+func tenantPair(t *testing.T) (*Server, *TenantView, *TenantView) {
+	t.Helper()
+	s := NewServer(device.A100)
+	alice, err := s.Tenant("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := s.Tenant("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, alice, bob
+}
+
+func TestTenantNamespaceIsolation(t *testing.T) {
+	_, alice, bob := tenantPair(t)
+	secret := tensor.FromF32(tensor.Shape{2}, []float32{4, 2})
+	if _, err := alice.Upload("model.w", secret); err != nil {
+		t.Fatal(err)
+	}
+	// Bob cannot read Alice's object under the same key.
+	if _, err := bob.Fetch("model.w", 0); err == nil {
+		t.Fatal("cross-tenant fetch must fail")
+	}
+	// Bob's own upload under the same key does not clobber Alice's.
+	bobData := tensor.FromF32(tensor.Shape{2}, []float32{9, 9})
+	if _, err := bob.Upload("model.w", bobData); err != nil {
+		t.Fatal(err)
+	}
+	got, err := alice.Fetch("model.w", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.F32()[0] != 4 {
+		t.Error("alice's object was clobbered by bob")
+	}
+	// Bob freeing "model.w" frees only his copy.
+	if err := bob.Free("model.w"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.Fetch("model.w", 0); err != nil {
+		t.Error("alice's object vanished after bob's free")
+	}
+}
+
+func TestTenantExecCannotReachGlobalStore(t *testing.T) {
+	s, alice, _ := tenantPair(t)
+	// A global (non-tenant) object exists under the param's ref.
+	mustUpload(t, s, "w", tensor.FromF32(tensor.Shape{2, 2}, []float32{1, 0, 0, 1}))
+
+	b := lazy.NewBuilder("mm")
+	x := b.Input("x", tensor.FromF32(tensor.Shape{1, 2}, []float32{1, 2}))
+	w := b.Param("w", tensor.New(tensor.F32, 2, 2))
+	y := b.MatMul(x, w)
+	xt, _ := b.InputData("x")
+	ex := &transport.Exec{
+		Graph: b.Graph(),
+		Binds: []transport.Binding{{Ref: "x", Inline: xt}},
+		Want:  []srg.NodeID{y.ID()},
+	}
+	// The unbound param must NOT silently resolve to the global "w".
+	if _, err := alice.Exec(ex); err == nil {
+		t.Fatal("tenant exec escaped its namespace via the param fallback")
+	}
+	// After the tenant installs its own copy, execution succeeds.
+	if _, err := alice.Upload("w", tensor.FromF32(tensor.Shape{2, 2}, []float32{2, 0, 0, 2})); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := alice.Exec(ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok.Results[y.ID()].F32()[0] != 2 {
+		t.Errorf("tenant exec used wrong weights: %v", ok.Results[y.ID()].F32())
+	}
+}
+
+func TestTenantKeepStaysNamespaced(t *testing.T) {
+	s, alice, bob := tenantPair(t)
+	b := lazy.NewBuilder("keep")
+	x := b.Input("x", tensor.FromF32(tensor.Shape{1}, []float32{3}))
+	yv := b.Scale(x, 2)
+	xt, _ := b.InputData("x")
+	ex := &transport.Exec{
+		Graph: b.Graph(),
+		Binds: []transport.Binding{{Ref: "x", Inline: xt}},
+		Keep:  map[srg.NodeID]string{yv.ID(): "act"},
+	}
+	ok, err := alice.Exec(ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, echoed := ok.Kept["act"]; !echoed {
+		t.Errorf("kept echo not stripped to tenant namespace: %v", ok.Kept)
+	}
+	if _, err := alice.Fetch("act", 0); err != nil {
+		t.Errorf("tenant cannot read back its kept object: %v", err)
+	}
+	if _, err := bob.Fetch("act", 0); err == nil {
+		t.Error("bob read alice's kept activation")
+	}
+	// Raw store key is namespaced.
+	if _, err := s.Lookup("tenant/alice/act", 0); err != nil {
+		t.Errorf("expected namespaced raw key: %v", err)
+	}
+}
+
+func TestTenantNameValidation(t *testing.T) {
+	s := NewServer(device.A100)
+	for _, bad := range []string{"", "a/b", "x\x00y"} {
+		if _, err := s.Tenant(bad); err == nil {
+			t.Errorf("tenant name %q should be rejected", bad)
+		}
+	}
+}
+
+func TestExecAttestation(t *testing.T) {
+	s := NewServer(device.A100)
+	b := lazy.NewBuilder("att")
+	x := b.Input("x", tensor.FromF32(tensor.Shape{1}, []float32{1}))
+	y := b.ReLU(x)
+	xt, _ := b.InputData("x")
+	ex := &transport.Exec{
+		Graph: b.Graph(),
+		Binds: []transport.Binding{{Ref: "x", Inline: xt}},
+		Want:  []srg.NodeID{y.ID()},
+	}
+	ok, err := s.Exec(ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok.GraphFP != b.Graph().Fingerprint() {
+		t.Errorf("attestation %q != graph fingerprint %q", ok.GraphFP, b.Graph().Fingerprint())
+	}
+}

@@ -1,0 +1,190 @@
+package eval
+
+import (
+	"testing"
+	"time"
+
+	"genie/internal/models"
+	"genie/internal/runtime"
+	"genie/internal/scheduler"
+)
+
+func TestAblationColocationShape(t *testing.T) {
+	r := AblationColocation(PaperConfig())
+	if r.MovedLatency <= r.ColocatedLatency {
+		t.Error("moving the cache must be slower than co-locating it")
+	}
+	// Traffic gap should be enormous: the cache is ~100 MB by the end of
+	// decode vs a few hundred KB of logits.
+	if r.MovedBytes < 100*r.ColocatedBytes {
+		t.Errorf("traffic gap %d/%d too small", r.MovedBytes, r.ColocatedBytes)
+	}
+}
+
+func TestAblationPipelineShape(t *testing.T) {
+	cfg := PaperConfig()
+	p2 := AblationPipeline(cfg.Device, 2, 256)
+	p4 := AblationPipeline(cfg.Device, 4, 256)
+	if p2.Speedup() < 1 {
+		t.Errorf("2-device pipeline slower than sequential: %.2f", p2.Speedup())
+	}
+	if p4.Speedup() <= p2.Speedup() {
+		t.Errorf("more devices should help: %.2f vs %.2f", p4.Speedup(), p2.Speedup())
+	}
+	// Upper bound: cannot beat perfect scaling.
+	if p4.Speedup() > 4.01 {
+		t.Errorf("impossible speedup %.2f on 4 devices", p4.Speedup())
+	}
+}
+
+func TestAblationRecomputeCrossover(t *testing.T) {
+	cfg := PaperConfig()
+	points := AblationRecompute(cfg.Device, cfg.Link, scheduler.RDMAProfile,
+		64<<20, 3e11, []float64{0, 0.3, 0.6, 0.9})
+	if len(points) != 4 {
+		t.Fatalf("%d points", len(points))
+	}
+	// Fetch should win when idle, recompute when congested; the decision
+	// must be monotone in congestion (fetch time only grows).
+	if points[0].ChoseRecomp {
+		t.Error("idle link: fetching a 64MB tensor should beat 67ms recompute")
+	}
+	if !points[3].ChoseRecomp {
+		t.Error("90% congestion: recompute should win")
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].FetchTime < points[i-1].FetchTime {
+			t.Error("fetch time must grow with congestion")
+		}
+		if points[i].RecompTime != points[0].RecompTime {
+			t.Error("recompute time must not depend on the network")
+		}
+	}
+}
+
+func TestAblationLineageRecoveryShape(t *testing.T) {
+	cfg := PaperConfig()
+	points := AblationLineageRecovery(cfg, []int{10, 50, 200})
+	for _, p := range points {
+		if p.ReplayCost >= p.FullRestart {
+			t.Errorf("depth %d: replay %v should beat restart %v",
+				p.Depth, p.ReplayCost, p.FullRestart)
+		}
+	}
+	// Replay grows with depth; restart is dominated by the weight ship.
+	if points[2].ReplayCost <= points[0].ReplayCost {
+		t.Error("deeper loss should replay longer")
+	}
+	shipFloor := time.Duration(float64(cfg.Model.WeightBytes()) /
+		cfg.RPC.SerializeBandwidth * float64(time.Second))
+	if points[0].FullRestart < shipFloor {
+		t.Error("full restart must include the weight shipment")
+	}
+}
+
+func TestAblationGlobalBatchingShape(t *testing.T) {
+	cfg := PaperConfig()
+	points := AblationGlobalBatching(cfg.Device, models.GPTJ6B, 100, []int{1, 2, 8, 64})
+	if points[0].Speedup != 1 {
+		t.Errorf("batch 1 speedup %v", points[0].Speedup)
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Speedup < points[i-1].Speedup-1e-9 {
+			t.Errorf("speedup should be non-decreasing: %+v", points)
+		}
+	}
+	// Roofline: bounded by weightBytes/perReqBytes amortization, so it
+	// must saturate, not grow without bound.
+	if points[3].Speedup > 50 {
+		t.Errorf("batch-64 speedup %v implausible", points[3].Speedup)
+	}
+}
+
+func TestTable1AllOptimizationsApply(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Applied {
+			t.Errorf("%s: key optimization did not apply", r.Workload)
+		}
+		if len(r.DetectedPhases) == 0 {
+			t.Errorf("%s: no phases detected", r.Workload)
+		}
+	}
+}
+
+func TestFig1DriverLevelLosesEverything(t *testing.T) {
+	rows := Fig1NarrowWaist()
+	if len(rows) != 3 {
+		t.Fatalf("%d workloads", len(rows))
+	}
+	for _, r := range rows {
+		if r.SRGPhases == 0 || r.SRGResidency == 0 {
+			t.Errorf("%s: SRG should expose phases and residency", r.Workload)
+		}
+		if r.DriverOps == 0 {
+			t.Errorf("%s: driver stream should still see ops", r.Workload)
+		}
+	}
+	// The multimodal workload shows the richest semantic profile.
+	var mm NarrowWaistResult
+	for _, r := range rows {
+		if r.Workload == "multimodal" {
+			mm = r
+		}
+	}
+	if mm.SRGModalities < 2 || mm.SRGPhases < 3 {
+		t.Errorf("multimodal profile too thin: %+v", mm)
+	}
+}
+
+func TestSimPhaseIndependence(t *testing.T) {
+	// Decode results must be independent of prefill (phases are measured
+	// as separate runs, each paying its own session setup).
+	cfg := PaperConfig()
+	a := cfg.Run(modeSem()).Decode.Latency
+	cfg2 := cfg
+	cfg2.PromptLen = 144 // different prompt shifts decode history
+	b := cfg2.Run(modeSem()).Decode.Latency
+	if a == b {
+		t.Error("decode latency should reflect history length")
+	}
+	if b < a {
+		t.Error("longer history should not be faster")
+	}
+}
+
+func TestSimDeterminism(t *testing.T) {
+	cfg := PaperConfig()
+	for _, m := range allModes() {
+		r1 := cfg.Run(m)
+		r2 := cfg.Run(m)
+		if r1 != r2 {
+			t.Errorf("%v: simulation not deterministic", m)
+		}
+	}
+}
+
+func modeSem() runtime.Mode { return runtime.ModeSemAware }
+
+func allModes() []runtime.Mode {
+	return []runtime.Mode{runtime.ModeLocal, runtime.ModeNaive, runtime.ModeDeltaKV, runtime.ModeSemAware}
+}
+
+func TestLearnedLexiconAccuracy(t *testing.T) {
+	res, err := LearnedLexicon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TestGraphs < 20 {
+		t.Fatalf("only %d test graphs", res.TestGraphs)
+	}
+	if acc := res.Accuracy(); acc < 0.95 {
+		t.Errorf("held-out accuracy %.2f, want ≥0.95", acc)
+	}
+}

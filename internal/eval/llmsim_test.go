@@ -1,0 +1,188 @@
+package eval
+
+import (
+	"testing"
+	"time"
+
+	"genie/internal/runtime"
+	"genie/internal/scheduler"
+)
+
+// TestTable2PaperShape checks every fidelity target from DESIGN.md §4
+// against the regenerated Table 2.
+func TestTable2PaperShape(t *testing.T) {
+	cfg := PaperConfig()
+	rows := Table2(cfg)
+	byMode := map[runtime.Mode]Result{}
+	for _, r := range rows {
+		byMode[r.Prefill.Mode] = r
+	}
+	local := byMode[runtime.ModeLocal]
+	naive := byMode[runtime.ModeNaive]
+	dkv := byMode[runtime.ModeDeltaKV]
+	sem := byMode[runtime.ModeSemAware]
+
+	// Local magnitudes: paper 0.21 s prefill, 1.53 s decode (±30%).
+	within := func(got time.Duration, want float64, tol float64) bool {
+		g := got.Seconds()
+		return g > want*(1-tol) && g < want*(1+tol)
+	}
+	if !within(local.Prefill.Latency, 0.21, 0.35) {
+		t.Errorf("local prefill %.3fs, paper 0.21s", local.Prefill.Latency.Seconds())
+	}
+	if !within(local.Decode.Latency, 1.53, 0.35) {
+		t.Errorf("local decode %.2fs, paper 1.53s", local.Decode.Latency.Seconds())
+	}
+	if local.Prefill.NetBytes != 0 || local.Decode.NetBytes != 0 {
+		t.Error("local mode must move no network bytes")
+	}
+	if local.Prefill.Util() < 0.95 {
+		t.Errorf("local prefill util %.2f", local.Prefill.Util())
+	}
+
+	// Remote latency ordering for decode: naive >> delta_kv > sem.
+	if naive.Decode.Latency < 5*dkv.Decode.Latency {
+		t.Errorf("naive decode %.0fs should dwarf delta_kv %.0fs",
+			naive.Decode.Latency.Seconds(), dkv.Decode.Latency.Seconds())
+	}
+	if dkv.Decode.Latency <= sem.Decode.Latency {
+		t.Errorf("delta_kv decode %.0fs should exceed semantics-aware %.0fs",
+			dkv.Decode.Latency.Seconds(), sem.Decode.Latency.Seconds())
+	}
+	// Prefill: naive ≈ 2× the RPC-bound baseline (paper: 216 vs ~110).
+	if naive.Prefill.Latency < time.Duration(1.5*float64(sem.Prefill.Latency)) {
+		t.Errorf("naive prefill %.0fs should be ≥1.5× sem %.0fs",
+			naive.Prefill.Latency.Seconds(), sem.Prefill.Latency.Seconds())
+	}
+
+	// Traffic gaps: ≥3 orders of magnitude naive vs sem in both phases
+	// (paper: 26,000× prefill, 8,400× decode).
+	if naive.Prefill.NetBytes < 1000*sem.Prefill.NetBytes {
+		t.Errorf("prefill traffic gap %d/%d too small",
+			naive.Prefill.NetBytes, sem.Prefill.NetBytes)
+	}
+	if naive.Decode.NetBytes < 1000*sem.Decode.NetBytes {
+		t.Errorf("decode traffic gap %d/%d too small",
+			naive.Decode.NetBytes, sem.Decode.NetBytes)
+	}
+	if dkv.Decode.NetBytes <= sem.Decode.NetBytes {
+		t.Error("delta_kv should move more decode bytes than semantics-aware")
+	}
+
+	// Utilization: blind modes idle ≥98% (paper ≤2% util); sem several
+	// times better than naive (paper 6×).
+	if naive.Decode.Util() > 0.02 {
+		t.Errorf("naive decode util %.3f should be <2%%", naive.Decode.Util())
+	}
+	if sem.Decode.Util() < 3*naive.Decode.Util() {
+		t.Errorf("sem util %.4f should be ≫ naive %.4f",
+			sem.Decode.Util(), naive.Decode.Util())
+	}
+	if sem.Decode.Util() > 0.1 {
+		t.Errorf("sem decode util %.3f should still be ≪ local", sem.Decode.Util())
+	}
+}
+
+// TestTable2PaperMagnitudes pins the cells that the calibration targets
+// directly (see EXPERIMENTS.md): the RPC-bound remote latencies.
+func TestTable2PaperMagnitudes(t *testing.T) {
+	cfg := PaperConfig()
+	sem := cfg.Run(runtime.ModeSemAware)
+	dkv := cfg.Run(runtime.ModeDeltaKV)
+
+	// Paper: sem prefill 111 s, sem decode 116 s, ΔKV decode 131 s —
+	// all dominated by the ~110 s Python RPC constant. Allow ±15%.
+	check := func(name string, got time.Duration, want float64) {
+		g := got.Seconds()
+		if g < want*0.85 || g > want*1.15 {
+			t.Errorf("%s = %.1fs, paper %.0fs", name, g, want)
+		}
+	}
+	check("sem prefill", sem.Prefill.Latency, 111)
+	check("sem decode(50)", sem.Decode.Latency, 116)
+	check("delta_kv decode(50)", dkv.Decode.Latency, 131)
+
+	// Naive prefill: paper 216 s (weights through the pickling stack).
+	naive := cfg.Run(runtime.ModeNaive)
+	check("naive prefill", naive.Prefill.Latency, 216)
+}
+
+// TestTable3Shape reproduces the scaling table: ΔKV grows linearly with
+// N; semantics-aware stays nearly flat; by N=200 the gap is ≥1.5×.
+func TestTable3Shape(t *testing.T) {
+	cfg := PaperConfig()
+	points := Table3(cfg, []int{50, 100, 150, 200})
+	lat := map[runtime.Mode]map[int]time.Duration{
+		runtime.ModeDeltaKV:  {},
+		runtime.ModeSemAware: {},
+	}
+	for _, p := range points {
+		lat[p.Mode][p.N] = p.Latency
+	}
+	dkv, sem := lat[runtime.ModeDeltaKV], lat[runtime.ModeSemAware]
+
+	// ΔKV: roughly constant per-50-token increment (linear total).
+	inc1 := dkv[100] - dkv[50]
+	inc3 := dkv[200] - dkv[150]
+	if inc1 <= 0 || inc3 <= 0 {
+		t.Fatalf("ΔKV latency not increasing: %v", dkv)
+	}
+	ratio := float64(inc3) / float64(inc1)
+	if ratio < 0.5 || ratio > 2.5 {
+		t.Errorf("ΔKV increments not roughly linear: %v vs %v", inc1, inc3)
+	}
+	// Semantics-aware: ≤15% growth from N=50 to N=200 (paper: 114→119).
+	if growth := float64(sem[200])/float64(sem[50]) - 1; growth > 0.15 {
+		t.Errorf("semantics-aware decode grew %.0f%% from N=50 to 200", growth*100)
+	}
+	// Crossover factor at N=200: paper ~1.7×.
+	factor := float64(dkv[200]) / float64(sem[200])
+	if factor < 1.5 {
+		t.Errorf("ΔKV/sem at N=200 = %.2f, paper ~1.7", factor)
+	}
+}
+
+// TestRPCOverheadSweep is ablation A7: with an RDMA-class transport the
+// ordering is preserved but the absolute gap to local collapses —
+// exactly the paper's "orthogonal work" claim (§4).
+func TestRPCOverheadSweep(t *testing.T) {
+	cfg := PaperConfig()
+	cfg.RPC = rdmaProfile()
+	local := cfg.Run(runtime.ModeLocal)
+	sem := cfg.Run(runtime.ModeSemAware)
+	dkv := cfg.Run(runtime.ModeDeltaKV)
+
+	if sem.Decode.Latency >= dkv.Decode.Latency {
+		t.Error("ordering must be preserved under RDMA")
+	}
+	// With zero-copy RPC, sem decode should come within 3× of local
+	// (vs ~75× under TensorPipe).
+	if sem.Decode.Latency > 3*local.Decode.Latency {
+		t.Errorf("RDMA sem decode %.2fs vs local %.2fs — gap should collapse",
+			sem.Decode.Latency.Seconds(), local.Decode.Latency.Seconds())
+	}
+	// And utilization should rise dramatically.
+	if sem.Decode.Util() < 0.3 {
+		t.Errorf("RDMA sem decode util %.2f should approach local", sem.Decode.Util())
+	}
+}
+
+// TestNaiveReuploadCalibration: the paper's measured naive numbers imply
+// upload amortization; with period ≈6.5 the decode magnitude lands near
+// 783 s.
+func TestNaiveReuploadCalibration(t *testing.T) {
+	cfg := PaperConfig()
+	cfg.NaiveReuploadPeriod = 6.5
+	naive := cfg.Run(runtime.ModeNaive)
+	g := naive.Decode.Latency.Seconds()
+	if g < 500 || g > 1100 {
+		t.Errorf("calibrated naive decode %.0fs, paper 783s", g)
+	}
+	// Strict per-call re-upload is far slower.
+	strict := PaperConfig().Run(runtime.ModeNaive)
+	if strict.Decode.Latency < 3*naive.Decode.Latency {
+		t.Error("strict re-upload should dwarf amortized")
+	}
+}
+
+func rdmaProfile() scheduler.RPCProfile { return scheduler.RDMAProfile }

@@ -1,0 +1,253 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"genie/internal/models"
+	"genie/internal/simnet"
+	"genie/internal/workload"
+)
+
+// ServingPolicy selects how the serving simulation schedules a request
+// stream over the accelerator pool — the system-level consequence of the
+// paper's semantic annotations (§3.6).
+type ServingPolicy int
+
+// Serving policies under comparison.
+const (
+	// ServeBlindFCFS runs each request in arrival order, whole-request
+	// at a time, on the least-loaded device; no phase knowledge, no
+	// batching (the semantics-blind cluster baseline).
+	ServeBlindFCFS ServingPolicy = iota
+	// ServePhaseAware splits prefill and decode across two device pools
+	// sized by phase demand (compute-bound prefills don't block
+	// memory-bound decodes).
+	ServePhaseAware
+	// ServePhaseAwareBatched additionally batches concurrent same-model
+	// decode steps (cross-tenant orchestration).
+	ServePhaseAwareBatched
+)
+
+// String implements fmt.Stringer.
+func (p ServingPolicy) String() string {
+	switch p {
+	case ServeBlindFCFS:
+		return "blind_fcfs"
+	case ServePhaseAware:
+		return "phase_aware"
+	case ServePhaseAwareBatched:
+		return "phase_aware_batched"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// ServingConfig parameterizes the serving simulation.
+type ServingConfig struct {
+	Model   models.GPTConfig
+	Devices int
+	// Trace drives arrivals; decode lengths and prompt lengths vary per
+	// request.
+	Trace workload.LLMTrace
+	Seed  int64
+	// BatchWindow is how long the batched policy waits to accumulate
+	// same-model decode steps.
+	BatchWindow time.Duration
+}
+
+// ServingResult reports the stream's latency distribution and makespan.
+type ServingResult struct {
+	Policy   ServingPolicy
+	Requests int
+	Makespan time.Duration
+	MeanLat  time.Duration
+	P95Lat   time.Duration
+	// P95TTFT is the 95th-percentile time to first token (prefill
+	// completion) — the interactive-latency metric a phase-split pool
+	// protects even under decode-heavy load.
+	P95TTFT    time.Duration
+	Throughput float64 // requests/sec over the makespan
+}
+
+// DefaultServingConfig is the A8 setup: GPT-J-scale requests on a small
+// pool with RDMA-class transport (the regime where scheduling, not RPC
+// overhead, dominates).
+func DefaultServingConfig() ServingConfig {
+	return ServingConfig{
+		Model:   models.GPTJ6B,
+		Devices: 4,
+		Trace: workload.LLMTrace{
+			Requests: 64, Vocab: 50400,
+			PromptMin: 32, PromptMax: 256,
+			DecodeMin: 16, DecodeMax: 128,
+			MeanInterarrival: 120 * time.Millisecond,
+		},
+		Seed:        7,
+		BatchWindow: 25 * time.Millisecond,
+	}
+}
+
+// RunServing simulates the trace under the given policy. The device
+// model is the calibrated A100; phases are priced with the same roofline
+// the rest of the evaluation uses.
+func RunServing(cfg ServingConfig, policy ServingPolicy) ServingResult {
+	reqs := cfg.Trace.Generate(cfg.Seed)
+	spec := A100GPTJUnbatched
+	m := cfg.Model
+
+	prefillCost := func(r workload.LLMRequest) time.Duration {
+		return spec.KernelTime(m.PrefillFLOPs(len(r.Prompt)), m.WeightBytes()+m.KVBytes(len(r.Prompt)))
+	}
+	decodeStepCost := func(hist int) time.Duration {
+		return spec.KernelTime(m.DecodeFLOPs(hist), m.DecodeBytesTouched(hist))
+	}
+
+	devs := make([]*simnet.Resource, cfg.Devices)
+	for i := range devs {
+		devs[i] = simnet.NewResource(fmt.Sprint("gpu", i))
+	}
+	leastLoaded := func(pool []*simnet.Resource) *simnet.Resource {
+		best := pool[0]
+		for _, d := range pool[1:] {
+			if d.FreeAt() < best.FreeAt() {
+				best = d
+			}
+		}
+		return best
+	}
+
+	finish := make([]time.Duration, len(reqs))
+	ttft := make([]time.Duration, len(reqs))
+	switch policy {
+	case ServeBlindFCFS:
+		// Whole request (prefill + full decode) as one exclusive job: a
+		// request queued behind long decodes waits for all of them before
+		// emitting its first token.
+		for i, r := range reqs {
+			total := prefillCost(r)
+			for s := 0; s < r.Decode; s++ {
+				total += decodeStepCost(len(r.Prompt) + s)
+			}
+			d := leastLoaded(devs)
+			start, end := d.ReserveAt(r.Arrival, total)
+			finish[i] = end
+			ttft[i] = start + prefillCost(r) - r.Arrival
+		}
+
+	case ServePhaseAware, ServePhaseAwareBatched:
+		// Pool split sized by phase demand (the elastic-scaling decision
+		// of §3.6): total prefill vs decode work in the trace determines
+		// how many devices each phase pool gets, at least one each.
+		var prefillWork, decodeWork time.Duration
+		for _, r := range reqs {
+			prefillWork += prefillCost(r)
+			for s := 0; s < r.Decode; s++ {
+				decodeWork += decodeStepCost(len(r.Prompt) + s)
+			}
+		}
+		nPrefill := 1
+		if total := prefillWork + decodeWork; total > 0 && cfg.Devices > 1 {
+			nPrefill = int(float64(cfg.Devices) * float64(prefillWork) / float64(total))
+			if nPrefill < 1 {
+				nPrefill = 1
+			}
+			if nPrefill > cfg.Devices-1 {
+				nPrefill = cfg.Devices - 1
+			}
+		}
+		prefillPool := devs[:nPrefill]
+		decodePool := devs[nPrefill:]
+		if len(decodePool) == 0 {
+			decodePool = devs
+		}
+		batch := 1
+		if policy == ServePhaseAwareBatched {
+			// Effective decode batching from concurrent same-model
+			// requests: estimate degree from arrival density vs decode
+			// duration, capped at 8.
+			batch = estimateBatchDegree(reqs, decodeStepCost, cfg.BatchWindow)
+		}
+		for i, r := range reqs {
+			p := leastLoaded(prefillPool)
+			_, pEnd := p.ReserveAt(r.Arrival, prefillCost(r))
+			ttft[i] = pEnd - r.Arrival
+			var total time.Duration
+			for s := 0; s < r.Decode; s++ {
+				total += decodeStepCost(len(r.Prompt) + s)
+			}
+			if batch > 1 {
+				// Weight reads amortize across the batch; per-request KV
+				// reads do not. Approximate by scaling the weight-bound
+				// share of each step.
+				total = time.Duration(float64(total) * batchScale(m, len(r.Prompt), batch))
+			}
+			d := leastLoaded(decodePool)
+			_, end := d.ReserveAt(pEnd, total)
+			finish[i] = end
+		}
+	}
+
+	var res ServingResult
+	res.Policy = policy
+	res.Requests = len(reqs)
+	lats := make([]time.Duration, len(reqs))
+	var sum time.Duration
+	for i, r := range reqs {
+		lats[i] = finish[i] - r.Arrival
+		sum += lats[i]
+		if finish[i] > res.Makespan {
+			res.Makespan = finish[i]
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	sort.Slice(ttft, func(i, j int) bool { return ttft[i] < ttft[j] })
+	res.MeanLat = sum / time.Duration(len(reqs))
+	res.P95Lat = lats[len(lats)*95/100]
+	res.P95TTFT = ttft[len(ttft)*95/100]
+	if res.Makespan > 0 {
+		res.Throughput = float64(len(reqs)) / res.Makespan.Seconds()
+	}
+	return res
+}
+
+// estimateBatchDegree approximates how many decodes overlap in a batch
+// window given the arrival density.
+func estimateBatchDegree(reqs []workload.LLMRequest, stepCost func(int) time.Duration, window time.Duration) int {
+	if len(reqs) < 2 {
+		return 1
+	}
+	span := reqs[len(reqs)-1].Arrival - reqs[0].Arrival
+	if span <= 0 {
+		return 8
+	}
+	// Mean decode duration per request.
+	var mean time.Duration
+	for _, r := range reqs {
+		var d time.Duration
+		for s := 0; s < r.Decode; s++ {
+			d += stepCost(len(r.Prompt) + s)
+		}
+		mean += d
+	}
+	mean /= time.Duration(len(reqs))
+	concurrent := float64(mean) * float64(len(reqs)) / float64(span)
+	deg := int(concurrent)
+	if deg < 1 {
+		deg = 1
+	}
+	if deg > 8 {
+		deg = 8
+	}
+	return deg
+}
+
+// batchScale returns the per-request decode-time multiplier when batch
+// same-model steps share one weight read.
+func batchScale(m models.GPTConfig, hist, batch int) float64 {
+	w := float64(m.WeightBytes())
+	kv := float64(m.KVBytes(hist))
+	single := w + kv
+	batched := w + kv*float64(batch)
+	return batched / (single * float64(batch))
+}

@@ -1,0 +1,96 @@
+package eval
+
+import (
+	"testing"
+)
+
+func TestServingPoliciesOrdering(t *testing.T) {
+	cfg := DefaultServingConfig()
+	blind := RunServing(cfg, ServeBlindFCFS)
+	phase := RunServing(cfg, ServePhaseAware)
+	batched := RunServing(cfg, ServePhaseAwareBatched)
+
+	if blind.Requests != cfg.Trace.Requests {
+		t.Fatalf("%d requests served", blind.Requests)
+	}
+	// Phase splitting reserves a prefill pool, so it may concede a
+	// little raw throughput — its win is interactive latency (TTFT).
+	if phase.Throughput < blind.Throughput*0.8 {
+		t.Errorf("phase-aware throughput %.2f far below blind %.2f",
+			phase.Throughput, blind.Throughput)
+	}
+	if phase.P95TTFT >= blind.P95TTFT {
+		t.Errorf("phase-aware P95 TTFT %v should beat blind %v (prefill pool uncontended)",
+			phase.P95TTFT, blind.P95TTFT)
+	}
+	// Batching recovers (and exceeds) the throughput.
+	if batched.Throughput < phase.Throughput {
+		t.Errorf("batched throughput %.2f below unbatched %.2f",
+			batched.Throughput, phase.Throughput)
+	}
+	if batched.Throughput < blind.Throughput {
+		t.Errorf("batched throughput %.2f below blind %.2f",
+			batched.Throughput, blind.Throughput)
+	}
+	// Tail latency: batching must help the P95 under this load.
+	if batched.P95Lat > blind.P95Lat {
+		t.Errorf("batched P95 %v worse than blind %v", batched.P95Lat, blind.P95Lat)
+	}
+}
+
+func TestServingDeterministic(t *testing.T) {
+	cfg := DefaultServingConfig()
+	a := RunServing(cfg, ServePhaseAwareBatched)
+	b := RunServing(cfg, ServePhaseAwareBatched)
+	if a != b {
+		t.Error("serving sim must be deterministic")
+	}
+}
+
+func TestServingLatencySane(t *testing.T) {
+	cfg := DefaultServingConfig()
+	for _, p := range []ServingPolicy{ServeBlindFCFS, ServePhaseAware, ServePhaseAwareBatched} {
+		r := RunServing(cfg, p)
+		if r.MeanLat <= 0 || r.P95Lat < r.MeanLat/4 || r.Makespan <= 0 {
+			t.Errorf("%s: implausible stats %+v", p, r)
+		}
+		if r.P95Lat > r.Makespan {
+			t.Errorf("%s: P95 beyond makespan", p)
+		}
+	}
+}
+
+func TestServingSingleDevicePool(t *testing.T) {
+	cfg := DefaultServingConfig()
+	cfg.Devices = 1
+	for _, p := range []ServingPolicy{ServeBlindFCFS, ServePhaseAware} {
+		r := RunServing(cfg, p)
+		if r.Requests != cfg.Trace.Requests {
+			t.Errorf("%s: dropped requests on a 1-device pool", p)
+		}
+	}
+}
+
+func TestServingPolicyStrings(t *testing.T) {
+	if ServeBlindFCFS.String() != "blind_fcfs" ||
+		ServePhaseAware.String() != "phase_aware" ||
+		ServePhaseAwareBatched.String() != "phase_aware_batched" {
+		t.Error("policy strings wrong")
+	}
+}
+
+func TestBatchScaleBounds(t *testing.T) {
+	cfg := DefaultServingConfig()
+	// Scale must be in (0, 1] and decrease with batch size.
+	prev := 2.0
+	for _, n := range []int{1, 2, 4, 8} {
+		s := batchScale(cfg.Model, 100, n)
+		if s <= 0 || s > 1 {
+			t.Errorf("batch %d scale %v out of range", n, s)
+		}
+		if s > prev {
+			t.Errorf("scale should decrease with batch: %v after %v", s, prev)
+		}
+		prev = s
+	}
+}

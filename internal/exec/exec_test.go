@@ -1,0 +1,365 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"genie/internal/lazy"
+	"genie/internal/nn"
+	"genie/internal/srg"
+	"genie/internal/tensor"
+	"genie/internal/tensor/ops"
+)
+
+// binderFor resolves leaves against the builder's registered data.
+func binderFor(b *lazy.Builder) Binder {
+	return func(op, ref string) (*tensor.Tensor, error) {
+		if op == "param" {
+			if t, ok := b.ParamData(ref); ok {
+				return t, nil
+			}
+		} else if t, ok := b.InputData(ref); ok {
+			return t, nil
+		}
+		return nil, fmt.Errorf("no data for %s %q", op, ref)
+	}
+}
+
+func TestGraphEvalMatchesDirectOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xT := tensor.New(tensor.F32, 3, 4)
+	wT := tensor.New(tensor.F32, 4, 5)
+	xT.RandN(rng, 1)
+	wT.RandN(rng, 1)
+
+	b := lazy.NewBuilder("t")
+	x := b.Input("x", xT)
+	w := b.Param("w", wT)
+	y := b.Softmax(b.MatMul(x, w))
+	b.MarkOutput(y)
+
+	vals, err := Graph(b.Graph(), binderFor(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _ := ops.MatMul(xT, wT)
+	direct = ops.Softmax(direct)
+	if !tensor.AllClose(vals[y.ID()], direct, 1e-6, 1e-6) {
+		t.Error("lazy evaluation diverges from direct ops")
+	}
+}
+
+func TestEveryCapturableOpExecutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	b := lazy.NewBuilder("all-ops")
+	xT := tensor.New(tensor.F32, 4, 8)
+	xT.RandN(rng, 1)
+	wT := tensor.New(tensor.F32, 8, 8)
+	wT.RandN(rng, 0.5)
+	gT := tensor.New(tensor.F32, 8)
+	gT.Fill(1)
+	bT := tensor.New(tensor.F32, 8)
+	idsT := tensor.FromI64(tensor.Shape{3}, []int64{0, 2, 1})
+	imgT := tensor.New(tensor.F32, 2, 8, 8)
+	imgT.RandN(rng, 1)
+	kernT := tensor.New(tensor.F32, 4, 2, 3, 3)
+	kernT.RandN(rng, 0.3)
+
+	x := b.Input("x", xT)
+	w := b.Param("w", wT)
+	gamma := b.Param("gamma", gT)
+	beta := b.Param("beta", bT)
+	ids := b.Input("ids", idsT)
+	img := b.Input("img", imgT)
+	kern := b.Param("kern", kernT)
+
+	mm := b.MatMul(x, w)
+	mt := b.MatMulT(x, x)
+	ad := b.Add(mm, x)
+	sb := b.Sub(ad, x)
+	ml := b.Mul(sb, sb)
+	sc := b.Scale(ml, 0.5)
+	sm := b.Softmax(sc)
+	ge := b.GELU(sm)
+	re := b.ReLU(ge)
+	ln := b.LayerNorm(re, gamma, beta, 1e-5)
+	em := b.Embedding(w, ids)
+	eb := b.EmbeddingBag(w, ids, []int{0, 1})
+	cc := b.Concat(0, em, eb)
+	sl := b.SliceRows(cc, 0, 2)
+	tr := b.Transpose2D(sl)
+	rs := b.Reshape(tr, 16)
+	am := b.ArgmaxLast(ln)
+	cv := b.Conv2D(img, kern, 1, 1)
+	mp := b.MaxPool2D(cv, 2)
+	gp := b.MeanPoolAll(mp)
+	_ = mt
+	_ = rs
+	_ = am
+	_ = gp
+
+	vals, err := Graph(b.Graph(), binderFor(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check a few results against direct execution.
+	dmm, _ := ops.MatMul(xT, wT)
+	if !tensor.AllClose(vals[mm.ID()], dmm, 1e-6, 1e-6) {
+		t.Error("matmul mismatch")
+	}
+	dem, _ := ops.Embedding(wT, idsT)
+	if !tensor.AllClose(vals[em.ID()], dem, 0, 0) {
+		t.Error("embedding mismatch")
+	}
+	dcv, _ := ops.Conv2D(imgT, kernT, 1, 1)
+	if !tensor.AllClose(vals[cv.ID()], dcv, 1e-5, 1e-5) {
+		t.Error("conv mismatch")
+	}
+	// Every declared node executed.
+	if len(vals) != b.Graph().Len() {
+		t.Errorf("evaluated %d of %d nodes", len(vals), b.Graph().Len())
+	}
+}
+
+func TestTransformerBlockEvaluates(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	blk := nn.NewBlock(rng, 16, 4, 32)
+	xT := tensor.New(tensor.F32, 5, 16)
+	xT.RandN(rng, 1)
+
+	b := lazy.NewBuilder("block")
+	x := b.Input("x", xT)
+	out, newK, newV := blk.ForwardKV(b, "block0", x, lazy.Value{}, lazy.Value{})
+	b.MarkOutput(out)
+
+	if err := b.Graph().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := Graph(b.Graph(), binderFor(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vals[out.ID()].Shape().Equal(tensor.Shape{5, 16}) {
+		t.Errorf("block output shape %v", vals[out.ID()].Shape())
+	}
+	if !vals[newK.ID()].Shape().Equal(tensor.Shape{5, 16}) {
+		t.Errorf("new K shape %v", vals[newK.ID()].Shape())
+	}
+	_ = newV
+}
+
+func TestBlockWithKVCacheMatchesFullRecompute(t *testing.T) {
+	// The semantic core of the paper's evaluation: running attention over
+	// (cache ++ new token) must equal attention over the full sequence.
+	rng := rand.New(rand.NewSource(7))
+	attn := nn.NewAttention(rng, 8, 2)
+
+	full := tensor.New(tensor.F32, 4, 8)
+	full.RandN(rng, 1)
+	prefix, _ := ops.SliceRows(full, 0, 3)
+	last, _ := ops.SliceRows(full, 3, 4)
+
+	// Full pass.
+	bFull := lazy.NewBuilder("full")
+	xF := bFull.Input("x", full)
+	outF, kF, vF := attn.ForwardKV(bFull, "attn", xF, lazy.Value{}, lazy.Value{})
+	valsF, err := Graph(bFull.Graph(), binderFor(bFull))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Prefill on the prefix to obtain the cache.
+	bPre := lazy.NewBuilder("prefill")
+	xP := bPre.Input("x", prefix)
+	_, kP, vP := attn.ForwardKV(bPre, "attn", xP, lazy.Value{}, lazy.Value{})
+	valsP, err := Graph(bPre.Graph(), binderFor(bPre))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Decode step with the cache.
+	bDec := lazy.NewBuilder("decode")
+	xD := bDec.Input("x", last)
+	cacheK := bDec.StatefulInput("kv.k", valsP[kP.ID()])
+	cacheV := bDec.StatefulInput("kv.v", valsP[vP.ID()])
+	outD, _, _ := attn.ForwardKV(bDec, "attn", xD, cacheK, cacheV)
+	valsD, err := Graph(bDec.Graph(), binderFor(bDec))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The decode output row must equal the last row of the full pass.
+	wantLast, _ := ops.SliceRows(valsF[outF.ID()], 3, 4)
+	if !tensor.AllClose(valsD[outD.ID()], wantLast, 1e-4, 1e-5) {
+		t.Errorf("cached decode diverges from full attention:\n%v\nvs\n%v",
+			valsD[outD.ID()].F32(), wantLast.F32())
+	}
+	_ = kF
+	_ = vF
+}
+
+func TestNodeErrors(t *testing.T) {
+	if _, err := Node(&srg.Node{Op: "param", Ref: "w"}, nil); err == nil {
+		t.Error("executing a leaf should fail")
+	}
+	if _, err := Node(&srg.Node{Op: "nonsense"}, nil); err == nil {
+		t.Error("unknown op should fail")
+	}
+	if _, err := Node(&srg.Node{Op: "matmul"}, nil); err == nil {
+		t.Error("wrong arity should fail")
+	}
+	if _, err := Node(&srg.Node{Op: "scale"}, []*tensor.Tensor{tensor.New(tensor.F32, 1)}); err == nil {
+		t.Error("missing attr should fail")
+	}
+	if _, err := Node(&srg.Node{Op: "concat", Attrs: map[string]string{"dim": "x"}},
+		[]*tensor.Tensor{tensor.New(tensor.F32, 1)}); err == nil {
+		t.Error("malformed attr should fail")
+	}
+}
+
+func TestGraphBindFailurePropagates(t *testing.T) {
+	b := lazy.NewBuilder("t")
+	x := b.Input("x", tensor.New(tensor.F32, 1))
+	b.MarkOutput(b.ReLU(x))
+	_, err := Graph(b.Graph(), func(op, ref string) (*tensor.Tensor, error) {
+		return nil, fmt.Errorf("boom")
+	})
+	if err == nil {
+		t.Error("binder failure should propagate")
+	}
+}
+
+func TestLinearForwardMatchesOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	lin := nn.NewLinear(rng, 6, 4, true)
+	lin.Bias.RandN(rng, 1)
+	xT := tensor.New(tensor.F32, 2, 6)
+	xT.RandN(rng, 1)
+
+	b := lazy.NewBuilder("lin")
+	x := b.Input("x", xT)
+	y := lin.Forward(b, "fc", x)
+	vals, err := Graph(b.Graph(), binderFor(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := ops.MatMul(xT, lin.W)
+	want, _ = ops.Add(want, lin.Bias)
+	if !tensor.AllClose(vals[y.ID()], want, 1e-6, 1e-6) {
+		t.Error("linear forward mismatch")
+	}
+}
+
+func TestKVCacheAppend(t *testing.T) {
+	c := &nn.KVCache{}
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Error("empty cache should be zero")
+	}
+	k1 := tensor.FromF32(tensor.Shape{2, 3}, []float32{1, 2, 3, 4, 5, 6})
+	c.Append(k1, k1)
+	c.Append(k1, k1)
+	if c.Len() != 4 {
+		t.Errorf("cache len %d", c.Len())
+	}
+	if c.Bytes() != 2*4*3*4 {
+		t.Errorf("cache bytes %d", c.Bytes())
+	}
+	if c.K.F32()[6] != 1 {
+		t.Error("appended rows wrong")
+	}
+}
+
+// TestNodeArityAndAttrErrorsTableDriven sweeps every op's failure arms:
+// wrong arity, missing attributes, malformed attributes.
+func TestNodeArityAndAttrErrorsTableDriven(t *testing.T) {
+	t1 := tensor.New(tensor.F32, 2, 2)
+	i64 := tensor.FromI64(tensor.Shape{1}, []int64{0})
+	img := tensor.New(tensor.F32, 1, 4, 4)
+	kern := tensor.New(tensor.F32, 1, 1, 2, 2)
+
+	cases := []struct {
+		name  string
+		node  *srg.Node
+		in    []*tensor.Tensor
+		works bool
+	}{
+		{"matmul_t wrong arity", &srg.Node{Op: "matmul_t"}, []*tensor.Tensor{t1}, false},
+		{"add wrong arity", &srg.Node{Op: "add"}, []*tensor.Tensor{t1}, false},
+		{"sub wrong arity", &srg.Node{Op: "sub"}, []*tensor.Tensor{t1}, false},
+		{"mul wrong arity", &srg.Node{Op: "mul"}, []*tensor.Tensor{t1}, false},
+		{"scale bad attr", &srg.Node{Op: "scale", Attrs: map[string]string{"s": "x"}}, []*tensor.Tensor{t1}, false},
+		{"scale ok", &srg.Node{Op: "scale", Attrs: map[string]string{"s": "2"}}, []*tensor.Tensor{t1}, true},
+		{"causal_mask missing attr", &srg.Node{Op: "causal_mask"}, []*tensor.Tensor{t1}, false},
+		{"causal_mask ok", &srg.Node{Op: "causal_mask", Attrs: map[string]string{"offset": "0"}}, []*tensor.Tensor{t1}, true},
+		{"softmax wrong arity", &srg.Node{Op: "softmax"}, nil, false},
+		{"gelu wrong arity", &srg.Node{Op: "gelu"}, nil, false},
+		{"relu wrong arity", &srg.Node{Op: "relu"}, nil, false},
+		{"layernorm missing eps", &srg.Node{Op: "layernorm"}, []*tensor.Tensor{t1, t1, t1}, false},
+		{"embedding wrong arity", &srg.Node{Op: "embedding"}, []*tensor.Tensor{t1}, false},
+		{"embedding_bag missing offsets", &srg.Node{Op: "embedding_bag"}, []*tensor.Tensor{t1, i64}, false},
+		{"embedding_bag non-i64 ids", &srg.Node{Op: "embedding_bag",
+			Attrs: map[string]string{"offsets": "0"}}, []*tensor.Tensor{t1, t1}, false},
+		{"embedding_bag ok", &srg.Node{Op: "embedding_bag",
+			Attrs: map[string]string{"offsets": "0"}}, []*tensor.Tensor{t1, i64}, true},
+		{"concat no inputs", &srg.Node{Op: "concat", Attrs: map[string]string{"dim": "0"}}, nil, false},
+		{"concat bad dim attr", &srg.Node{Op: "concat", Attrs: map[string]string{"dim": "z"}}, []*tensor.Tensor{t1}, false},
+		{"slice missing attrs", &srg.Node{Op: "slice_rows"}, []*tensor.Tensor{t1}, false},
+		{"slice missing end", &srg.Node{Op: "slice_rows", Attrs: map[string]string{"start": "0"}}, []*tensor.Tensor{t1}, false},
+		{"slice ok", &srg.Node{Op: "slice_rows",
+			Attrs: map[string]string{"start": "0", "end": "1"}}, []*tensor.Tensor{t1}, true},
+		{"transpose wrong arity", &srg.Node{Op: "transpose2d"}, nil, false},
+		{"reshape missing attr", &srg.Node{Op: "reshape"}, []*tensor.Tensor{t1}, false},
+		{"reshape ok", &srg.Node{Op: "reshape", Attrs: map[string]string{"shape": "4"}}, []*tensor.Tensor{t1}, true},
+		{"argmax wrong arity", &srg.Node{Op: "argmax_last"}, nil, false},
+		{"conv2d missing stride", &srg.Node{Op: "conv2d", Attrs: map[string]string{"pad": "0"}},
+			[]*tensor.Tensor{img, kern}, false},
+		{"conv2d missing pad", &srg.Node{Op: "conv2d", Attrs: map[string]string{"stride": "1"}},
+			[]*tensor.Tensor{img, kern}, false},
+		{"conv2d ok", &srg.Node{Op: "conv2d",
+			Attrs: map[string]string{"stride": "1", "pad": "0"}}, []*tensor.Tensor{img, kern}, true},
+		{"maxpool missing k", &srg.Node{Op: "maxpool2d"}, []*tensor.Tensor{img}, false},
+		{"maxpool ok", &srg.Node{Op: "maxpool2d", Attrs: map[string]string{"k": "2"}}, []*tensor.Tensor{img}, true},
+		{"meanpool wrong arity", &srg.Node{Op: "meanpool"}, nil, false},
+		{"meanpool ok", &srg.Node{Op: "meanpool"}, []*tensor.Tensor{img}, true},
+		{"sum ok", &srg.Node{Op: "sum"}, []*tensor.Tensor{t1}, true},
+		{"rope missing attrs", &srg.Node{Op: "rope"}, []*tensor.Tensor{t1}, false},
+		{"rope missing base", &srg.Node{Op: "rope", Attrs: map[string]string{"start": "0"}}, []*tensor.Tensor{t1}, false},
+		{"rope ok", &srg.Node{Op: "rope",
+			Attrs: map[string]string{"start": "0", "base": "10000"}}, []*tensor.Tensor{t1}, true},
+		{"fused missing stages", &srg.Node{Op: "fused"}, []*tensor.Tensor{t1}, false},
+		{"fused unknown stage", &srg.Node{Op: "fused",
+			Attrs: map[string]string{"stages": "explode"}}, []*tensor.Tensor{t1}, false},
+		{"fused bad scale arg", &srg.Node{Op: "fused",
+			Attrs: map[string]string{"stages": "scale:x"}}, []*tensor.Tensor{t1}, false},
+		{"fused bad mask arg", &srg.Node{Op: "fused",
+			Attrs: map[string]string{"stages": "causal_mask:x"}}, []*tensor.Tensor{t1}, false},
+		{"fused ok", &srg.Node{Op: "fused",
+			Attrs: map[string]string{"stages": "scale:2|relu|causal_mask:0|softmax"}}, []*tensor.Tensor{t1}, true},
+	}
+	for _, tc := range cases {
+		_, err := Node(tc.node, tc.in)
+		if tc.works && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.works && err == nil {
+			t.Errorf("%s: expected an error", tc.name)
+		}
+	}
+}
+
+func TestFusedMatchesUnfusedChain(t *testing.T) {
+	x := tensor.FromF32(tensor.Shape{1, 4}, []float32{-2, -0.5, 0.5, 3})
+	fused, err := Node(&srg.Node{Op: "fused",
+		Attrs: map[string]string{"stages": "scale:2|gelu|relu"}},
+		[]*tensor.Tensor{x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	step1 := ops.Scale(x, 2)
+	step2 := ops.GELU(step1)
+	want := ops.ReLU(step2)
+	if !tensor.AllClose(fused, want, 1e-6, 1e-6) {
+		t.Errorf("fused %v != chain %v", fused.F32(), want.F32())
+	}
+}

@@ -1,0 +1,185 @@
+package frontend
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"genie/internal/srg"
+)
+
+// LearnedRecognizer addresses §5's "evolving semantic lexicon" challenge:
+// instead of hand-crafted pattern rules, it *learns* phase signatures
+// from labeled example graphs and classifies novel architectures by
+// nearest-centroid matching over structural feature vectors. It
+// implements the same Recognizer interface as the hand-written library,
+// so it plugs into AnnotateWith unchanged.
+//
+// The feature space is deliberately simple and interpretable: a
+// normalized op histogram plus a few structural ratios (leaf fraction,
+// stateful-input fraction, mean fan-out, attention-shape markers). The
+// point is the mechanism — semantics inferred from examples rather than
+// rules — not state-of-the-art accuracy.
+type LearnedRecognizer struct {
+	// MaxDistance bounds how far a graph may sit from the nearest
+	// centroid and still be tagged (Euclidean in feature space;
+	// default 0.5). Beyond it the recognizer abstains.
+	MaxDistance float64
+
+	centroids map[srg.Phase][]float64
+	vocab     []string
+}
+
+// featureVocab is the op vocabulary; unseen ops fold into a shared
+// "other" bucket so novel architectures still embed.
+var featureVocab = []string{
+	"matmul", "matmul_t", "softmax", "causal_mask", "layernorm", "gelu",
+	"relu", "add", "mul", "scale", "concat", "embedding", "embedding_bag",
+	"conv2d", "maxpool2d", "meanpool", "slice_rows", "transpose2d",
+	"reshape", "argmax_last", "other",
+}
+
+// numStructural counts the non-histogram features appended to the op
+// histogram: leaf fraction, stateful fraction, mean fan-out (scaled),
+// and cache-append marker.
+const numStructural = 4
+
+// Features embeds a graph into the recognizer's feature space.
+func Features(g *srg.Graph) []float64 {
+	idx := map[string]int{}
+	for i, op := range featureVocab {
+		idx[op] = i
+	}
+	vec := make([]float64, len(featureVocab)+numStructural)
+	compute := 0
+	leaves := 0
+	stateful := 0
+	cacheAppend := 0
+	consumers := g.Consumers()
+	fanout := 0
+	for _, n := range g.Nodes() {
+		fanout += len(consumers[n.ID])
+		switch n.Op {
+		case "param", "input":
+			leaves++
+			if n.Residency == srg.ResidencyStatefulKVCache {
+				stateful++
+			}
+			continue
+		}
+		compute++
+		i, ok := idx[n.Op]
+		if !ok {
+			i = idx["other"]
+		}
+		vec[i]++
+		if n.Op == "concat" && len(n.Inputs) >= 2 {
+			if first := g.Node(n.Inputs[0]); first.Op == "input" &&
+				first.Residency == srg.ResidencyStatefulKVCache {
+				cacheAppend++
+			}
+		}
+	}
+	if compute > 0 {
+		for i := range featureVocab {
+			vec[i] /= float64(compute)
+		}
+	}
+	total := g.Len()
+	base := len(featureVocab)
+	if total > 0 {
+		vec[base] = float64(leaves) / float64(total)
+		vec[base+2] = float64(fanout) / float64(total) / 4 // scaled mean fan-out
+	}
+	if leaves > 0 {
+		vec[base+1] = float64(stateful) / float64(leaves)
+	}
+	if compute > 0 {
+		vec[base+3] = float64(cacheAppend) / float64(compute)
+	}
+	return vec
+}
+
+// Train fits one centroid per labeled phase. Each phase needs at least
+// one example graph.
+func (r *LearnedRecognizer) Train(examples map[srg.Phase][]*srg.Graph) error {
+	if len(examples) == 0 {
+		return fmt.Errorf("frontend: no training examples")
+	}
+	r.centroids = make(map[srg.Phase][]float64, len(examples))
+	r.vocab = featureVocab
+	for phase, graphs := range examples {
+		if len(graphs) == 0 {
+			return fmt.Errorf("frontend: phase %q has no examples", phase)
+		}
+		dim := len(featureVocab) + numStructural
+		centroid := make([]float64, dim)
+		for _, g := range graphs {
+			f := Features(g)
+			for i := range centroid {
+				centroid[i] += f[i]
+			}
+		}
+		for i := range centroid {
+			centroid[i] /= float64(len(graphs))
+		}
+		r.centroids[phase] = centroid
+	}
+	return nil
+}
+
+// Classify returns the nearest phase and its distance. ok is false when
+// untrained.
+func (r *LearnedRecognizer) Classify(g *srg.Graph) (phase srg.Phase, dist float64, ok bool) {
+	if len(r.centroids) == 0 {
+		return srg.PhaseUnknown, 0, false
+	}
+	f := Features(g)
+	best := math.Inf(1)
+	// Deterministic order.
+	phases := make([]srg.Phase, 0, len(r.centroids))
+	for p := range r.centroids {
+		phases = append(phases, p)
+	}
+	sort.Slice(phases, func(i, j int) bool { return phases[i] < phases[j] })
+	for _, p := range phases {
+		d := euclid(f, r.centroids[p])
+		if d < best {
+			best, phase = d, p
+		}
+	}
+	return phase, best, true
+}
+
+func euclid(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Name implements Recognizer.
+func (r *LearnedRecognizer) Name() string { return "learned" }
+
+// Apply implements Recognizer: classify the graph; if confidently near a
+// learned centroid, tag every untagged node with the predicted phase.
+func (r *LearnedRecognizer) Apply(g *srg.Graph) int {
+	maxD := r.MaxDistance
+	if maxD == 0 {
+		maxD = 0.5
+	}
+	phase, dist, ok := r.Classify(g)
+	if !ok || dist > maxD || phase == srg.PhaseUnknown {
+		return 0
+	}
+	count := 0
+	for _, n := range g.Nodes() {
+		if n.Phase == srg.PhaseUnknown && n.Op != "param" && n.Op != "input" {
+			n.Phase = phase
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,174 @@
+package frontend
+
+import (
+	"math/rand"
+	"testing"
+
+	"genie/internal/models"
+	"genie/internal/nn"
+	"genie/internal/srg"
+	"genie/internal/tensor"
+)
+
+func decodeGraphSeed(t *testing.T, seed int64, hist int) *srg.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m := models.NewGPT(rng, models.TinyGPT)
+	caches := make([]*nn.KVCache, m.Cfg.Layers)
+	for i := range caches {
+		caches[i] = &nn.KVCache{
+			K: tensor.New(tensor.F32, hist, m.Cfg.Dim),
+			V: tensor.New(tensor.F32, hist, m.Cfg.Dim),
+		}
+	}
+	b, _ := m.BuildDecodeStep(1, hist, hist, caches)
+	return b.Graph()
+}
+
+func prefillGraphSeed(t *testing.T, seed int64, n int) *srg.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m := models.NewGPT(rng, models.TinyGPT)
+	prompt := make([]int64, n)
+	for i := range prompt {
+		prompt[i] = int64(i % models.TinyGPT.Vocab)
+	}
+	b, _ := m.BuildPrefill(prompt)
+	return b.Graph()
+}
+
+func cnnGraphSeed(t *testing.T, seed int64) *srg.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m := models.NewCNN(rng, models.TinyCNN)
+	b, _ := m.BuildForward(tensor.New(tensor.F32, 3, 32, 32))
+	return b.Graph()
+}
+
+func trainRecognizer(t *testing.T) *LearnedRecognizer {
+	t.Helper()
+	r := &LearnedRecognizer{}
+	err := r.Train(map[srg.Phase][]*srg.Graph{
+		srg.PhaseLLMDecode: {
+			decodeGraphSeed(t, 1, 4), decodeGraphSeed(t, 2, 9),
+		},
+		srg.PhaseLLMPrefill: {
+			prefillGraphSeed(t, 3, 6), prefillGraphSeed(t, 4, 12),
+		},
+		srg.PhaseCVStage: {
+			cnnGraphSeed(t, 5),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestLearnedClassifiesHeldOutGraphs(t *testing.T) {
+	r := trainRecognizer(t)
+	cases := []struct {
+		name string
+		g    *srg.Graph
+		want srg.Phase
+	}{
+		{"decode-unseen-hist", decodeGraphSeed(t, 99, 17), srg.PhaseLLMDecode},
+		{"prefill-unseen-len", prefillGraphSeed(t, 98, 20), srg.PhaseLLMPrefill},
+		{"cnn-unseen-seed", cnnGraphSeed(t, 97), srg.PhaseCVStage},
+	}
+	for _, c := range cases {
+		phase, dist, ok := r.Classify(c.g)
+		if !ok {
+			t.Fatalf("%s: classifier untrained", c.name)
+		}
+		if phase != c.want {
+			t.Errorf("%s: classified as %q (dist %.3f), want %q", c.name, phase, dist, c.want)
+		}
+	}
+}
+
+func TestLearnedRecognizerTagsUntaggedGraph(t *testing.T) {
+	r := trainRecognizer(t)
+	g := decodeGraphSeed(t, 77, 6)
+	n := r.Apply(g)
+	if n == 0 {
+		t.Fatal("learned recognizer abstained on an in-distribution graph")
+	}
+	for _, node := range g.Nodes() {
+		if node.Op != "param" && node.Op != "input" && node.Phase != srg.PhaseLLMDecode {
+			t.Fatalf("node %d tagged %q", node.ID, node.Phase)
+		}
+	}
+}
+
+func TestLearnedRecognizerAbstainsFarFromCentroids(t *testing.T) {
+	r := trainRecognizer(t)
+	r.MaxDistance = 0.05 // very strict
+	// A plain elementwise graph resembles nothing in training.
+	g := srg.New("alien")
+	in := g.MustAdd(&srg.Node{Op: "input", Ref: "x", Output: srg.TensorMeta{Shape: []int{4}}})
+	a := g.MustAdd(&srg.Node{Op: "mul", Inputs: []srg.NodeID{in, in}})
+	g.MustAdd(&srg.Node{Op: "sub", Inputs: []srg.NodeID{a, in}})
+	if n := r.Apply(g); n != 0 {
+		t.Errorf("recognizer tagged %d nodes of an alien graph", n)
+	}
+}
+
+func TestLearnedRespectsExistingTags(t *testing.T) {
+	r := trainRecognizer(t)
+	g := decodeGraphSeed(t, 66, 5)
+	AnnotatePhase(g, "gpt.blocks.0", srg.PhaseLLMPrefill) // explicit, odd
+	r.Apply(g)
+	for _, node := range g.Nodes() {
+		if node.Module == "gpt.blocks.0.ln1" && node.Phase != srg.PhaseLLMPrefill {
+			t.Error("learned recognizer overwrote an explicit tag")
+		}
+	}
+}
+
+func TestLearnedInAnnotationPipeline(t *testing.T) {
+	// AnnotateWith composes the learned recognizer with edge passes.
+	r := trainRecognizer(t)
+	g := decodeGraphSeed(t, 55, 8)
+	rep := AnnotateWith(g, []Recognizer{r})
+	if rep.Tagged["learned"] == 0 {
+		t.Error("pipeline did not run the learned recognizer")
+	}
+	if len(rep.Phases) == 0 {
+		t.Error("no phases after learned annotation")
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	r := &LearnedRecognizer{}
+	if err := r.Train(nil); err == nil {
+		t.Error("empty training set should fail")
+	}
+	if err := r.Train(map[srg.Phase][]*srg.Graph{srg.PhaseLLMDecode: {}}); err == nil {
+		t.Error("phase without examples should fail")
+	}
+	if _, _, ok := r.Classify(srg.New("x")); ok {
+		t.Error("untrained classifier should not classify")
+	}
+}
+
+func TestFeaturesStable(t *testing.T) {
+	g := decodeGraphSeed(t, 1, 4)
+	f1 := Features(g)
+	f2 := Features(g)
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatal("features must be deterministic")
+		}
+	}
+	// Feature vector dimension is vocabulary + structural.
+	if len(f1) != len(featureVocab)+numStructural {
+		t.Errorf("feature dim %d", len(f1))
+	}
+	// Histogram entries normalized.
+	for i := 0; i < len(featureVocab); i++ {
+		if f1[i] < 0 || f1[i] > 1 {
+			t.Errorf("feature %d = %v out of [0,1]", i, f1[i])
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package global
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"genie/internal/cluster"
+	"genie/internal/device"
+	"genie/internal/frontend"
+	"genie/internal/models"
+	"genie/internal/nn"
+	"genie/internal/scheduler"
+	"genie/internal/srg"
+	"genie/internal/tensor"
+)
+
+func heteroPool(t *testing.T) *cluster.State {
+	t.Helper()
+	cs := cluster.NewState()
+	link := cluster.Link{Bandwidth: 25e9 / 8, RTT: time.Millisecond}
+	for _, spec := range []device.Spec{device.A100, device.H100, device.A10G} {
+		if err := cs.AddAccelerator(&cluster.Accelerator{
+			ID: cluster.AcceleratorID(spec.Name), Spec: spec, Link: link,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cs
+}
+
+func llmSub(t *testing.T, tenant string, slo SLO, seed int64) Submission {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m := models.NewGPT(rng, models.TinyGPT)
+	b, _ := m.BuildPrefill([]int64{1, 2, 3, 4})
+	frontend.Annotate(b.Graph())
+	return Submission{Tenant: tenant, Graph: b.Graph(), SLO: slo}
+}
+
+func visionSub(t *testing.T, tenant string) Submission {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	m := models.NewCNN(rng, models.TinyCNN)
+	b, _ := m.BuildForward(tensor.New(tensor.F32, 3, 32, 32))
+	frontend.Annotate(b.Graph())
+	return Submission{Tenant: tenant, Graph: b.Graph()}
+}
+
+func recSub(t *testing.T, tenant string) Submission {
+	t.Helper()
+	rng := rand.New(rand.NewSource(6))
+	m := models.NewDLRM(rng, models.TinyDLRM)
+	b, _ := m.BuildForward(models.DLRMRequest{
+		Dense:     tensor.New(tensor.F32, 1, 8),
+		SparseIDs: [][]int64{{1}, {2}, {3}},
+	})
+	frontend.Annotate(b.Graph())
+	return Submission{Tenant: tenant, Graph: b.Graph()}
+}
+
+func mmSub(t *testing.T, tenant string) Submission {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	m := models.NewMultiModal(rng, models.TinyCNN, 32, 16, 4)
+	b, _ := m.BuildForward(tensor.New(tensor.F32, 3, 32, 32), []int64{1, 2})
+	frontend.Annotate(b.Graph())
+	return Submission{Tenant: tenant, Graph: b.Graph()}
+}
+
+func TestClassifyFromAnnotations(t *testing.T) {
+	cases := map[WorkloadClass]Submission{
+		ClassLLM:            llmSub(t, "a", SLOInteractive, 1),
+		ClassVision:         visionSub(t, "b"),
+		ClassRecommendation: recSub(t, "c"),
+		ClassMultiModal:     mmSub(t, "d"),
+	}
+	for want, sub := range cases {
+		if got := Classify(sub.Graph); got != want {
+			t.Errorf("classified %s as %s", want, got)
+		}
+	}
+	plain := srg.New("plain")
+	plain.MustAdd(&srg.Node{Op: "input", Ref: "x"})
+	if Classify(plain) != ClassGeneric {
+		t.Error("unannotated graph should be generic")
+	}
+}
+
+func TestPlaceTenantHeterogeneous(t *testing.T) {
+	cs := heteroPool(t)
+	model := scheduler.NewCostModel(scheduler.RDMAProfile)
+	c := NewCoordinator(cs, model)
+
+	plan, dev, err := c.PlaceTenant(recSub(t, "rec-tenant"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recommendation favors capacity per dollar: the A10G.
+	if dev != "a10g-24g" {
+		t.Errorf("recommendation placed on %q", dev)
+	}
+	if plan.Policy != "semantics_aware" {
+		t.Errorf("plan policy %q", plan.Policy)
+	}
+	// Queue depth recorded for subsequent load-aware decisions.
+	if cs.QueueDepth(dev) != 1 {
+		t.Error("queue depth not recorded")
+	}
+}
+
+func TestPlaceTenantEmptyPool(t *testing.T) {
+	c := NewCoordinator(cluster.NewState(), scheduler.NewCostModel(scheduler.RDMAProfile))
+	if _, _, err := c.PlaceTenant(llmSub(t, "x", SLOBatch, 2)); err == nil {
+		t.Error("empty pool should fail")
+	}
+}
+
+func TestElasticScalePhaseAsymmetry(t *testing.T) {
+	// A prefill-heavy burst should demand more devices for the prefill
+	// phase than the decode phase demands.
+	subs := []Submission{
+		llmSub(t, "t1", SLOInteractive, 10),
+		llmSub(t, "t2", SLOInteractive, 11),
+		llmSub(t, "t3", SLOInteractive, 12),
+	}
+	plan := ElasticScale(subs, device.A100, 100*time.Microsecond)
+	if len(plan.Demands) == 0 {
+		t.Fatal("no demands aggregated")
+	}
+	prefill := plan.Devices[srg.PhaseLLMPrefill]
+	if prefill < 1 {
+		t.Errorf("prefill pool %d", prefill)
+	}
+	// All phases get at least one device.
+	for phase, n := range plan.Devices {
+		if n < 1 {
+			t.Errorf("phase %q sized %d", phase, n)
+		}
+	}
+}
+
+func TestElasticScaleGrowsWithLoad(t *testing.T) {
+	// Tiny models need a tiny window before they saturate a device.
+	one := ElasticScale([]Submission{llmSub(t, "a", SLOBatch, 20)}, device.A100, time.Nanosecond)
+	many := ElasticScale([]Submission{
+		llmSub(t, "a", SLOBatch, 20), llmSub(t, "b", SLOBatch, 21),
+		llmSub(t, "c", SLOBatch, 22), llmSub(t, "d", SLOBatch, 23),
+	}, device.A100, time.Nanosecond)
+	if many.Devices[srg.PhaseLLMPrefill] <= one.Devices[srg.PhaseLLMPrefill] {
+		t.Errorf("4× load should need more devices: %d vs %d",
+			many.Devices[srg.PhaseLLMPrefill], one.Devices[srg.PhaseLLMPrefill])
+	}
+}
+
+func TestBatchDecodesGroupsByFingerprint(t *testing.T) {
+	// Two tenants running the SAME public model (same seed → same
+	// structure) batch together; a different workload passes through.
+	rng1 := rand.New(rand.NewSource(42))
+	rng2 := rand.New(rand.NewSource(42))
+	m1 := models.NewGPT(rng1, models.TinyGPT)
+	m2 := models.NewGPT(rng2, models.TinyGPT)
+	mkDecode := func(m *models.GPT) *srg.Graph {
+		caches := make([]*nn.KVCache, m.Cfg.Layers)
+		for i := range caches {
+			caches[i] = &nn.KVCache{
+				K: tensor.New(tensor.F32, 4, m.Cfg.Dim),
+				V: tensor.New(tensor.F32, 4, m.Cfg.Dim),
+			}
+		}
+		b, _ := m.BuildDecodeStep(1, 4, 4, caches)
+		frontend.Annotate(b.Graph())
+		return b.Graph()
+	}
+	subs := []Submission{
+		{Tenant: "alice", Graph: mkDecode(m1)},
+		{Tenant: "bob", Graph: mkDecode(m2)},
+		visionSub(t, "carol"),
+	}
+	groups, singles := BatchDecodes(subs)
+	if len(groups) != 1 || len(groups[0].Subs) != 2 {
+		t.Fatalf("groups = %+v", groups)
+	}
+	if len(singles) != 1 || singles[0].Tenant != "carol" {
+		t.Errorf("singles = %+v", singles)
+	}
+}
+
+func TestBatchSpeedupAmortizesWeights(t *testing.T) {
+	cfg := models.GPTJ6B
+	s1 := BatchSpeedup(device.A100, cfg.WeightBytes(), cfg.KVBytes(100), cfg.DecodeFLOPs(100), 1)
+	if s1 != 1 {
+		t.Errorf("batch of 1 speedup %v", s1)
+	}
+	s8 := BatchSpeedup(device.A100, cfg.WeightBytes(), cfg.KVBytes(100), cfg.DecodeFLOPs(100), 8)
+	if s8 < 3 {
+		t.Errorf("batch of 8 speedup %.2f, want ≥3 (weight reads amortize)", s8)
+	}
+	s32 := BatchSpeedup(device.A100, cfg.WeightBytes(), cfg.KVBytes(100), cfg.DecodeFLOPs(100), 32)
+	if s32 <= s8 {
+		t.Errorf("speedup should grow with batch: %v vs %v", s32, s8)
+	}
+}
+
+func TestPrioritizeInteractiveFirst(t *testing.T) {
+	subs := []Submission{
+		{Tenant: "batch1", SLO: SLOBatch, Arrival: 1},
+		{Tenant: "int1", SLO: SLOInteractive, Arrival: 2},
+		{Tenant: "batch2", SLO: SLOBatch, Arrival: 3},
+		{Tenant: "int2", SLO: SLOInteractive, Arrival: 4},
+	}
+	got := Prioritize(subs)
+	want := []string{"int1", "int2", "batch1", "batch2"}
+	for i, w := range want {
+		if got[i].Tenant != w {
+			t.Fatalf("priority order %v", got)
+		}
+	}
+	// Input untouched.
+	if subs[0].Tenant != "batch1" {
+		t.Error("Prioritize must not mutate its input")
+	}
+}
+
+func TestSLOString(t *testing.T) {
+	if SLOInteractive.String() != "interactive" || SLOBatch.String() != "batch" {
+		t.Error("slo strings")
+	}
+}

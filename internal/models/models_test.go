@@ -1,0 +1,328 @@
+package models
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"genie/internal/exec"
+	"genie/internal/lazy"
+	"genie/internal/nn"
+	"genie/internal/srg"
+	"genie/internal/tensor"
+)
+
+func bindAll(b *lazy.Builder) exec.Binder {
+	return func(op, ref string) (*tensor.Tensor, error) {
+		if op == "param" {
+			if t, ok := b.ParamData(ref); ok {
+				return t, nil
+			}
+		} else if t, ok := b.InputData(ref); ok {
+			return t, nil
+		}
+		return nil, fmt.Errorf("no data for %s %q", op, ref)
+	}
+}
+
+func TestGPTJ6BAccounting(t *testing.T) {
+	c := GPTJ6B
+	params := c.ParamCount()
+	// GPT-J is ~6.05B parameters.
+	if params < 5.9e9 || params > 6.3e9 {
+		t.Errorf("GPT-J params = %.2fB", float64(params)/1e9)
+	}
+	// fp16 weights ≈ 12.1 GB (the paper's "12 GB").
+	gb := float64(c.WeightBytes()) / (1 << 30)
+	if gb < 11 || gb > 12.5 {
+		t.Errorf("GPT-J weights = %.1f GiB", gb)
+	}
+	// Per-token KV delta ≈ 0.92 MB fp32 (the paper's "~1.0 MB").
+	mb := float64(c.KVBytesPerToken()) / 1e6
+	if mb < 0.8 || mb > 1.1 {
+		t.Errorf("KV delta per token = %.2f MB", mb)
+	}
+	// Logits row ≈ 200 KB.
+	if c.LogitsBytes() != 50400*4 {
+		t.Errorf("logits bytes %d", c.LogitsBytes())
+	}
+}
+
+func TestLiveModelMatchesConfigParamCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewGPT(rng, TinyGPT)
+	if got, want := m.NumParams(), TinyGPT.ParamCount(); got != want {
+		t.Errorf("live params %d, config predicts %d", got, want)
+	}
+}
+
+func TestFLOPsMonotonicity(t *testing.T) {
+	c := GPTJ6B
+	if c.PrefillFLOPs(144) <= c.PrefillFLOPs(72) {
+		t.Error("prefill FLOPs must grow with prompt length")
+	}
+	if c.DecodeFLOPs(200) <= c.DecodeFLOPs(50) {
+		t.Error("decode FLOPs must grow with history")
+	}
+	if c.DecodeBytesTouched(200) <= c.DecodeBytesTouched(50) {
+		t.Error("decode bytes must grow with history")
+	}
+}
+
+func TestPrefillGraphStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewGPT(rng, TinyGPT)
+	b, out := m.BuildPrefill([]int64{1, 2, 3})
+	g := b.Graph()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.CacheK) != TinyGPT.Layers || len(out.CacheV) != TinyGPT.Layers {
+		t.Fatalf("cache outputs %d/%d", len(out.CacheK), len(out.CacheV))
+	}
+	// Logits shape [3, vocab]; next token i64[1]; last logits [1, vocab].
+	if s := g.Node(out.Logits).Output.Shape; s[0] != 3 || s[1] != TinyGPT.Vocab {
+		t.Errorf("logits shape %v", s)
+	}
+	if s := g.Node(out.LastLogits).Output.Shape; s[0] != 1 {
+		t.Errorf("last logits shape %v", s)
+	}
+	// Module hierarchy recorded.
+	foundBlock := false
+	for _, n := range g.Nodes() {
+		if n.Module == "gpt.blocks.1.attention.wq" {
+			foundBlock = true
+		}
+	}
+	if !foundBlock {
+		t.Error("module paths missing")
+	}
+}
+
+func TestPrefillRejectsBadPrompts(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewGPT(rng, TinyGPT)
+	for _, prompt := range [][]int64{nil, make([]int64, TinyGPT.MaxSeq+1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("prompt len %d should panic", len(prompt))
+				}
+			}()
+			m.BuildPrefill(prompt)
+		}()
+	}
+}
+
+func TestDecodeStepMatchesPrefillExtension(t *testing.T) {
+	// Generating via prefill-then-decode must equal one long prefill's
+	// next-token prediction: the KV path is semantically invisible.
+	rng := rand.New(rand.NewSource(4))
+	m := NewGPT(rng, TinyGPT)
+	seq := []int64{7, 3, 9, 1}
+
+	// Full prefill over seq: next token prediction.
+	bFull, outFull := m.BuildPrefill(seq)
+	valsFull, err := exec.Graph(bFull.Graph(), bindAll(bFull))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNext := valsFull[outFull.NextToken].I64()[0]
+
+	// Prefill over seq[:3], then decode seq[3].
+	bPre, outPre := m.BuildPrefill(seq[:3])
+	valsPre, err := exec.Graph(bPre.Graph(), bindAll(bPre))
+	if err != nil {
+		t.Fatal(err)
+	}
+	caches := make([]*nn.KVCache, TinyGPT.Layers)
+	for i := range caches {
+		caches[i] = &nn.KVCache{}
+		caches[i].Append(valsPre[outPre.CacheK[i]], valsPre[outPre.CacheV[i]])
+	}
+	bDec, outDec := m.BuildDecodeStep(seq[3], 3, 3, caches)
+	valsDec, err := exec.Graph(bDec.Graph(), bindAll(bDec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotNext := valsDec[outDec.NextToken].I64()[0]
+	if gotNext != wantNext {
+		t.Errorf("decode-step next token %d != full-prefill %d", gotNext, wantNext)
+	}
+	// Appended cache length grows by one.
+	if s := bDec.Graph().Node(outDec.CacheK[0]).Output.Shape; s[0] != 4 {
+		t.Errorf("appended cache rows %d, want 4", s[0])
+	}
+}
+
+func TestLayerAndHeadStepsComposeToDecodeStep(t *testing.T) {
+	// The ΔKV per-module decomposition (embed → layers → head) must
+	// produce the same next token as the fused decode graph.
+	rng := rand.New(rand.NewSource(5))
+	m := NewGPT(rng, TinyGPT)
+	prompt := []int64{11, 5, 2}
+
+	bPre, outPre := m.BuildPrefill(prompt)
+	valsPre, err := exec.Graph(bPre.Graph(), bindAll(bPre))
+	if err != nil {
+		t.Fatal(err)
+	}
+	caches := make([]*nn.KVCache, TinyGPT.Layers)
+	for i := range caches {
+		caches[i] = &nn.KVCache{}
+		caches[i].Append(valsPre[outPre.CacheK[i]], valsPre[outPre.CacheV[i]])
+	}
+	tok := valsPre[outPre.NextToken].I64()[0]
+
+	// Fused decode.
+	bDec, outDec := m.BuildDecodeStep(tok, 3, 3, caches)
+	valsDec, err := exec.Graph(bDec.Graph(), bindAll(bDec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := valsDec[outDec.NextToken].I64()[0]
+
+	// Per-module path.
+	be, embID := m.BuildEmbedStep([]int64{tok}, 3)
+	valsE, err := exec.Graph(be.Graph(), bindAll(be))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := valsE[embID]
+	for layer := range m.Blocks {
+		bl, lo := m.BuildLayerStep(layer, x, caches[layer], 3)
+		valsL, err := exec.Graph(bl.Graph(), bindAll(bl))
+		if err != nil {
+			t.Fatal(err)
+		}
+		x = valsL[lo.Out]
+	}
+	bh, _, nextID := m.BuildHeadStep(x)
+	valsH, err := exec.Graph(bh.Graph(), bindAll(bh))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := valsH[nextID].I64()[0]; got != want {
+		t.Errorf("per-module next token %d != fused %d", got, want)
+	}
+}
+
+func TestCacheRefNaming(t *testing.T) {
+	if CacheRef(3, "k") != "gpt.kv.3.k" {
+		t.Errorf("cache ref %q", CacheRef(3, "k"))
+	}
+	// The decode graph's stateful leaves carry exactly these refs.
+	rng := rand.New(rand.NewSource(6))
+	m := NewGPT(rng, TinyGPT)
+	caches := make([]*nn.KVCache, TinyGPT.Layers)
+	for i := range caches {
+		caches[i] = &nn.KVCache{K: tensor.New(tensor.F32, 2, TinyGPT.Dim), V: tensor.New(tensor.F32, 2, TinyGPT.Dim)}
+	}
+	b, _ := m.BuildDecodeStep(0, 2, 2, caches)
+	found := 0
+	for _, n := range b.Graph().Nodes() {
+		if n.Residency == srg.ResidencyStatefulKVCache && n.Op == "input" {
+			if n.Ref == CacheRef(0, "k") || n.Ref == CacheRef(1, "v") {
+				found++
+			}
+		}
+	}
+	if found != 2 {
+		t.Errorf("cache refs not found in graph (%d)", found)
+	}
+}
+
+func TestCNNForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewCNN(rng, TinyCNN)
+	img := tensor.New(tensor.F32, 3, 32, 32)
+	img.RandN(rng, 1)
+	b, out := m.BuildForward(img)
+	if err := b.Graph().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := exec.Graph(b.Graph(), bindAll(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	logits := vals[out.Logits]
+	if !logits.Shape().Equal(tensor.Shape{1, 10}) {
+		t.Errorf("logits shape %v", logits.Shape())
+	}
+	if len(out.StageOuts) != 3 {
+		t.Errorf("stage boundaries %d", len(out.StageOuts))
+	}
+}
+
+func TestDLRMForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := NewDLRM(rng, TinyDLRM)
+	req := DLRMRequest{
+		Dense:     tensor.New(tensor.F32, 1, TinyDLRM.DenseFeatures),
+		SparseIDs: [][]int64{{1, 5}, {0}, {9, 10, 11}},
+	}
+	req.Dense.RandN(rng, 1)
+	b, out := m.BuildForward(req)
+	vals, err := exec.Graph(b.Graph(), bindAll(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vals[out.Score].Shape().Equal(tensor.Shape{1, 1}) {
+		t.Errorf("score shape %v", vals[out.Score].Shape())
+	}
+	if len(out.Lookups) != 3 {
+		t.Errorf("lookups %d", len(out.Lookups))
+	}
+	// Mismatched bag count panics.
+	defer func() {
+		if recover() == nil {
+			t.Error("bag/table mismatch should panic")
+		}
+	}()
+	m.BuildForward(DLRMRequest{Dense: req.Dense, SparseIDs: [][]int64{{1}}})
+}
+
+func TestMultiModalForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := NewMultiModal(rng, TinyCNN, 64, 16, 8)
+	img := tensor.New(tensor.F32, 3, 32, 32)
+	img.RandN(rng, 1)
+	b, out := m.BuildForward(img, []int64{1, 2, 3, 4})
+	vals, err := exec.Graph(b.Graph(), bindAll(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vals[out.Answer].Shape().Equal(tensor.Shape{1, 8}) {
+		t.Errorf("answer shape %v", vals[out.Answer].Shape())
+	}
+	// The fusion node must join vision- and text-derived ancestors.
+	g := b.Graph()
+	anc := g.AncestorsOf(out.FusionNode)
+	var sawVision, sawText bool
+	for id := range anc {
+		switch g.Node(id).Modality {
+		case srg.ModalityVision:
+			sawVision = true
+		case srg.ModalityText:
+			sawText = true
+		}
+	}
+	if !sawVision || !sawText {
+		t.Error("fusion node should descend from both modalities")
+	}
+}
+
+func TestGPTDeterminism(t *testing.T) {
+	// Same seed -> same weights -> same graph fingerprints and outputs.
+	build := func() (*GPT, string) {
+		rng := rand.New(rand.NewSource(42))
+		m := NewGPT(rng, TinyGPT)
+		b, _ := m.BuildPrefill([]int64{1, 2})
+		return m, b.Graph().Fingerprint()
+	}
+	_, fp1 := build()
+	_, fp2 := build()
+	if fp1 != fp2 {
+		t.Error("prefill graphs should be structurally identical across builds")
+	}
+}

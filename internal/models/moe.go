@@ -1,0 +1,87 @@
+package models
+
+import (
+	"fmt"
+	"math/rand"
+
+	"genie/internal/lazy"
+	"genie/internal/nn"
+	"genie/internal/srg"
+	"genie/internal/tensor"
+)
+
+// MoE is a Mixture-of-Experts layer — the paper's canonical example of
+// data-dependent control flow that defeats purely static graphs (§3.7,
+// §5 "The semantic boundary"). Genie's answer is the *re-capture point*:
+// the frontend captures the gate as one SRG, executes it, and then
+// captures only the selected expert's subgraph as a second SRG. Each
+// capture is static and schedulable; dynamism lives between captures.
+type MoE struct {
+	Dim     int
+	Gate    *nn.Linear
+	Experts []*nn.MLP
+}
+
+// NewMoE builds a gate plus nExperts feed-forward experts.
+func NewMoE(rng *rand.Rand, dim, hidden, nExperts int) *MoE {
+	m := &MoE{Dim: dim, Gate: nn.NewLinear(rng, dim, nExperts, true)}
+	for i := 0; i < nExperts; i++ {
+		m.Experts = append(m.Experts, nn.NewMLP(rng, dim, hidden))
+	}
+	return m
+}
+
+// BuildGate captures the routing decision: scores = x @ Wg, expert =
+// argmax. This is the first capture; its result determines what the
+// second capture contains.
+func (m *MoE) BuildGate(x *tensor.Tensor) (*lazy.Builder, srg.NodeID) {
+	b := lazy.NewBuilder("moe.gate")
+	var out srg.NodeID
+	b.InModule("moe", func() {
+		xin := b.Input("x", x)
+		scores := m.Gate.Forward(b, "gate", xin)
+		choice := b.ArgmaxLast(scores)
+		b.MarkOutput(choice)
+		out = choice.ID()
+	})
+	return b, out
+}
+
+// BuildExpert is the re-capture point: after the gate's value is known,
+// capture only the chosen expert's computation. The resulting SRG is
+// fully static — the conditional has been resolved by execution, not
+// encoded in the graph.
+func (m *MoE) BuildExpert(expert int, x *tensor.Tensor) (*lazy.Builder, srg.NodeID) {
+	if expert < 0 || expert >= len(m.Experts) {
+		panic(fmt.Sprintf("models: expert %d of %d", expert, len(m.Experts)))
+	}
+	b := lazy.NewBuilder(fmt.Sprintf("moe.expert%d", expert))
+	var out srg.NodeID
+	b.InModule("moe", func() {
+		xin := b.Input("x", x)
+		y := m.Experts[expert].Forward(b, fmt.Sprintf("experts.%d", expert), xin)
+		b.MarkOutput(y)
+		out = y.ID()
+	})
+	return b, out
+}
+
+// Route executes the full MoE forward via re-capture against the given
+// graph evaluator (local or remote): gate capture → execute → expert
+// capture → execute. eval abstracts the execution site so the same
+// control flow runs in-process or against a disaggregated backend.
+func (m *MoE) Route(x *tensor.Tensor,
+	eval func(b *lazy.Builder, want srg.NodeID) (*tensor.Tensor, error)) (int, *tensor.Tensor, error) {
+	gb, gateOut := m.BuildGate(x)
+	choiceT, err := eval(gb, gateOut)
+	if err != nil {
+		return 0, nil, fmt.Errorf("models: gate: %w", err)
+	}
+	expert := int(choiceT.I64()[0])
+	eb, expertOut := m.BuildExpert(expert, x)
+	y, err := eval(eb, expertOut)
+	if err != nil {
+		return 0, nil, fmt.Errorf("models: expert %d: %w", expert, err)
+	}
+	return expert, y, nil
+}

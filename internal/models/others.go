@@ -1,0 +1,252 @@
+package models
+
+import (
+	"fmt"
+	"math/rand"
+
+	"genie/internal/lazy"
+	"genie/internal/nn"
+	"genie/internal/srg"
+	"genie/internal/tensor"
+)
+
+// --- Vision CNN (Table 1 "Computer Vision": layer-parallel, regular,
+// pipeline-friendly) ---
+
+// CNNConfig describes a simple staged convolutional classifier.
+type CNNConfig struct {
+	InChannels int
+	ImageSize  int
+	// StageChannels lists output channels per conv stage; each stage is
+	// conv3x3(pad 1) + ReLU + 2x2 maxpool.
+	StageChannels []int
+	Classes       int
+}
+
+// TinyCNN is a runnable 3-stage configuration.
+var TinyCNN = CNNConfig{
+	InChannels: 3, ImageSize: 32,
+	StageChannels: []int{8, 16, 32},
+	Classes:       10,
+}
+
+// ResNetLike approximates a production vision backbone for cost
+// accounting (not instantiated with real weights).
+var ResNetLike = CNNConfig{
+	InChannels: 3, ImageSize: 224,
+	StageChannels: []int{64, 128, 256, 512},
+	Classes:       1000,
+}
+
+// CNN is a runnable staged convolutional model.
+type CNN struct {
+	Cfg    CNNConfig
+	Stages []*nn.Conv2D
+	Head   *nn.Linear
+}
+
+// NewCNN initializes real weights.
+func NewCNN(rng *rand.Rand, cfg CNNConfig) *CNN {
+	m := &CNN{Cfg: cfg}
+	in := cfg.InChannels
+	for _, out := range cfg.StageChannels {
+		m.Stages = append(m.Stages, nn.NewConv2D(rng, in, out, 3, 1, 1))
+		in = out
+	}
+	m.Head = nn.NewLinear(rng, in, cfg.Classes, true)
+	return m
+}
+
+// CNNOutputs indexes a captured CNN graph.
+type CNNOutputs struct {
+	Logits srg.NodeID
+	// StageOuts are the per-stage boundary activations — the pipeline
+	// cut points.
+	StageOuts []srg.NodeID
+}
+
+// BuildForward captures classification of one image [c,h,w].
+func (m *CNN) BuildForward(img *tensor.Tensor) (*lazy.Builder, CNNOutputs) {
+	b := lazy.NewBuilder("cnn.forward")
+	b.SetModality(srg.ModalityVision)
+	var out CNNOutputs
+	b.InModule("cnn", func() {
+		x := b.Input("image", img)
+		for i, st := range m.Stages {
+			x = st.Forward(b, fmt.Sprintf("stages.%d", i), x)
+			x = b.MaxPool2D(x, 2)
+			out.StageOuts = append(out.StageOuts, x.ID())
+		}
+		pooled := b.MeanPoolAll(x)
+		flat := b.Reshape(pooled, 1, pooled.Shape()[0])
+		logits := m.Head.Forward(b, "head", flat)
+		b.MarkOutput(logits)
+		out.Logits = logits.ID()
+	})
+	return b, out
+}
+
+// --- DLRM-style recommender (Table 1 "Recommendation": sparse + dense
+// mix, hot/cold embeddings, tiering) ---
+
+// DLRMConfig describes a recommendation model.
+type DLRMConfig struct {
+	// DenseFeatures is the dense input width.
+	DenseFeatures int
+	// Tables lists (rows) for each sparse embedding table.
+	TableRows []int
+	EmbedDim  int
+	// BottomHidden/TopHidden are MLP widths.
+	BottomHidden int
+	TopHidden    int
+}
+
+// TinyDLRM is a runnable configuration.
+var TinyDLRM = DLRMConfig{
+	DenseFeatures: 8,
+	TableRows:     []int{64, 128, 256},
+	EmbedDim:      16,
+	BottomHidden:  32,
+	TopHidden:     32,
+}
+
+// DLRM is a runnable recommendation model.
+type DLRM struct {
+	Cfg    DLRMConfig
+	Tables []*nn.EmbeddingBag
+	Bottom *nn.Linear
+	Mid    *nn.Linear
+	Top    *nn.Linear
+}
+
+// NewDLRM initializes real weights.
+func NewDLRM(rng *rand.Rand, cfg DLRMConfig) *DLRM {
+	m := &DLRM{Cfg: cfg}
+	for _, rows := range cfg.TableRows {
+		m.Tables = append(m.Tables, nn.NewEmbeddingBag(rng, rows, cfg.EmbedDim))
+	}
+	m.Bottom = nn.NewLinear(rng, cfg.DenseFeatures, cfg.EmbedDim, true)
+	width := cfg.EmbedDim * (1 + len(cfg.TableRows))
+	m.Mid = nn.NewLinear(rng, width, cfg.TopHidden, true)
+	m.Top = nn.NewLinear(rng, cfg.TopHidden, 1, true)
+	return m
+}
+
+// DLRMRequest is one inference request: dense features plus per-table
+// sparse id bags.
+type DLRMRequest struct {
+	Dense *tensor.Tensor // [1, DenseFeatures]
+	// SparseIDs[t] are the ids for table t (single bag per request).
+	SparseIDs [][]int64
+}
+
+// DLRMOutputs indexes a captured DLRM graph.
+type DLRMOutputs struct {
+	Score srg.NodeID
+	// Lookups are the embedding_bag nodes (sparse tier).
+	Lookups []srg.NodeID
+}
+
+// BuildForward captures one request's scoring pass.
+func (m *DLRM) BuildForward(req DLRMRequest) (*lazy.Builder, DLRMOutputs) {
+	if len(req.SparseIDs) != len(m.Tables) {
+		panic(fmt.Sprintf("models: %d sparse bags for %d tables", len(req.SparseIDs), len(m.Tables)))
+	}
+	b := lazy.NewBuilder("dlrm.forward")
+	var out DLRMOutputs
+	b.InModule("dlrm", func() {
+		b.SetModality(srg.ModalityDense)
+		dense := b.Input("dense", req.Dense)
+		bottom := m.Bottom.Forward(b, "bottom", dense)
+		bottom = b.ReLU(bottom)
+
+		b.SetModality(srg.ModalitySparse)
+		feats := []lazy.Value{bottom}
+		for i, tbl := range m.Tables {
+			ids := b.Input(fmt.Sprintf("sparse.%d", i),
+				tensor.FromI64(tensor.Shape{len(req.SparseIDs[i])}, req.SparseIDs[i]))
+			e := tbl.Lookup(b, fmt.Sprintf("tables.%d", i), ids, []int{0})
+			out.Lookups = append(out.Lookups, e.ID())
+			feats = append(feats, e)
+		}
+		b.SetModality(srg.ModalityDense)
+		x := b.Concat(1, feats...)
+		x = b.ReLU(m.Mid.Forward(b, "mid", x))
+		score := m.Top.Forward(b, "top", x)
+		b.MarkOutput(score)
+		out.Score = score.ID()
+	})
+	return b, out
+}
+
+// --- Multi-modal fusion model (Table 1 "Multi-modal": cross-modal
+// fusion, heterogeneous patterns) ---
+
+// MultiModal fuses a CNN image encoder with a text embedding into a
+// joint answer head (a miniature VQA model).
+type MultiModal struct {
+	Vision *CNN
+	Text   *nn.Embedding
+	Fuse   *nn.Linear
+	Head   *nn.Linear
+	dim    int
+}
+
+// NewMultiModal initializes real weights. dim is the joint width.
+func NewMultiModal(rng *rand.Rand, cnnCfg CNNConfig, vocab, dim, answers int) *MultiModal {
+	visOut := cnnCfg.StageChannels[len(cnnCfg.StageChannels)-1]
+	return &MultiModal{
+		Vision: NewCNN(rng, cnnCfg),
+		Text:   nn.NewEmbedding(rng, vocab, dim),
+		Fuse:   nn.NewLinear(rng, visOut+dim, dim, true),
+		Head:   nn.NewLinear(rng, dim, answers, true),
+		dim:    dim,
+	}
+}
+
+// MMOutputs indexes a captured multi-modal graph.
+type MMOutputs struct {
+	Answer srg.NodeID
+	// FusionNode is where the modalities merge.
+	FusionNode srg.NodeID
+}
+
+// BuildForward captures answering one (image, question) pair; the
+// question is mean-pooled token embeddings.
+func (m *MultiModal) BuildForward(img *tensor.Tensor, question []int64) (*lazy.Builder, MMOutputs) {
+	b := lazy.NewBuilder("mm.forward")
+	var out MMOutputs
+	b.InModule("mm", func() {
+		// Vision branch.
+		b.SetModality(srg.ModalityVision)
+		x := b.Input("image", img)
+		for i, st := range m.Vision.Stages {
+			x = st.Forward(b, fmt.Sprintf("vision.stages.%d", i), x)
+			x = b.MaxPool2D(x, 2)
+		}
+		vis := b.MeanPoolAll(x)
+		visFlat := b.Reshape(vis, 1, vis.Shape()[0])
+
+		// Text branch.
+		b.SetModality(srg.ModalityText)
+		q := b.Input("question", tensor.FromI64(tensor.Shape{len(question)}, question))
+		qe := m.Text.Lookup(b, "text.wte", q)
+		// Mean pool tokens: sum rows via ones-matmul then scale.
+		qt := b.Transpose2D(qe) // [dim, t]
+		onesT := tensor.New(tensor.F32, len(question), 1)
+		onesT.Fill(1)
+		ones := b.Input("ones", onesT)
+		qsum := b.MatMul(qt, ones) // [dim, 1]
+		qvec := b.Scale(b.Reshape(qsum, 1, m.dim), 1/float32(len(question)))
+
+		// Fusion.
+		b.SetModality(srg.ModalityUnknown)
+		joint := b.Concat(1, visFlat, qvec)
+		out.FusionNode = joint.ID()
+		h := b.ReLU(m.Fuse.Forward(b, "fuse", joint))
+		ans := m.Head.Forward(b, "head", h)
+		b.MarkOutput(ans)
+		out.Answer = ans.ID()
+	})
+	return b, out
+}

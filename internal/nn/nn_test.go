@@ -1,0 +1,207 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"genie/internal/exec"
+	"genie/internal/lazy"
+	"genie/internal/tensor"
+	"genie/internal/tensor/ops"
+)
+
+func bindAll(b *lazy.Builder) exec.Binder {
+	return func(op, ref string) (*tensor.Tensor, error) {
+		if op == "param" {
+			if t, ok := b.ParamData(ref); ok {
+				return t, nil
+			}
+		} else if t, ok := b.InputData(ref); ok {
+			return t, nil
+		}
+		return nil, fmt.Errorf("no data for %s %q", op, ref)
+	}
+}
+
+func runModule(t *testing.T, build func(b *lazy.Builder) lazy.Value) *tensor.Tensor {
+	t.Helper()
+	b := lazy.NewBuilder("t")
+	out := build(b)
+	vals, err := exec.Graph(b.Graph(), bindAll(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vals[out.ID()]
+}
+
+func TestLinearShapesAndParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	lin := NewLinear(rng, 8, 4, true)
+	if lin.NumParams() != 8*4+4 {
+		t.Errorf("params %d", lin.NumParams())
+	}
+	noBias := NewLinear(rng, 8, 4, false)
+	if noBias.NumParams() != 32 || noBias.Bias != nil {
+		t.Error("bias-free linear wrong")
+	}
+	x := tensor.New(tensor.F32, 2, 8)
+	x.RandN(rng, 1)
+	out := runModule(t, func(b *lazy.Builder) lazy.Value {
+		return lin.Forward(b, "fc", b.Input("x", x))
+	})
+	if !out.Shape().Equal(tensor.Shape{2, 4}) {
+		t.Errorf("linear out %v", out.Shape())
+	}
+}
+
+func TestLayerNormModule(t *testing.T) {
+	ln := NewLayerNorm(16)
+	if ln.NumParams() != 32 {
+		t.Errorf("params %d", ln.NumParams())
+	}
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.New(tensor.F32, 3, 16)
+	x.RandN(rng, 5)
+	out := runModule(t, func(b *lazy.Builder) lazy.Value {
+		return ln.Forward(b, "ln", b.Input("x", x))
+	})
+	want, err := ops.LayerNorm(x, ln.Gamma, ln.Beta, ln.Eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(out, want, 1e-5, 1e-5) {
+		t.Error("layernorm module diverges from kernel")
+	}
+}
+
+func TestEmbeddingModule(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	emb := NewEmbedding(rng, 10, 4)
+	ids := tensor.FromI64(tensor.Shape{3}, []int64{0, 9, 5})
+	out := runModule(t, func(b *lazy.Builder) lazy.Value {
+		return emb.Lookup(b, "emb", b.Input("ids", ids))
+	})
+	if !out.Shape().Equal(tensor.Shape{3, 4}) {
+		t.Errorf("embedding out %v", out.Shape())
+	}
+}
+
+func TestMLPModule(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	mlp := NewMLP(rng, 8, 32)
+	x := tensor.New(tensor.F32, 2, 8)
+	x.RandN(rng, 1)
+	out := runModule(t, func(b *lazy.Builder) lazy.Value {
+		return mlp.Forward(b, "mlp", b.Input("x", x))
+	})
+	if !out.Shape().Equal(tensor.Shape{2, 8}) {
+		t.Errorf("mlp out %v", out.Shape())
+	}
+	if mlp.NumParams() != 8*32+32+32*8+8 {
+		t.Errorf("mlp params %d", mlp.NumParams())
+	}
+}
+
+func TestAttentionHeadDivisibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	defer func() {
+		if recover() == nil {
+			t.Error("dim not divisible by heads should panic")
+		}
+	}()
+	NewAttention(rng, 10, 3)
+}
+
+func TestAttentionCausalShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	attn := NewAttention(rng, 8, 2)
+	x := tensor.New(tensor.F32, 4, 8)
+	x.RandN(rng, 1)
+	out := runModule(t, func(b *lazy.Builder) lazy.Value {
+		return attn.Forward(b, "attn", b.Input("x", x))
+	})
+	if !out.Shape().Equal(tensor.Shape{4, 8}) {
+		t.Errorf("attention out %v", out.Shape())
+	}
+}
+
+func TestBlockResidualPath(t *testing.T) {
+	// With zeroed attention/MLP output projections, the block must be
+	// the identity (residual connections only).
+	rng := rand.New(rand.NewSource(7))
+	blk := NewBlock(rng, 8, 2, 16)
+	blk.Attn.WO.W.Fill(0)
+	blk.MLP.Proj.W.Fill(0)
+	blk.MLP.Proj.Bias.Fill(0)
+	x := tensor.New(tensor.F32, 3, 8)
+	x.RandN(rng, 1)
+	out := runModule(t, func(b *lazy.Builder) lazy.Value {
+		return blk.Forward(b, "blk", b.Input("x", x))
+	})
+	if !tensor.AllClose(out, x, 1e-6, 1e-6) {
+		t.Error("zeroed block should be identity via residuals")
+	}
+}
+
+func TestConv2DModule(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	conv := NewConv2D(rng, 3, 8, 3, 1, 1)
+	if conv.NumParams() != 8*3*3*3+8 {
+		t.Errorf("conv params %d", conv.NumParams())
+	}
+	img := tensor.New(tensor.F32, 3, 16, 16)
+	img.RandN(rng, 1)
+	out := runModule(t, func(b *lazy.Builder) lazy.Value {
+		return conv.Forward(b, "conv", b.Input("img", img))
+	})
+	if !out.Shape().Equal(tensor.Shape{8, 16, 16}) {
+		t.Errorf("conv out %v", out.Shape())
+	}
+	// ReLU applied: no negatives.
+	for _, v := range out.F32() {
+		if v < 0 {
+			t.Fatal("conv output should be post-ReLU")
+		}
+	}
+}
+
+func TestEmbeddingBagModule(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	bag := NewEmbeddingBag(rng, 20, 4)
+	ids := tensor.FromI64(tensor.Shape{3}, []int64{1, 2, 3})
+	out := runModule(t, func(b *lazy.Builder) lazy.Value {
+		return bag.Lookup(b, "bag", b.Input("ids", ids), []int{0})
+	})
+	if !out.Shape().Equal(tensor.Shape{1, 4}) {
+		t.Errorf("bag out %v", out.Shape())
+	}
+}
+
+func TestKVCacheAppendMismatchPanics(t *testing.T) {
+	c := &KVCache{}
+	c.Append(tensor.New(tensor.F32, 1, 4), tensor.New(tensor.F32, 1, 4))
+	defer func() {
+		if recover() == nil {
+			t.Error("width mismatch should panic")
+		}
+	}()
+	c.Append(tensor.New(tensor.F32, 1, 8), tensor.New(tensor.F32, 1, 8))
+}
+
+func TestModuleInterfaceCompliance(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	var mods = []Module{
+		NewLinear(rng, 2, 2, true),
+		NewLayerNorm(2),
+		NewMLP(rng, 2, 4),
+		NewAttention(rng, 4, 2),
+		NewBlock(rng, 4, 2, 8),
+		NewConv2D(rng, 1, 1, 3, 1, 1),
+	}
+	for _, m := range mods {
+		if m.NumParams() <= 0 {
+			t.Errorf("%T reports %d params", m, m.NumParams())
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package runtime
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"genie/internal/backend"
+	"genie/internal/cluster"
+	"genie/internal/device"
+	"genie/internal/exec"
+	"genie/internal/frontend"
+	"genie/internal/lazy"
+	"genie/internal/models"
+	"genie/internal/scheduler"
+	"genie/internal/srg"
+	"genie/internal/tensor"
+)
+
+// multiPool builds n live TCP backends registered as a cluster.
+func multiPool(t *testing.T, n int) (*cluster.State, map[cluster.AcceleratorID]Endpoint, map[cluster.AcceleratorID]*backend.Server) {
+	t.Helper()
+	cs := cluster.NewState()
+	eps := map[cluster.AcceleratorID]Endpoint{}
+	srvs := map[cluster.AcceleratorID]*backend.Server{}
+	for i := 0; i < n; i++ {
+		id := cluster.AcceleratorID(string(rune('a' + i)))
+		client, srv := startBackend(t)
+		if err := cs.AddAccelerator(&cluster.Accelerator{
+			ID: id, Spec: device.A100,
+			Link: cluster.Link{Bandwidth: 25e9 / 8, RTT: 100 * time.Microsecond},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		eps[id] = client
+		srvs[id] = srv
+	}
+	return cs, eps, srvs
+}
+
+// localReference evaluates the builder in-process.
+func localReference(t *testing.T, b *lazy.Builder, id srg.NodeID) *tensor.Tensor {
+	t.Helper()
+	vals, err := exec.Graph(b.Graph(), BindAll(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vals[id]
+}
+
+func TestPlanExecutorSingleDeviceMatchesLocal(t *testing.T) {
+	cs, eps, _ := multiPool(t, 1)
+	rng := rand.New(rand.NewSource(4))
+	cnn := models.NewCNN(rng, models.TinyCNN)
+	img := tensor.New(tensor.F32, 3, 32, 32)
+	img.RandN(rng, 1)
+	b, out := cnn.BuildForward(img)
+	frontend.Annotate(b.Graph())
+
+	plan, err := scheduler.Schedule(b.Graph(), cs, scheduler.LeastLoaded{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe := &PlanExecutor{EPs: eps}
+	got, err := pe.Execute(plan, b, []srg.NodeID{out.Logits})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := localReference(t, b, out.Logits)
+	if !tensor.AllClose(got[out.Logits], want, 1e-5, 1e-5) {
+		t.Error("single-device plan execution diverges from local")
+	}
+	if pe.Metrics.RPCCalls != 1 {
+		t.Errorf("single segment should be 1 call, got %d", pe.Metrics.RPCCalls)
+	}
+}
+
+func TestPlanExecutorPipelinedCNNAcrossTwoDevices(t *testing.T) {
+	cs, eps, srvs := multiPool(t, 2)
+	rng := rand.New(rand.NewSource(5))
+	cnn := models.NewCNN(rng, models.TinyCNN)
+	img := tensor.New(tensor.F32, 3, 32, 32)
+	img.RandN(rng, 1)
+	b, out := cnn.BuildForward(img)
+	frontend.Annotate(b.Graph())
+
+	plan, err := scheduler.Schedule(b.Graph(), cs, scheduler.SemanticsAware{},
+		scheduler.NewCostModel(scheduler.RDMAProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.PipelineStages) < 2 {
+		t.Fatal("expected a pipelined plan")
+	}
+	pe := &PlanExecutor{EPs: eps}
+	got, err := pe.Execute(plan, b, []srg.NodeID{out.Logits})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := localReference(t, b, out.Logits)
+	if !tensor.AllClose(got[out.Logits], want, 1e-5, 1e-5) {
+		t.Error("pipelined execution diverges from local")
+	}
+	// Both devices actually executed something.
+	for id, srv := range srvs {
+		if srv.Stats().ExecCalls == 0 {
+			t.Errorf("device %q executed nothing", id)
+		}
+	}
+	if pe.Metrics.RPCCalls < 2 {
+		t.Errorf("pipelined plan used %d calls", pe.Metrics.RPCCalls)
+	}
+}
+
+func TestPlanExecutorRoundRobinStillCorrect(t *testing.T) {
+	// Even the adversarial placement (every op on a different device)
+	// must compute the right answer — the executor carries boundaries.
+	cs, eps, _ := multiPool(t, 3)
+	rng := rand.New(rand.NewSource(6))
+	b := lazy.NewBuilder("rr")
+	x := b.Input("x", tensor.New(tensor.F32, 4, 8))
+	xt, _ := b.InputData("x")
+	xt.RandN(rng, 1)
+	w := b.Param("w", tensor.New(tensor.F32, 8, 8))
+	wt, _ := b.ParamData("w")
+	wt.RandN(rng, 1)
+	h := b.MatMul(x, w)
+	h = b.GELU(h)
+	h = b.Softmax(h)
+	y := b.Add(h, x)
+	b.MarkOutput(y)
+
+	plan, err := scheduler.Schedule(b.Graph(), cs, scheduler.RoundRobin{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe := &PlanExecutor{EPs: eps}
+	got, err := pe.Execute(plan, b, []srg.NodeID{y.ID()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := localReference(t, b, y.ID())
+	if !tensor.AllClose(got[y.ID()], want, 1e-5, 1e-5) {
+		t.Error("round-robin execution diverges from local")
+	}
+}
+
+func TestPlanExecutorKeepRemoteHonored(t *testing.T) {
+	cs, eps, srvs := multiPool(t, 1)
+	rng := rand.New(rand.NewSource(7))
+	gpt := models.NewGPT(rng, models.TinyGPT)
+	prompt := []int64{3, 1, 4}
+	b, out := gpt.BuildPrefill(prompt)
+	frontend.Annotate(b.Graph())
+
+	plan, err := scheduler.Schedule(b.Graph(), cs, scheduler.SemanticsAware{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weight leaves are in KeepRemote (as params) — but weights bind
+	// inline here since the builder has their data; the prefill KV
+	// products must end up resident.
+	pe := &PlanExecutor{EPs: eps}
+	if _, err := pe.Execute(plan, b, []srg.NodeID{out.NextToken}); err != nil {
+		t.Fatal(err)
+	}
+	var srv *backend.Server
+	for _, s := range srvs {
+		srv = s
+	}
+	if _, err := srv.Lookup(models.CacheRef(0, "k"), 0); err != nil {
+		t.Errorf("prefill cache not kept remote: %v", err)
+	}
+}
+
+func TestPlanExecutorRecomputeDuplicatesProducer(t *testing.T) {
+	// Mark a cheap producer for recomputation: its value must NOT travel
+	// (no boundary transfer), yet the result must stay correct.
+	cs, eps, srvs := multiPool(t, 2)
+	b := lazy.NewBuilder("recompute")
+	x := b.Input("x", tensor.FromF32(tensor.Shape{2}, []float32{1, -2}))
+	cheap := b.Scale(x, 3)
+	left := b.ReLU(cheap)
+	right := b.GELU(cheap)
+	y := b.Add(left, right)
+	b.MarkOutput(y)
+
+	plan, err := scheduler.Schedule(b.Graph(), cs, scheduler.RoundRobin{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Recompute = map[srg.NodeID]bool{cheap.ID(): true}
+
+	pe := &PlanExecutor{EPs: eps}
+	got, err := pe.Execute(plan, b, []srg.NodeID{y.ID()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := localReference(t, b, y.ID())
+	if !tensor.AllClose(got[y.ID()], want, 1e-6, 1e-6) {
+		t.Error("recompute plan diverges")
+	}
+	_ = srvs
+}
+
+func TestPlanExecutorMissingEndpointFails(t *testing.T) {
+	cs, _, _ := multiPool(t, 1)
+	b := lazy.NewBuilder("x")
+	in := b.Input("x", tensor.New(tensor.F32, 1))
+	b.MarkOutput(b.ReLU(in))
+	plan, err := scheduler.Schedule(b.Graph(), cs, scheduler.LeastLoaded{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe := &PlanExecutor{EPs: map[cluster.AcceleratorID]Endpoint{}}
+	if _, err := pe.Execute(plan, b, b.Outputs()); err == nil {
+		t.Error("missing endpoint should fail")
+	}
+}
+
+func TestPlanExecutorUnproducedWantFails(t *testing.T) {
+	cs, eps, _ := multiPool(t, 1)
+	b := lazy.NewBuilder("x")
+	in := b.Input("x", tensor.New(tensor.F32, 1))
+	y := b.ReLU(in)
+	b.MarkOutput(y)
+	plan, err := scheduler.Schedule(b.Graph(), cs, scheduler.LeastLoaded{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe := &PlanExecutor{EPs: eps}
+	// Wanting a leaf (never "produced" by a segment) errors cleanly.
+	if _, err := pe.Execute(plan, b, []srg.NodeID{in.ID()}); err == nil {
+		t.Error("wanting a leaf should fail cleanly")
+	}
+}
+
+// TestPlanExecutorShardedOversizedModel runs a model whose weights exceed
+// any single device's memory: the semantics-aware policy shards
+// transformer blocks across three tiny backends and the executor streams
+// activations between them — results identical to local.
+func TestPlanExecutorShardedOversizedModel(t *testing.T) {
+	cs := cluster.NewState()
+	eps := map[cluster.AcceleratorID]Endpoint{}
+	spec := device.A100
+	spec.MemBytes = 60 << 10 // 60 KB per device; TinyGPT needs ~100 KB
+	for i := 0; i < 3; i++ {
+		id := cluster.AcceleratorID(string(rune('a' + i)))
+		client, _ := startBackend(t)
+		if err := cs.AddAccelerator(&cluster.Accelerator{
+			ID: id, Spec: spec,
+			Link: cluster.Link{Bandwidth: 25e9 / 8, RTT: 100 * time.Microsecond},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		eps[id] = client
+	}
+
+	rng := rand.New(rand.NewSource(17))
+	m := models.NewGPT(rng, models.TinyGPT)
+	b, out := m.BuildPrefill([]int64{9, 8, 7, 6})
+	frontend.Annotate(b.Graph())
+
+	plan, err := scheduler.Schedule(b.Graph(), cs, scheduler.SemanticsAware{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scheduler.ShardReport(plan)) < 2 {
+		t.Fatal("expected a sharded plan")
+	}
+	pe := &PlanExecutor{EPs: eps}
+	got, err := pe.Execute(plan, b, []srg.NodeID{out.NextToken})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := localReference(t, b, out.NextToken)
+	if got[out.NextToken].I64()[0] != want.I64()[0] {
+		t.Errorf("sharded execution predicts %d, want %d",
+			got[out.NextToken].I64()[0], want.I64()[0])
+	}
+}
+
+// TestPlanExecutorFusedGraph executes a rewrite-fused graph remotely.
+func TestPlanExecutorFusedGraph(t *testing.T) {
+	cs, eps, _ := multiPool(t, 1)
+	b := lazy.NewBuilder("fused-remote")
+	x := b.Input("x", tensor.FromF32(tensor.Shape{1, 4}, []float32{-2, -1, 1, 2}))
+	h := b.Scale(x, 3)
+	h = b.GELU(h)
+	h = b.ReLU(h)
+	y := b.Add(h, x)
+	b.MarkOutput(y)
+	want := localReference(t, b, y.ID())
+
+	g2, fused := scheduler.FuseElementwise{}.Apply(b.Graph())
+	if fused == 0 {
+		t.Fatal("fusion did not fire")
+	}
+	plan, err := scheduler.Schedule(g2, cs, scheduler.LeastLoaded{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe := &PlanExecutor{EPs: eps}
+	var fusedOut srg.NodeID = srg.Invalid
+	for _, n := range g2.Nodes() {
+		if n.Op == "add" {
+			fusedOut = n.ID
+		}
+	}
+	got, err := pe.Execute(plan, b, []srg.NodeID{fusedOut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(got[fusedOut], want, 1e-6, 1e-6) {
+		t.Error("remote fused execution diverges from local unfused")
+	}
+}

@@ -1,0 +1,129 @@
+package scheduler
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"genie/internal/cluster"
+	"genie/internal/device"
+)
+
+type fakeProber struct {
+	rtts []time.Duration
+	i    int
+	err  error
+}
+
+func (f *fakeProber) Ping() (time.Duration, error) {
+	if f.err != nil {
+		return 0, f.err
+	}
+	r := f.rtts[f.i%len(f.rtts)]
+	f.i++
+	return r, nil
+}
+
+func hintPool(t *testing.T) *cluster.State {
+	t.Helper()
+	cs := cluster.NewState()
+	if err := cs.AddAccelerator(&cluster.Accelerator{
+		ID: "gpu0", Spec: device.A100,
+		Link: cluster.Link{Bandwidth: 1e9, RTT: 10 * time.Millisecond},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return cs
+}
+
+func TestAdaptHintsTakesMinimumRTT(t *testing.T) {
+	cs := hintPool(t)
+	p := &fakeProber{rtts: []time.Duration{
+		3 * time.Millisecond, 900 * time.Microsecond, 5 * time.Millisecond,
+	}}
+	if err := AdaptHints(cs, "gpu0", p, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := cs.Accelerator("gpu0").Link.RTT; got != 900*time.Microsecond {
+		t.Errorf("adapted RTT %v", got)
+	}
+}
+
+func TestAdaptHintsErrors(t *testing.T) {
+	cs := hintPool(t)
+	if err := AdaptHints(cs, "nope", &fakeProber{rtts: []time.Duration{1}}, 1); err == nil {
+		t.Error("unknown accelerator should fail")
+	}
+	if err := AdaptHints(cs, "gpu0", &fakeProber{err: errors.New("down")}, 1); err == nil {
+		t.Error("probe failure should propagate")
+	}
+}
+
+func TestObserveTransferEstimatesCongestion(t *testing.T) {
+	cs := hintPool(t)
+	// 1e9 B/s nominal; we achieved 2.5e8 B/s → 75% of the link is
+	// otherwise occupied. EWMA from 0: 0.375.
+	if err := ObserveTransfer(cs, "gpu0", 2.5e8, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got := cs.Accelerator("gpu0").Link.Congestion
+	if got < 0.37 || got > 0.38 {
+		t.Errorf("congestion %v, want ~0.375", got)
+	}
+	// A second identical observation moves the EWMA toward 0.75.
+	if err := ObserveTransfer(cs, "gpu0", 2.5e8, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got = cs.Accelerator("gpu0").Link.Congestion
+	if got < 0.55 || got > 0.57 {
+		t.Errorf("congestion after 2nd sample %v, want ~0.5625", got)
+	}
+}
+
+func TestObserveTransferClampsAndValidates(t *testing.T) {
+	cs := hintPool(t)
+	// Faster-than-nominal transfer clamps to zero congestion.
+	if err := ObserveTransfer(cs, "gpu0", 5e9, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := cs.Accelerator("gpu0").Link.Congestion; got != 0 {
+		t.Errorf("congestion %v, want 0", got)
+	}
+	if err := ObserveTransfer(cs, "gpu0", 0, time.Second); err == nil {
+		t.Error("zero bytes should be rejected")
+	}
+	if err := ObserveTransfer(cs, "nope", 1, time.Second); err == nil {
+		t.Error("unknown accelerator should fail")
+	}
+}
+
+// TestAdaptThenScheduleChangesDecision shows the loop closing: a
+// congestion observation flips the recomputation decision on the next
+// Schedule call.
+func TestAdaptThenScheduleChangesDecision(t *testing.T) {
+	cs := pool(t, 2)
+	g := cnnGraph(t)
+	policy := SemanticsAware{RecomputeThresholdFLOPs: 1e9}
+
+	before, err := Schedule(g, cs, policy, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before.Recompute) != 0 {
+		t.Fatal("no recomputation expected on an idle link")
+	}
+	// Observed transfers on device b achieve 5% of nominal — heavy
+	// congestion.
+	for i := 0; i < 6; i++ {
+		if err := ObserveTransfer(cs, "b", int64(0.05*25e9/8), time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := Schedule(g, cs, policy, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Recompute) == 0 {
+		t.Error("congestion observation should trigger recomputation")
+	}
+}

@@ -1,0 +1,287 @@
+package scheduler
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"genie/internal/exec"
+	"genie/internal/lazy"
+	"genie/internal/models"
+	"genie/internal/srg"
+	"genie/internal/tensor"
+)
+
+func evalGraph(t *testing.T, g *srg.Graph, b *lazy.Builder) map[srg.NodeID]*tensor.Tensor {
+	t.Helper()
+	vals, err := exec.Graph(g, func(op, ref string) (*tensor.Tensor, error) {
+		if op == "param" {
+			if tt, ok := b.ParamData(ref); ok {
+				return tt, nil
+			}
+		} else if tt, ok := b.InputData(ref); ok {
+			return tt, nil
+		}
+		return nil, fmt.Errorf("no data for %s %q", op, ref)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vals
+}
+
+func TestDeadNodeEliminationRemovesUnobserved(t *testing.T) {
+	b := lazy.NewBuilder("dne")
+	x := b.Input("x", tensor.FromF32(tensor.Shape{2}, []float32{1, -1}))
+	live := b.ReLU(x)
+	b.MarkOutput(live)
+	dead := b.GELU(x) // captured, never read
+	deadder := b.Scale(dead, 2)
+	_ = deadder
+
+	before := b.Graph().Len()
+	g2, removed := DeadNodeElimination{}.Apply(b.Graph())
+	if removed != 2 {
+		t.Errorf("removed %d nodes, want 2", removed)
+	}
+	if g2.Len() != before-2 {
+		t.Errorf("graph %d -> %d nodes", before, g2.Len())
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The surviving output still computes correctly.
+	vals := evalGraph(t, g2, b)
+	var out *tensor.Tensor
+	for _, n := range g2.Nodes() {
+		if n.Op == "relu" {
+			out = vals[n.ID]
+		}
+	}
+	if out == nil || out.F32()[0] != 1 || out.F32()[1] != 0 {
+		t.Errorf("rewritten output wrong: %v", out)
+	}
+}
+
+func TestDeadNodeEliminationKeepsStatefulProducts(t *testing.T) {
+	b := lazy.NewBuilder("kv")
+	cache := b.StatefulInput("kv", tensor.New(tensor.F32, 2, 4))
+	delta := b.Input("delta", tensor.New(tensor.F32, 1, 4))
+	appended := b.Concat(0, cache, delta)
+	b.AnnotateStateful(appended, "kv")
+	// No MarkOutput: the append's only purpose is remote state.
+	_, removed := DeadNodeElimination{}.Apply(b.Graph())
+	if removed != 0 {
+		t.Errorf("stateful append eliminated (%d removed)", removed)
+	}
+}
+
+func TestCSEMergesDuplicateComputation(t *testing.T) {
+	b := lazy.NewBuilder("cse")
+	x := b.Input("x", tensor.FromF32(tensor.Shape{3}, []float32{1, 2, 3}))
+	a1 := b.Scale(x, 2)
+	a2 := b.Scale(x, 2) // identical
+	y := b.Add(a1, a2)
+	b.MarkOutput(y)
+
+	g2, merged := CommonSubexpression{}.Apply(b.Graph())
+	if merged != 1 {
+		t.Fatalf("merged %d, want 1", merged)
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Result unchanged: add(2x, 2x) = 4x.
+	vals := evalGraph(t, g2, b)
+	var out *tensor.Tensor
+	for _, n := range g2.Nodes() {
+		if n.Op == "add" {
+			out = vals[n.ID]
+		}
+	}
+	if out == nil || out.F32()[2] != 12 {
+		t.Errorf("CSE changed semantics: %v", out)
+	}
+}
+
+func TestCSEDoesNotMergeDifferentAttrs(t *testing.T) {
+	b := lazy.NewBuilder("cse2")
+	x := b.Input("x", tensor.New(tensor.F32, 2))
+	b.MarkOutput(b.Add(b.Scale(x, 2), b.Scale(x, 3)))
+	_, merged := CommonSubexpression{}.Apply(b.Graph())
+	if merged != 0 {
+		t.Errorf("merged %d nodes with different attrs", merged)
+	}
+}
+
+func TestCSEChainsThroughAliases(t *testing.T) {
+	// Duplicate subtrees two levels deep must fully merge.
+	b := lazy.NewBuilder("cse3")
+	x := b.Input("x", tensor.New(tensor.F32, 2))
+	l1 := b.ReLU(b.Scale(x, 2))
+	l2 := b.ReLU(b.Scale(x, 2))
+	b.MarkOutput(b.Add(l1, l2))
+	g2, merged := CommonSubexpression{}.Apply(b.Graph())
+	if merged != 2 {
+		t.Errorf("merged %d, want 2 (scale + relu)", merged)
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRewritePipelineOnRealModel(t *testing.T) {
+	// The full prepass must preserve a GPT prefill's next-token output.
+	rng := rand.New(rand.NewSource(12))
+	m := models.NewGPT(rng, models.TinyGPT)
+	bld, out := m.BuildPrefill([]int64{5, 9, 2})
+
+	valsBefore := evalGraph(t, bld.Graph(), bld)
+	wantNext := valsBefore[out.NextToken].I64()[0]
+
+	g2, counts := ApplyRewrites(bld.Graph(), DefaultRewrites()...)
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("rewrites: %v (graph %d -> %d nodes)", counts, bld.Graph().Len(), g2.Len())
+
+	valsAfter := evalGraph(t, g2, bld)
+	var gotNext int64 = -1
+	for _, n := range g2.Nodes() {
+		if n.Op == "argmax_last" {
+			gotNext = valsAfter[n.ID].I64()[0]
+		}
+	}
+	if gotNext != wantNext {
+		t.Errorf("rewritten prefill predicts %d, want %d", gotNext, wantNext)
+	}
+}
+
+func TestRewrittenGraphStillSchedulable(t *testing.T) {
+	cs := pool(t, 2)
+	g := cnnGraph(t)
+	g2, _ := ApplyRewrites(g, DefaultRewrites()...)
+	if _, err := Schedule(g2, cs, SemanticsAware{}, NewCostModel(RDMAProfile)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRewritePreservesEdgeAnnotations(t *testing.T) {
+	b := lazy.NewBuilder("ann")
+	x := b.Input("x", tensor.New(tensor.F32, 4, 8))
+	y := b.ReLU(x)
+	b.MarkOutput(y)
+	g := b.Graph()
+	g.SetEdgeRate(y.ID(), 0, 0.5)
+	g.SetEdgeCritical(y.ID(), 0, true)
+
+	g2, _ := DeadNodeElimination{}.Apply(g)
+	found := false
+	for _, e := range g2.Edges() {
+		if e.Rate == 0.5 && e.Critical {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("edge annotations lost in rewrite")
+	}
+}
+
+func TestFuseElementwiseChain(t *testing.T) {
+	b := lazy.NewBuilder("fuse")
+	x := b.Input("x", tensor.FromF32(tensor.Shape{1, 4}, []float32{-1, 0, 1, 2}))
+	h := b.Scale(x, 2)
+	h = b.GELU(h)
+	h = b.ReLU(h)
+	y := b.Add(h, x) // add is not fusible: chain ends before it
+	b.MarkOutput(y)
+
+	before := b.Graph().Len()
+	g2, fused := FuseElementwise{}.Apply(b.Graph())
+	if fused != 3 {
+		t.Fatalf("fused %d nodes, want 3", fused)
+	}
+	if g2.Len() != before-2 { // 3 nodes -> 1 fused node
+		t.Errorf("graph %d -> %d nodes", before, g2.Len())
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The fused program is recorded in order.
+	var fusedNode *srg.Node
+	for _, n := range g2.Nodes() {
+		if n.Op == "fused" {
+			fusedNode = n
+		}
+	}
+	if fusedNode == nil || fusedNode.Attrs["stages"] != "scale:2|gelu|relu" {
+		t.Fatalf("fused node %+v", fusedNode)
+	}
+	// Semantics preserved end to end.
+	valsBefore := evalGraph(t, b.Graph(), b)
+	valsAfter := evalGraph(t, g2, b)
+	var got, want *tensor.Tensor
+	for _, n := range g2.Nodes() {
+		if n.Op == "add" {
+			got = valsAfter[n.ID]
+		}
+	}
+	want = valsBefore[y.ID()]
+	if !tensor.AllClose(got, want, 1e-6, 1e-6) {
+		t.Errorf("fused result %v != %v", got.F32(), want.F32())
+	}
+}
+
+func TestFuseElementwiseRespectsFanout(t *testing.T) {
+	// A value with two consumers must stay materialized: only the
+	// single-consumer suffix fuses.
+	b := lazy.NewBuilder("fanout")
+	x := b.Input("x", tensor.New(tensor.F32, 4))
+	s := b.Scale(x, 2) // two consumers: cannot fuse into the relu chain
+	r1 := b.ReLU(s)
+	r2 := b.GELU(s)
+	b.MarkOutput(b.Add(r1, r2))
+
+	_, fused := FuseElementwise{}.Apply(b.Graph())
+	if fused != 0 {
+		t.Errorf("fused %d nodes across a fan-out", fused)
+	}
+}
+
+func TestFuseElementwiseKeepsOutputsMaterialized(t *testing.T) {
+	b := lazy.NewBuilder("out")
+	x := b.Input("x", tensor.New(tensor.F32, 4))
+	h := b.Scale(x, 2)
+	y := b.ReLU(h)
+	b.MarkOutput(y) // tail is an external output: chain must keep identity
+	g2, fused := FuseElementwise{}.Apply(b.Graph())
+	// The tail is externally observable so it cannot be swallowed; with
+	// only one fusible interior node no fusion happens.
+	if fused != 0 {
+		t.Errorf("fused %d nodes into an external output", fused)
+	}
+	_ = g2
+}
+
+func TestFuseOnGPTDecodeGraphPreservesTokens(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := models.NewGPT(rng, models.TinyGPT)
+	bld, out := m.BuildPrefill([]int64{3, 1, 4, 1})
+	want := evalGraph(t, bld.Graph(), bld)[out.NextToken].I64()[0]
+
+	g2, fused := FuseElementwise{}.Apply(bld.Graph())
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fused %d nodes (graph %d -> %d)", fused, bld.Graph().Len(), g2.Len())
+	valsAfter := evalGraph(t, g2, bld)
+	var got int64 = -1
+	for _, n := range g2.Nodes() {
+		if n.Op == "argmax_last" {
+			got = valsAfter[n.ID].I64()[0]
+		}
+	}
+	if got != want {
+		t.Errorf("fused prefill predicts %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,157 @@
+package scheduler
+
+import (
+	"fmt"
+	"strings"
+
+	"genie/internal/cluster"
+	"genie/internal/srg"
+)
+
+// shardByMemory handles models whose persistent weights exceed a single
+// device's memory — the "disproportionate resource requirements" case
+// from the paper's introduction. It splits the graph into module-level
+// groups (transformer blocks, CNN stages) in topological order and
+// greedily bin-packs consecutive groups onto devices by weight footprint,
+// so activations stream device-to-device once per boundary while every
+// weight lives exactly one place.
+//
+// Returns nil if the model fits on the home device (no sharding needed).
+func shardByMemory(g *srg.Graph, cs *cluster.State, home cluster.AcceleratorID) (map[srg.NodeID]cluster.AcceleratorID, error) {
+	homeAcc := cs.Accelerator(home)
+	if homeAcc == nil {
+		return nil, fmt.Errorf("scheduler: unknown home device %q", home)
+	}
+	var totalWeights int64
+	for _, id := range g.Params() {
+		totalWeights += g.Node(id).Output.Bytes()
+	}
+	budget := homeAcc.Spec.MemBytes - cs.ResidentBytes(home)
+	if totalWeights <= budget {
+		return nil, nil // fits: no sharding
+	}
+
+	// Group compute nodes by their top-level module unit (e.g.
+	// "gpt.blocks.3" or "cnn.stages.1"); ungrouped nodes attach to the
+	// previous group so boundaries stay clean.
+	groups, order := moduleGroups(g)
+	if len(order) < 2 {
+		return nil, fmt.Errorf("scheduler: weights (%d B) exceed device memory (%d B) and the graph has no module boundaries to shard across", totalWeights, budget)
+	}
+
+	// Per-group weight footprint: params consumed by the group's nodes.
+	paramOwner := map[srg.NodeID]string{}
+	for _, gname := range order {
+		for _, id := range groups[gname] {
+			for _, in := range g.Node(id).Inputs {
+				dep := g.Node(in)
+				if dep.Op == "param" {
+					if _, claimed := paramOwner[in]; !claimed {
+						paramOwner[in] = gname
+					}
+				}
+			}
+		}
+	}
+	weightOf := map[string]int64{}
+	for pid, gname := range paramOwner {
+		weightOf[gname] += g.Node(pid).Output.Bytes()
+	}
+
+	// Greedy packing of consecutive groups onto remote devices.
+	remote := cs.Remote()
+	place := map[srg.NodeID]cluster.AcceleratorID{}
+	devIdx := 0
+	var used int64
+	devBudget := func(i int) int64 {
+		a := remote[i]
+		return a.Spec.MemBytes - cs.ResidentBytes(a.ID)
+	}
+	for _, gname := range order {
+		need := weightOf[gname]
+		for devIdx < len(remote) && used+need > devBudget(devIdx) && used > 0 {
+			devIdx++
+			used = 0
+		}
+		if devIdx >= len(remote) || need > devBudget(devIdx) {
+			return nil, fmt.Errorf("scheduler: model does not fit across the pool (group %q needs %d B)", gname, need)
+		}
+		used += need
+		dev := remote[devIdx].ID
+		for _, id := range groups[gname] {
+			place[id] = dev
+		}
+	}
+	return place, nil
+}
+
+// moduleGroups buckets compute nodes by their top-level repeating module
+// unit in topological order. The unit is the module path truncated after
+// a numeric segment ("gpt.blocks.3.attention.wq" → "gpt.blocks.3"), or
+// the first two segments otherwise.
+func moduleGroups(g *srg.Graph) (map[string][]srg.NodeID, []string) {
+	groups := map[string][]srg.NodeID{}
+	var order []string
+	seen := map[string]bool{}
+	last := ""
+	for _, n := range g.Nodes() {
+		if n.Op == "param" || n.Op == "input" {
+			continue
+		}
+		name := groupName(n.Module)
+		if name == "" {
+			if last == "" {
+				name = "_head"
+			} else {
+				name = last
+			}
+		}
+		if !seen[name] {
+			seen[name] = true
+			order = append(order, name)
+		}
+		groups[name] = append(groups[name], n.ID)
+		last = name
+	}
+	return groups, order
+}
+
+func groupName(module string) string {
+	if module == "" {
+		return ""
+	}
+	parts := strings.Split(module, ".")
+	for i, p := range parts {
+		if isDigits(p) {
+			return strings.Join(parts[:i+1], ".")
+		}
+	}
+	if len(parts) > 2 {
+		return strings.Join(parts[:2], ".")
+	}
+	return module
+}
+
+func isDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// ShardReport summarizes a sharded placement for logs and tests.
+func ShardReport(plan *Plan) map[cluster.AcceleratorID]int {
+	out := map[cluster.AcceleratorID]int{}
+	for _, n := range plan.Graph.Nodes() {
+		if n.Op == "param" || n.Op == "input" {
+			continue
+		}
+		out[plan.DeviceOf(n.ID)]++
+	}
+	return out
+}

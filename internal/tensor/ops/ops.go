@@ -1,0 +1,551 @@
+// Package ops implements the CPU kernels Genie executes on the "device".
+// These are real numeric implementations (not stubs): every disaggregation
+// mode in the evaluation actually computes, so semantic optimizations can
+// be validated by comparing model outputs bit-for-bit across modes.
+//
+// All kernels take and return F32 tensors unless noted; model code converts
+// F16 weights at load. Kernels are deliberately straightforward row-major
+// loops — the evaluation's GPU-side timing comes from the device cost
+// model, not from these kernels' wall-clock.
+package ops
+
+import (
+	"fmt"
+	"math"
+
+	"genie/internal/tensor"
+)
+
+// MatMul computes a @ b for a [m,k] and b [k,n], returning [m,n].
+// Rank-3 a ([batch,m,k]) is supported with shared b.
+func MatMul(a, b *tensor.Tensor) (*tensor.Tensor, error) {
+	as, bs := a.Shape(), b.Shape()
+	if bs.Rank() != 2 {
+		return nil, fmt.Errorf("ops: matmul rhs must be rank 2, got %v", bs)
+	}
+	switch as.Rank() {
+	case 2:
+		if as[1] != bs[0] {
+			return nil, fmt.Errorf("ops: matmul shape mismatch %v @ %v", as, bs)
+		}
+		out := tensor.New(tensor.F32, as[0], bs[1])
+		matmul2d(a.F32(), b.F32(), out.F32(), as[0], as[1], bs[1])
+		return out, nil
+	case 3:
+		if as[2] != bs[0] {
+			return nil, fmt.Errorf("ops: matmul shape mismatch %v @ %v", as, bs)
+		}
+		out := tensor.New(tensor.F32, as[0], as[1], bs[1])
+		m, k, n := as[1], as[2], bs[1]
+		for bi := 0; bi < as[0]; bi++ {
+			matmul2d(a.F32()[bi*m*k:(bi+1)*m*k], b.F32(), out.F32()[bi*m*n:(bi+1)*m*n], m, k, n)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("ops: matmul lhs must be rank 2 or 3, got %v", as)
+}
+
+func matmul2d(a, b, out []float32, m, k, n int) {
+	// ikj loop order keeps the inner loop streaming over b and out.
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := out[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := b[kk*n : (kk+1)*n]
+			for j := range brow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// MatMulT computes a @ bᵀ for a [m,k] and b [n,k], returning [m,n]. This is
+// the attention-score kernel (Q @ Kᵀ).
+func MatMulT(a, b *tensor.Tensor) (*tensor.Tensor, error) {
+	as, bs := a.Shape(), b.Shape()
+	if as.Rank() != 2 || bs.Rank() != 2 || as[1] != bs[1] {
+		return nil, fmt.Errorf("ops: matmulT shape mismatch %v @ %vᵀ", as, bs)
+	}
+	m, k, n := as[0], as[1], bs[0]
+	out := tensor.New(tensor.F32, m, n)
+	av, bv, ov := a.F32(), b.F32(), out.F32()
+	for i := 0; i < m; i++ {
+		arow := av[i*k : (i+1)*k]
+		for j := 0; j < n; j++ {
+			brow := bv[j*k : (j+1)*k]
+			var acc float32
+			for kk := range arow {
+				acc += arow[kk] * brow[kk]
+			}
+			ov[i*n+j] = acc
+		}
+	}
+	return out, nil
+}
+
+// Add returns a + b with broadcasting (b may be a bias of trailing shape).
+func Add(a, b *tensor.Tensor) (*tensor.Tensor, error) {
+	return ewise(a, b, func(x, y float32) float32 { return x + y })
+}
+
+// Sub returns a - b with broadcasting.
+func Sub(a, b *tensor.Tensor) (*tensor.Tensor, error) {
+	return ewise(a, b, func(x, y float32) float32 { return x - y })
+}
+
+// Mul returns the elementwise product with broadcasting.
+func Mul(a, b *tensor.Tensor) (*tensor.Tensor, error) {
+	return ewise(a, b, func(x, y float32) float32 { return x * y })
+}
+
+func ewise(a, b *tensor.Tensor, f func(x, y float32) float32) (*tensor.Tensor, error) {
+	out, err := tensor.BroadcastShapes(a.Shape(), b.Shape())
+	if err != nil {
+		return nil, err
+	}
+	res := tensor.New(tensor.F32, out...)
+	n := res.NumElements()
+	an, bn := a.NumElements(), b.NumElements()
+	// Fast paths: equal shapes, or b broadcast along leading dims.
+	switch {
+	case an == n && bn == n:
+		av, bv, rv := a.F32(), b.F32(), res.F32()
+		for i := range rv {
+			rv[i] = f(av[i], bv[i])
+		}
+	case an == n && n%bn == 0 && trailingCompatible(a.Shape(), b.Shape()):
+		av, bv, rv := a.F32(), b.F32(), res.F32()
+		for i := range rv {
+			rv[i] = f(av[i], bv[i%bn])
+		}
+	case bn == n && n%an == 0 && trailingCompatible(b.Shape(), a.Shape()):
+		av, bv, rv := a.F32(), b.F32(), res.F32()
+		for i := range rv {
+			rv[i] = f(av[i%an], bv[i])
+		}
+	default:
+		return nil, fmt.Errorf("ops: unsupported broadcast %v op %v", a.Shape(), b.Shape())
+	}
+	return res, nil
+}
+
+// trailingCompatible reports whether small is exactly the trailing dims of
+// big (simple right-aligned broadcast without interior 1s).
+func trailingCompatible(big, small tensor.Shape) bool {
+	if len(small) > len(big) {
+		return false
+	}
+	for i := 0; i < len(small); i++ {
+		if small[len(small)-1-i] != big[len(big)-1-i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Scale multiplies every element by s.
+func Scale(a *tensor.Tensor, s float32) *tensor.Tensor {
+	out := a.Clone()
+	v := out.F32()
+	for i := range v {
+		v[i] *= s
+	}
+	return out
+}
+
+// Softmax applies a numerically-stable softmax along the last dimension.
+func Softmax(a *tensor.Tensor) *tensor.Tensor {
+	s := a.Shape()
+	inner := s[s.Rank()-1]
+	rows := a.NumElements() / inner
+	out := tensor.New(tensor.F32, s...)
+	av, ov := a.F32(), out.F32()
+	for r := 0; r < rows; r++ {
+		row := av[r*inner : (r+1)*inner]
+		orow := ov[r*inner : (r+1)*inner]
+		maxv := row[0]
+		for _, v := range row {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float32
+		for i, v := range row {
+			e := float32(math.Exp(float64(v - maxv)))
+			orow[i] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for i := range orow {
+			orow[i] *= inv
+		}
+	}
+	return out
+}
+
+// LayerNorm normalizes along the last dimension with learned gain/bias.
+func LayerNorm(a, gamma, beta *tensor.Tensor, eps float32) (*tensor.Tensor, error) {
+	s := a.Shape()
+	inner := s[s.Rank()-1]
+	if gamma.NumElements() != inner || beta.NumElements() != inner {
+		return nil, fmt.Errorf("ops: layernorm gain/bias %d/%d for inner %d",
+			gamma.NumElements(), beta.NumElements(), inner)
+	}
+	rows := a.NumElements() / inner
+	out := tensor.New(tensor.F32, s...)
+	av, ov, gv, bv := a.F32(), out.F32(), gamma.F32(), beta.F32()
+	for r := 0; r < rows; r++ {
+		row := av[r*inner : (r+1)*inner]
+		orow := ov[r*inner : (r+1)*inner]
+		var mean float32
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float32(inner)
+		var varsum float32
+		for _, v := range row {
+			d := v - mean
+			varsum += d * d
+		}
+		inv := 1 / float32(math.Sqrt(float64(varsum/float32(inner)+eps)))
+		for i, v := range row {
+			orow[i] = (v-mean)*inv*gv[i] + bv[i]
+		}
+	}
+	return out, nil
+}
+
+// GELU applies the tanh-approximated Gaussian error linear unit.
+func GELU(a *tensor.Tensor) *tensor.Tensor {
+	out := a.Clone()
+	v := out.F32()
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	for i, x := range v {
+		x64 := float64(x)
+		v[i] = float32(0.5 * x64 * (1 + math.Tanh(c*(x64+0.044715*x64*x64*x64))))
+	}
+	return out
+}
+
+// ReLU applies max(0, x).
+func ReLU(a *tensor.Tensor) *tensor.Tensor {
+	out := a.Clone()
+	v := out.F32()
+	for i, x := range v {
+		if x < 0 {
+			v[i] = 0
+		}
+	}
+	return out
+}
+
+// Embedding gathers rows of table [vocab, dim] at ids [n], giving [n, dim].
+func Embedding(table *tensor.Tensor, ids *tensor.Tensor) (*tensor.Tensor, error) {
+	ts := table.Shape()
+	if ts.Rank() != 2 {
+		return nil, fmt.Errorf("ops: embedding table must be rank 2, got %v", ts)
+	}
+	if ids.DType() != tensor.I64 {
+		return nil, fmt.Errorf("ops: embedding ids must be i64, got %s", ids.DType())
+	}
+	vocab, dim := ts[0], ts[1]
+	n := ids.NumElements()
+	out := tensor.New(tensor.F32, n, dim)
+	tv, ov := table.F32(), out.F32()
+	for i, id := range ids.I64() {
+		if id < 0 || int(id) >= vocab {
+			return nil, fmt.Errorf("ops: embedding id %d out of range [0,%d)", id, vocab)
+		}
+		copy(ov[i*dim:(i+1)*dim], tv[int(id)*dim:(int(id)+1)*dim])
+	}
+	return out, nil
+}
+
+// EmbeddingBag gathers and sums rows: ids [n] grouped by offsets into
+// bags; returns [len(offsets), dim]. This is the DLRM sparse kernel.
+func EmbeddingBag(table *tensor.Tensor, ids []int64, offsets []int) (*tensor.Tensor, error) {
+	ts := table.Shape()
+	if ts.Rank() != 2 {
+		return nil, fmt.Errorf("ops: embedding_bag table must be rank 2, got %v", ts)
+	}
+	vocab, dim := ts[0], ts[1]
+	out := tensor.New(tensor.F32, len(offsets), dim)
+	tv, ov := table.F32(), out.F32()
+	for b, start := range offsets {
+		end := len(ids)
+		if b+1 < len(offsets) {
+			end = offsets[b+1]
+		}
+		dst := ov[b*dim : (b+1)*dim]
+		for _, id := range ids[start:end] {
+			if id < 0 || int(id) >= vocab {
+				return nil, fmt.Errorf("ops: embedding_bag id %d out of range [0,%d)", id, vocab)
+			}
+			src := tv[int(id)*dim : (int(id)+1)*dim]
+			for j := range dst {
+				dst[j] += src[j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// Concat joins tensors along dim (all other dims must match).
+func Concat(dim int, ts ...*tensor.Tensor) (*tensor.Tensor, error) {
+	if len(ts) == 0 {
+		return nil, fmt.Errorf("ops: concat of zero tensors")
+	}
+	base := ts[0].Shape()
+	if dim < 0 || dim >= base.Rank() {
+		return nil, fmt.Errorf("ops: concat dim %d out of range for %v", dim, base)
+	}
+	total := 0
+	for _, t := range ts {
+		s := t.Shape()
+		if s.Rank() != base.Rank() {
+			return nil, fmt.Errorf("ops: concat rank mismatch %v vs %v", s, base)
+		}
+		for i := range s {
+			if i != dim && s[i] != base[i] {
+				return nil, fmt.Errorf("ops: concat shape mismatch %v vs %v on dim %d", s, base, i)
+			}
+		}
+		total += s[dim]
+	}
+	outShape := base.Clone()
+	outShape[dim] = total
+	out := tensor.New(ts[0].DType(), outShape...)
+
+	// Treat each tensor as [outer, t.dim*inner] row-major blocks.
+	inner := 1
+	for i := dim + 1; i < base.Rank(); i++ {
+		inner *= base[i]
+	}
+	outer := 1
+	for i := 0; i < dim; i++ {
+		outer *= base[i]
+	}
+	es := out.DType().Size()
+	rowOut := total * inner * es
+	off := 0
+	for _, t := range ts {
+		rowIn := t.Shape()[dim] * inner * es
+		src := t.Bytes()
+		dst := out.Bytes()
+		for o := 0; o < outer; o++ {
+			copy(dst[o*rowOut+off:o*rowOut+off+rowIn], src[o*rowIn:(o+1)*rowIn])
+		}
+		off += rowIn
+	}
+	return out, nil
+}
+
+// SliceRows returns rows [start,end) of a rank-≥1 tensor along dim 0
+// (copying).
+func SliceRows(a *tensor.Tensor, start, end int) (*tensor.Tensor, error) {
+	s := a.Shape()
+	if start < 0 || end > s[0] || start >= end {
+		return nil, fmt.Errorf("ops: slice [%d:%d) out of range for %v", start, end, s)
+	}
+	inner := a.NumElements() / s[0] * a.DType().Size()
+	outShape := s.Clone()
+	outShape[0] = end - start
+	data := make([]byte, (end-start)*inner)
+	copy(data, a.Bytes()[start*inner:end*inner])
+	return tensor.FromBytes(a.DType(), outShape, data)
+}
+
+// Transpose2D returns aᵀ for a rank-2 tensor.
+func Transpose2D(a *tensor.Tensor) (*tensor.Tensor, error) {
+	s := a.Shape()
+	if s.Rank() != 2 {
+		return nil, fmt.Errorf("ops: transpose2d needs rank 2, got %v", s)
+	}
+	out := tensor.New(tensor.F32, s[1], s[0])
+	av, ov := a.F32(), out.F32()
+	for i := 0; i < s[0]; i++ {
+		for j := 0; j < s[1]; j++ {
+			ov[j*s[0]+i] = av[i*s[1]+j]
+		}
+	}
+	return out, nil
+}
+
+// ArgmaxLastRow returns the index of the max element in the final row of a
+// rank-2 tensor — the greedy-decoding token-selection kernel.
+func ArgmaxLastRow(a *tensor.Tensor) (int64, error) {
+	s := a.Shape()
+	if s.Rank() != 2 {
+		return 0, fmt.Errorf("ops: argmax needs rank 2, got %v", s)
+	}
+	row := a.F32()[(s[0]-1)*s[1]:]
+	best, bi := row[0], 0
+	for i, v := range row {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return int64(bi), nil
+}
+
+// Conv2D applies a [outC,inC,kh,kw] kernel to input [inC,h,w] with the
+// given stride and zero padding, returning [outC,oh,ow].
+func Conv2D(in, kernel *tensor.Tensor, stride, pad int) (*tensor.Tensor, error) {
+	is, ks := in.Shape(), kernel.Shape()
+	if is.Rank() != 3 || ks.Rank() != 4 || is[0] != ks[1] {
+		return nil, fmt.Errorf("ops: conv2d shapes %v, %v", is, ks)
+	}
+	inC, h, w := is[0], is[1], is[2]
+	outC, kh, kw := ks[0], ks[2], ks[3]
+	oh := (h+2*pad-kh)/stride + 1
+	ow := (w+2*pad-kw)/stride + 1
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("ops: conv2d output empty for in %v kernel %v", is, ks)
+	}
+	out := tensor.New(tensor.F32, outC, oh, ow)
+	iv, kv, ov := in.F32(), kernel.F32(), out.F32()
+	for oc := 0; oc < outC; oc++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				var acc float32
+				for ic := 0; ic < inC; ic++ {
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*stride + ky - pad
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*stride + kx - pad
+							if ix < 0 || ix >= w {
+								continue
+							}
+							acc += iv[(ic*h+iy)*w+ix] * kv[((oc*inC+ic)*kh+ky)*kw+kx]
+						}
+					}
+				}
+				ov[(oc*oh+oy)*ow+ox] = acc
+			}
+		}
+	}
+	return out, nil
+}
+
+// MaxPool2D applies k×k max pooling with stride k to [c,h,w].
+func MaxPool2D(in *tensor.Tensor, k int) (*tensor.Tensor, error) {
+	s := in.Shape()
+	if s.Rank() != 3 {
+		return nil, fmt.Errorf("ops: maxpool needs rank 3, got %v", s)
+	}
+	c, h, w := s[0], s[1], s[2]
+	oh, ow := h/k, w/k
+	if oh == 0 || ow == 0 {
+		return nil, fmt.Errorf("ops: maxpool %d too large for %v", k, s)
+	}
+	out := tensor.New(tensor.F32, c, oh, ow)
+	iv, ov := in.F32(), out.F32()
+	for ci := 0; ci < c; ci++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := float32(math.Inf(-1))
+				for dy := 0; dy < k; dy++ {
+					for dx := 0; dx < k; dx++ {
+						v := iv[(ci*h+oy*k+dy)*w+ox*k+dx]
+						if v > best {
+							best = v
+						}
+					}
+				}
+				ov[(ci*oh+oy)*ow+ox] = best
+			}
+		}
+	}
+	return out, nil
+}
+
+// MeanPoolAll reduces [c,h,w] to [c] by averaging each channel (global
+// average pooling).
+func MeanPoolAll(in *tensor.Tensor) (*tensor.Tensor, error) {
+	s := in.Shape()
+	if s.Rank() != 3 {
+		return nil, fmt.Errorf("ops: meanpool needs rank 3, got %v", s)
+	}
+	c, hw := s[0], s[1]*s[2]
+	out := tensor.New(tensor.F32, c)
+	iv, ov := in.F32(), out.F32()
+	for ci := 0; ci < c; ci++ {
+		var sum float32
+		for i := 0; i < hw; i++ {
+			sum += iv[ci*hw+i]
+		}
+		ov[ci] = sum / float32(hw)
+	}
+	return out, nil
+}
+
+// Sum reduces all elements to a scalar.
+func Sum(a *tensor.Tensor) *tensor.Tensor {
+	var acc float64
+	for i, n := 0, a.NumElements(); i < n; i++ {
+		acc += float64(a.At(i))
+	}
+	return tensor.Scalar(float32(acc))
+}
+
+// CausalMask sets score [i,j] to -inf (large negative) where key position
+// j exceeds query position i+offset — the autoregressive attention mask.
+// offset is the number of cached positions preceding the queries (so a
+// decode step with t cached tokens uses offset=t).
+func CausalMask(scores *tensor.Tensor, offset int) (*tensor.Tensor, error) {
+	s := scores.Shape()
+	if s.Rank() != 2 {
+		return nil, fmt.Errorf("ops: causal_mask needs rank 2, got %v", s)
+	}
+	tq, tk := s[0], s[1]
+	out := scores.Clone()
+	v := out.F32()
+	const negInf = float32(-1e30)
+	for i := 0; i < tq; i++ {
+		limit := i + offset // highest visible key index
+		for j := limit + 1; j < tk; j++ {
+			v[i*tk+j] = negInf
+		}
+	}
+	return out, nil
+}
+
+// RoPE applies rotary position embeddings to x [t, dim]: each row's
+// consecutive element pairs rotate by position-dependent angles
+// θ_i = (startPos+row) · base^(-2i/dim). Rotations compose with the KV
+// cache exactly like learned positions (each row's rotation depends only
+// on its absolute position), so decode steps pass their absolute
+// startPos.
+func RoPE(x *tensor.Tensor, startPos int, base float64) (*tensor.Tensor, error) {
+	s := x.Shape()
+	if s.Rank() != 2 {
+		return nil, fmt.Errorf("ops: rope needs rank 2, got %v", s)
+	}
+	t, dim := s[0], s[1]
+	if dim%2 != 0 {
+		return nil, fmt.Errorf("ops: rope needs even dim, got %d", dim)
+	}
+	if base <= 0 {
+		base = 10000
+	}
+	out := x.Clone()
+	v := out.F32()
+	for row := 0; row < t; row++ {
+		pos := float64(startPos + row)
+		for i := 0; i < dim; i += 2 {
+			theta := pos * math.Pow(base, -float64(i)/float64(dim))
+			sin, cos := math.Sincos(theta)
+			a, b := v[row*dim+i], v[row*dim+i+1]
+			v[row*dim+i] = a*float32(cos) - b*float32(sin)
+			v[row*dim+i+1] = a*float32(sin) + b*float32(cos)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,539 @@
+package ops
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"genie/internal/tensor"
+)
+
+func f32(shape tensor.Shape, vals ...float32) *tensor.Tensor {
+	return tensor.FromF32(shape, vals)
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := f32(tensor.Shape{2, 3}, 1, 2, 3, 4, 5, 6)
+	b := f32(tensor.Shape{3, 2}, 7, 8, 9, 10, 11, 12)
+	got, err := MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := f32(tensor.Shape{2, 2}, 58, 64, 139, 154)
+	if !tensor.AllClose(got, want, 1e-6, 1e-6) {
+		t.Errorf("matmul = %v", got.F32())
+	}
+}
+
+func TestMatMulBatched(t *testing.T) {
+	a := f32(tensor.Shape{2, 1, 2}, 1, 2, 3, 4)
+	b := f32(tensor.Shape{2, 1}, 5, 6)
+	got, err := MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Shape().Equal(tensor.Shape{2, 1, 1}) {
+		t.Fatalf("shape %v", got.Shape())
+	}
+	if got.F32()[0] != 17 || got.F32()[1] != 39 {
+		t.Errorf("batched matmul = %v", got.F32())
+	}
+}
+
+func TestMatMulShapeErrors(t *testing.T) {
+	a := f32(tensor.Shape{2, 3}, 1, 2, 3, 4, 5, 6)
+	b := f32(tensor.Shape{2, 2}, 1, 2, 3, 4)
+	if _, err := MatMul(a, b); err == nil {
+		t.Error("mismatched inner dims should fail")
+	}
+	if _, err := MatMul(f32(tensor.Shape{2}, 1, 2), b); err == nil {
+		t.Error("rank-1 lhs should fail")
+	}
+}
+
+func TestMatMulTMatchesTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := tensor.New(tensor.F32, 4, 6)
+	b := tensor.New(tensor.F32, 5, 6)
+	a.RandN(rng, 1)
+	b.RandN(rng, 1)
+	bt, _ := Transpose2D(b)
+	want, err := MatMul(a, bt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MatMulT(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(got, want, 1e-5, 1e-5) {
+		t.Error("MatMulT != MatMul with explicit transpose")
+	}
+}
+
+func TestMatMulIdentityProperty(t *testing.T) {
+	// Property: A @ I == A for random square A.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := tensor.New(tensor.F32, n, n)
+		a.RandN(rng, 1)
+		eye := tensor.New(tensor.F32, n, n)
+		for i := 0; i < n; i++ {
+			eye.F32()[i*n+i] = 1
+		}
+		got, err := MatMul(a, eye)
+		return err == nil && tensor.AllClose(got, a, 1e-6, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddSubMul(t *testing.T) {
+	a := f32(tensor.Shape{2, 2}, 1, 2, 3, 4)
+	b := f32(tensor.Shape{2, 2}, 10, 20, 30, 40)
+	sum, _ := Add(a, b)
+	if sum.F32()[3] != 44 {
+		t.Errorf("add: %v", sum.F32())
+	}
+	diff, _ := Sub(b, a)
+	if diff.F32()[0] != 9 {
+		t.Errorf("sub: %v", diff.F32())
+	}
+	prod, _ := Mul(a, b)
+	if prod.F32()[2] != 90 {
+		t.Errorf("mul: %v", prod.F32())
+	}
+}
+
+func TestAddBiasBroadcast(t *testing.T) {
+	a := f32(tensor.Shape{2, 3}, 1, 2, 3, 4, 5, 6)
+	bias := f32(tensor.Shape{3}, 10, 20, 30)
+	got, err := Add(a, bias)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := f32(tensor.Shape{2, 3}, 11, 22, 33, 14, 25, 36)
+	if !tensor.AllClose(got, want, 0, 0) {
+		t.Errorf("bias add = %v", got.F32())
+	}
+	// Symmetric: bias + a.
+	got2, err := Add(bias, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(got2, want, 0, 0) {
+		t.Errorf("reversed bias add = %v", got2.F32())
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := tensor.New(tensor.F32, 4, 7)
+	a.RandN(rng, 5)
+	s := Softmax(a)
+	for r := 0; r < 4; r++ {
+		var sum float32
+		for c := 0; c < 7; c++ {
+			v := s.F32()[r*7+c]
+			if v < 0 || v > 1 {
+				t.Fatalf("softmax value %v out of [0,1]", v)
+			}
+			sum += v
+		}
+		if math.Abs(float64(sum-1)) > 1e-5 {
+			t.Errorf("row %d sums to %v", r, sum)
+		}
+	}
+}
+
+func TestSoftmaxStableForLargeInputs(t *testing.T) {
+	a := f32(tensor.Shape{1, 3}, 1000, 1000, 1000)
+	s := Softmax(a)
+	for _, v := range s.F32() {
+		if math.Abs(float64(v)-1.0/3) > 1e-5 {
+			t.Errorf("softmax(1000,1000,1000) = %v", s.F32())
+		}
+	}
+}
+
+func TestLayerNormZeroMeanUnitVar(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := tensor.New(tensor.F32, 3, 16)
+	a.RandN(rng, 4)
+	gamma := tensor.New(tensor.F32, 16)
+	gamma.Fill(1)
+	beta := tensor.New(tensor.F32, 16)
+	out, err := LayerNorm(a, gamma, beta, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 3; r++ {
+		var mean, varsum float32
+		row := out.F32()[r*16 : (r+1)*16]
+		for _, v := range row {
+			mean += v
+		}
+		mean /= 16
+		for _, v := range row {
+			varsum += (v - mean) * (v - mean)
+		}
+		if math.Abs(float64(mean)) > 1e-4 {
+			t.Errorf("row %d mean %v", r, mean)
+		}
+		if math.Abs(float64(varsum/16)-1) > 1e-2 {
+			t.Errorf("row %d var %v", r, varsum/16)
+		}
+	}
+	// Shape check on gain/bias.
+	if _, err := LayerNorm(a, tensor.New(tensor.F32, 4), beta, 1e-5); err == nil {
+		t.Error("wrong gamma size should fail")
+	}
+}
+
+func TestGELUKnownValues(t *testing.T) {
+	a := f32(tensor.Shape{3}, 0, 1, -1)
+	g := GELU(a)
+	if g.F32()[0] != 0 {
+		t.Errorf("gelu(0) = %v", g.F32()[0])
+	}
+	if math.Abs(float64(g.F32()[1])-0.8412) > 1e-3 {
+		t.Errorf("gelu(1) = %v", g.F32()[1])
+	}
+	if math.Abs(float64(g.F32()[2])+0.1588) > 1e-3 {
+		t.Errorf("gelu(-1) = %v", g.F32()[2])
+	}
+}
+
+func TestReLU(t *testing.T) {
+	a := f32(tensor.Shape{4}, -2, -0.5, 0, 3)
+	r := ReLU(a)
+	want := []float32{0, 0, 0, 3}
+	for i, v := range r.F32() {
+		if v != want[i] {
+			t.Errorf("relu[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestEmbedding(t *testing.T) {
+	table := f32(tensor.Shape{3, 2}, 0, 1, 10, 11, 20, 21)
+	ids := tensor.FromI64(tensor.Shape{2}, []int64{2, 0})
+	out, err := Embedding(table, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := f32(tensor.Shape{2, 2}, 20, 21, 0, 1)
+	if !tensor.AllClose(out, want, 0, 0) {
+		t.Errorf("embedding = %v", out.F32())
+	}
+	// Out-of-range id.
+	bad := tensor.FromI64(tensor.Shape{1}, []int64{5})
+	if _, err := Embedding(table, bad); err == nil {
+		t.Error("out-of-range id should fail")
+	}
+}
+
+func TestEmbeddingBag(t *testing.T) {
+	table := f32(tensor.Shape{4, 2}, 1, 1, 2, 2, 3, 3, 4, 4)
+	// Bag 0: ids {0,1}; bag 1: ids {3}.
+	out, err := EmbeddingBag(table, []int64{0, 1, 3}, []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := f32(tensor.Shape{2, 2}, 3, 3, 4, 4)
+	if !tensor.AllClose(out, want, 0, 0) {
+		t.Errorf("embedding bag = %v", out.F32())
+	}
+	if _, err := EmbeddingBag(table, []int64{9}, []int{0}); err == nil {
+		t.Error("bad id should fail")
+	}
+}
+
+func TestConcatDim0AndDim1(t *testing.T) {
+	a := f32(tensor.Shape{1, 2}, 1, 2)
+	b := f32(tensor.Shape{2, 2}, 3, 4, 5, 6)
+	out, err := Concat(0, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Shape().Equal(tensor.Shape{3, 2}) || out.F32()[4] != 5 {
+		t.Errorf("concat dim0 = %v %v", out.Shape(), out.F32())
+	}
+	c := f32(tensor.Shape{2, 1}, 9, 10)
+	out2, err := Concat(1, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := f32(tensor.Shape{2, 3}, 3, 4, 9, 5, 6, 10)
+	if !tensor.AllClose(out2, want, 0, 0) {
+		t.Errorf("concat dim1 = %v", out2.F32())
+	}
+	if _, err := Concat(0, a, f32(tensor.Shape{1, 3}, 1, 2, 3)); err == nil {
+		t.Error("mismatched non-concat dim should fail")
+	}
+}
+
+func TestConcatGrowsLikeKVCache(t *testing.T) {
+	// The decode loop's KV-cache append: [t,d] ++ [1,d] per step.
+	kv := f32(tensor.Shape{1, 2}, 0, 0)
+	for step := 1; step <= 5; step++ {
+		delta := f32(tensor.Shape{1, 2}, float32(step), float32(step))
+		var err error
+		kv, err = Concat(0, kv, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !kv.Shape().Equal(tensor.Shape{6, 2}) {
+		t.Fatalf("kv shape %v", kv.Shape())
+	}
+	if kv.F32()[10] != 5 {
+		t.Errorf("last appended row wrong: %v", kv.F32())
+	}
+}
+
+func TestSliceRows(t *testing.T) {
+	a := f32(tensor.Shape{4, 2}, 0, 1, 2, 3, 4, 5, 6, 7)
+	s, err := SliceRows(a, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := f32(tensor.Shape{2, 2}, 2, 3, 4, 5)
+	if !tensor.AllClose(s, want, 0, 0) {
+		t.Errorf("slice = %v", s.F32())
+	}
+	if _, err := SliceRows(a, 3, 3); err == nil {
+		t.Error("empty slice should fail")
+	}
+	if _, err := SliceRows(a, 0, 5); err == nil {
+		t.Error("out-of-range slice should fail")
+	}
+}
+
+func TestTranspose2DInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 1+rng.Intn(6), 1+rng.Intn(6)
+		a := tensor.New(tensor.F32, m, n)
+		a.RandN(rng, 1)
+		tr, err := Transpose2D(a)
+		if err != nil {
+			return false
+		}
+		back, err := Transpose2D(tr)
+		return err == nil && tensor.AllClose(back, a, 0, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArgmaxLastRow(t *testing.T) {
+	a := f32(tensor.Shape{2, 4}, 9, 0, 0, 0, 0, 0, 7, 1)
+	id, err := ArgmaxLastRow(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 2 {
+		t.Errorf("argmax = %d, want 2", id)
+	}
+}
+
+func TestConv2DKnown(t *testing.T) {
+	// 1-channel 3x3 input, 1 output channel, 2x2 kernel of ones, stride 1,
+	// no padding: each output = sum of 2x2 window.
+	in := f32(tensor.Shape{1, 3, 3}, 1, 2, 3, 4, 5, 6, 7, 8, 9)
+	k := f32(tensor.Shape{1, 1, 2, 2}, 1, 1, 1, 1)
+	out, err := Conv2D(in, k, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := f32(tensor.Shape{1, 2, 2}, 12, 16, 24, 28)
+	if !tensor.AllClose(out, want, 1e-6, 1e-6) {
+		t.Errorf("conv = %v", out.F32())
+	}
+}
+
+func TestConv2DPaddingPreservesSize(t *testing.T) {
+	in := tensor.New(tensor.F32, 2, 8, 8)
+	in.Fill(1)
+	k := tensor.New(tensor.F32, 4, 2, 3, 3)
+	k.Fill(0.1)
+	out, err := Conv2D(in, k, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Shape().Equal(tensor.Shape{4, 8, 8}) {
+		t.Errorf("padded conv shape = %v", out.Shape())
+	}
+	// Interior cell: 2 channels * 9 taps * 0.1 = 1.8.
+	if math.Abs(float64(out.F32()[4*8*8/4+8*4+4])-1.8) > 1e-5 {
+		// index (oc=1, y=4, x=4) just checks an interior value
+		t.Errorf("interior conv value = %v", out.F32()[(1*8+4)*8+4])
+	}
+}
+
+func TestConv2DStride(t *testing.T) {
+	in := tensor.New(tensor.F32, 1, 4, 4)
+	k := tensor.New(tensor.F32, 1, 1, 2, 2)
+	out, err := Conv2D(in, k, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Shape().Equal(tensor.Shape{1, 2, 2}) {
+		t.Errorf("strided conv shape = %v", out.Shape())
+	}
+}
+
+func TestMaxPool2D(t *testing.T) {
+	in := f32(tensor.Shape{1, 2, 4}, 1, 5, 2, 6, 3, 7, 4, 8)
+	out, err := MaxPool2D(in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := f32(tensor.Shape{1, 1, 2}, 7, 8)
+	if !tensor.AllClose(out, want, 0, 0) {
+		t.Errorf("maxpool = %v", out.F32())
+	}
+	if _, err := MaxPool2D(in, 5); err == nil {
+		t.Error("oversized pool should fail")
+	}
+}
+
+func TestMeanPoolAll(t *testing.T) {
+	in := f32(tensor.Shape{2, 1, 2}, 1, 3, 10, 20)
+	out, err := MeanPoolAll(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.F32()[0] != 2 || out.F32()[1] != 15 {
+		t.Errorf("meanpool = %v", out.F32())
+	}
+}
+
+func TestScaleAndSum(t *testing.T) {
+	a := f32(tensor.Shape{3}, 1, 2, 3)
+	s := Scale(a, 2)
+	if s.F32()[2] != 6 {
+		t.Errorf("scale = %v", s.F32())
+	}
+	if got := Sum(a).F32()[0]; got != 6 {
+		t.Errorf("sum = %v", got)
+	}
+}
+
+func TestCausalMask(t *testing.T) {
+	// 2 queries over 4 keys with 2 cached positions (offset 2): query 0
+	// sees keys 0..2, query 1 sees keys 0..3.
+	scores := f32(tensor.Shape{2, 4}, 1, 1, 1, 1, 1, 1, 1, 1)
+	out, err := CausalMask(scores, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := out.F32()
+	if v[3] > -1e29 {
+		t.Errorf("query 0 should not see key 3: %v", v[:4])
+	}
+	for _, i := range []int{0, 1, 2, 4, 5, 6, 7} {
+		if v[i] != 1 {
+			t.Errorf("visible position %d masked: %v", i, v)
+		}
+	}
+	if _, err := CausalMask(tensor.New(tensor.F32, 2), 0); err == nil {
+		t.Error("rank-1 scores should fail")
+	}
+	// Masking must not mutate its input.
+	if scores.F32()[3] != 1 {
+		t.Error("CausalMask mutated its input")
+	}
+}
+
+func TestCausalMaskMakesFullRecomputeMatchIncremental(t *testing.T) {
+	// Softmax over masked scores: the last row of a full pass equals the
+	// single-row decode pass.
+	full := f32(tensor.Shape{3, 3}, 5, 9, 9, 1, 2, 9, 3, 1, 2)
+	masked, err := CausalMask(full, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullProbs := Softmax(masked)
+	lastRow, _ := SliceRows(full, 2, 3)
+	inc, err := CausalMask(lastRow, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incProbs := Softmax(inc)
+	want, _ := SliceRows(fullProbs, 2, 3)
+	if !tensor.AllClose(incProbs, want, 1e-6, 1e-6) {
+		t.Errorf("incremental %v vs full %v", incProbs.F32(), want.F32())
+	}
+}
+
+func TestRoPERotationProperties(t *testing.T) {
+	// Norm preservation: rotations keep each pair's magnitude.
+	rng := rand.New(rand.NewSource(17))
+	x := tensor.New(tensor.F32, 3, 8)
+	x.RandN(rng, 1)
+	out, err := RoPE(x, 5, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for row := 0; row < 3; row++ {
+		for i := 0; i < 8; i += 2 {
+			a0, b0 := x.F32()[row*8+i], x.F32()[row*8+i+1]
+			a1, b1 := out.F32()[row*8+i], out.F32()[row*8+i+1]
+			n0 := float64(a0*a0 + b0*b0)
+			n1 := float64(a1*a1 + b1*b1)
+			if math.Abs(n0-n1) > 1e-4*math.Max(1, n0) {
+				t.Fatalf("pair norm changed: %v -> %v", n0, n1)
+			}
+		}
+	}
+	// Position 0 with row 0 is the identity rotation.
+	id, err := RoPE(x, 0, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if id.F32()[i] != x.F32()[i] {
+			t.Fatalf("row at position 0 should be unrotated")
+		}
+	}
+	// Errors.
+	if _, err := RoPE(tensor.New(tensor.F32, 4), 0, 0); err == nil {
+		t.Error("rank-1 input should fail")
+	}
+	if _, err := RoPE(tensor.New(tensor.F32, 2, 3), 0, 0); err == nil {
+		t.Error("odd dim should fail")
+	}
+}
+
+func TestRoPEAbsolutePositionComposesWithCache(t *testing.T) {
+	// Rotating rows [0..3] in one call equals rotating [0..2] and row 3
+	// separately with the right startPos — the KV-cache compatibility
+	// property.
+	rng := rand.New(rand.NewSource(18))
+	x := tensor.New(tensor.F32, 4, 8)
+	x.RandN(rng, 1)
+	full, err := RoPE(x, 0, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, _ := SliceRows(x, 0, 3)
+	tail, _ := SliceRows(x, 3, 4)
+	headR, err := RoPE(head, 0, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tailR, err := RoPE(tail, 3, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, _ := Concat(0, headR, tailR)
+	if !tensor.AllClose(joined, full, 1e-6, 1e-6) {
+		t.Error("incremental RoPE diverges from full")
+	}
+}

@@ -1,0 +1,283 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"unsafe"
+)
+
+// Tensor is a dense, row-major, contiguous n-dimensional array. The backing
+// store is a raw byte slice so that the transport layer can send tensors
+// with zero copies: Bytes() exposes the exact wire representation.
+//
+// Tensors created through a transport.BufferPool live in "pinned" buffers
+// (the DPDK-managed-host-memory analogue from §3.4 of the paper); the pool
+// hands the tensor a release func so the buffer can be recycled.
+type Tensor struct {
+	shape   Shape
+	dtype   DType
+	data    []byte
+	pinned  bool
+	release func()
+}
+
+// New allocates a zeroed tensor of the given dtype and shape.
+func New(dt DType, shape ...int) *Tensor {
+	s := Shape(shape)
+	if !s.Valid() {
+		panic(fmt.Sprintf("tensor: invalid shape %v", s))
+	}
+	return &Tensor{
+		shape: s.Clone(),
+		dtype: dt,
+		data:  make([]byte, s.NumElements()*dt.Size()),
+	}
+}
+
+// FromBytes wraps an existing byte slice (no copy). len(data) must equal
+// shape.NumElements()*dt.Size().
+func FromBytes(dt DType, shape Shape, data []byte) (*Tensor, error) {
+	want := shape.NumElements() * dt.Size()
+	if len(data) != want {
+		return nil, fmt.Errorf("tensor: byte length %d does not match %s%v (want %d)",
+			len(data), dt, shape, want)
+	}
+	return &Tensor{shape: shape.Clone(), dtype: dt, data: data}, nil
+}
+
+// FromF32 builds an F32 tensor from values (copied).
+func FromF32(shape Shape, values []float32) *Tensor {
+	if shape.NumElements() != len(values) {
+		panic(fmt.Sprintf("tensor: %d values for shape %v", len(values), shape))
+	}
+	t := New(F32, shape...)
+	copy(t.F32(), values)
+	return t
+}
+
+// FromI64 builds an I64 tensor from values (copied).
+func FromI64(shape Shape, values []int64) *Tensor {
+	if shape.NumElements() != len(values) {
+		panic(fmt.Sprintf("tensor: %d values for shape %v", len(values), shape))
+	}
+	t := New(I64, shape...)
+	copy(t.I64(), values)
+	return t
+}
+
+// Scalar returns a rank-0 F32 tensor holding v.
+func Scalar(v float32) *Tensor {
+	t := New(F32)
+	t.F32()[0] = v
+	return t
+}
+
+// WrapPinned wraps buf as a pinned tensor owned by a buffer pool; release
+// is invoked by Release().
+func WrapPinned(dt DType, shape Shape, buf []byte, release func()) (*Tensor, error) {
+	t, err := FromBytes(dt, shape, buf)
+	if err != nil {
+		return nil, err
+	}
+	t.pinned = true
+	t.release = release
+	return t, nil
+}
+
+// Shape returns the tensor's shape (callers must not mutate it).
+func (t *Tensor) Shape() Shape { return t.shape }
+
+// DType returns the element type.
+func (t *Tensor) DType() DType { return t.dtype }
+
+// NumElements returns the total element count.
+func (t *Tensor) NumElements() int { return t.shape.NumElements() }
+
+// NumBytes returns the size of the backing store in bytes.
+func (t *Tensor) NumBytes() int { return len(t.data) }
+
+// Pinned reports whether the tensor lives in network-ready pinned memory.
+func (t *Tensor) Pinned() bool { return t.pinned }
+
+// Release returns a pinned tensor's buffer to its pool. Safe to call on
+// unpinned tensors (no-op). The tensor must not be used afterwards.
+func (t *Tensor) Release() {
+	if t.release != nil {
+		r := t.release
+		t.release = nil
+		t.data = nil
+		r()
+	}
+}
+
+// Bytes exposes the raw backing store. This IS the wire format: dtype and
+// shape travel in the frame header, the payload is this slice verbatim.
+func (t *Tensor) Bytes() []byte { return t.data }
+
+// F32 reinterprets the backing store as []float32. Panics on dtype
+// mismatch.
+func (t *Tensor) F32() []float32 {
+	t.mustBe(F32)
+	if len(t.data) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float32)(unsafe.Pointer(&t.data[0])), t.NumElements())
+}
+
+// I64 reinterprets the backing store as []int64.
+func (t *Tensor) I64() []int64 {
+	t.mustBe(I64)
+	if len(t.data) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&t.data[0])), t.NumElements())
+}
+
+// I32 reinterprets the backing store as []int32.
+func (t *Tensor) I32() []int32 {
+	t.mustBe(I32)
+	if len(t.data) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&t.data[0])), t.NumElements())
+}
+
+// U8 returns the backing store for a U8 tensor.
+func (t *Tensor) U8() []byte {
+	t.mustBe(U8)
+	return t.data
+}
+
+// F16 reinterprets the backing store as raw half-precision bit patterns.
+func (t *Tensor) F16() []uint16 {
+	t.mustBe(F16)
+	if len(t.data) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint16)(unsafe.Pointer(&t.data[0])), t.NumElements())
+}
+
+func (t *Tensor) mustBe(dt DType) {
+	if t.dtype != dt {
+		panic(fmt.Sprintf("tensor: dtype is %s, not %s", t.dtype, dt))
+	}
+}
+
+// At returns element i (flat index) widened to float32, for any dtype.
+func (t *Tensor) At(i int) float32 {
+	switch t.dtype {
+	case F32:
+		return t.F32()[i]
+	case F16:
+		return F16ToF32(t.F16()[i])
+	case I64:
+		return float32(t.I64()[i])
+	case I32:
+		return float32(t.I32()[i])
+	case U8:
+		return float32(t.data[i])
+	}
+	panic("tensor: unknown dtype")
+}
+
+// SetAt stores v (narrowed as needed) at flat index i.
+func (t *Tensor) SetAt(i int, v float32) {
+	switch t.dtype {
+	case F32:
+		t.F32()[i] = v
+	case F16:
+		t.F16()[i] = F16FromF32(v)
+	case I64:
+		t.I64()[i] = int64(v)
+	case I32:
+		t.I32()[i] = int32(v)
+	case U8:
+		t.data[i] = byte(v)
+	default:
+		panic("tensor: unknown dtype")
+	}
+}
+
+// Clone deep-copies the tensor into unpinned memory.
+func (t *Tensor) Clone() *Tensor {
+	out := New(t.dtype, t.shape...)
+	copy(out.data, t.data)
+	return out
+}
+
+// Reshape returns a new tensor header sharing the backing store with a new
+// shape of equal element count.
+func (t *Tensor) Reshape(shape ...int) (*Tensor, error) {
+	s := Shape(shape)
+	if s.NumElements() != t.NumElements() {
+		return nil, fmt.Errorf("tensor: cannot reshape %v (%d elems) to %v (%d elems)",
+			t.shape, t.NumElements(), s, s.NumElements())
+	}
+	return &Tensor{shape: s.Clone(), dtype: t.dtype, data: t.data, pinned: t.pinned}, nil
+}
+
+// ToF32 returns an F32 copy of the tensor, converting elementwise.
+func (t *Tensor) ToF32() *Tensor {
+	if t.dtype == F32 {
+		return t.Clone()
+	}
+	out := New(F32, t.shape...)
+	dst := out.F32()
+	for i := range dst {
+		dst[i] = t.At(i)
+	}
+	return out
+}
+
+// ToF16 returns an F16 copy of the tensor.
+func (t *Tensor) ToF16() *Tensor {
+	out := New(F16, t.shape...)
+	dst := out.F16()
+	for i := range dst {
+		dst[i] = F16FromF32(t.At(i))
+	}
+	return out
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i, n := 0, t.NumElements(); i < n; i++ {
+		t.SetAt(i, v)
+	}
+}
+
+// RandN fills the tensor with pseudo-normal values (mean 0, stddev sd)
+// from rng, used for deterministic weight initialization in tests and
+// examples.
+func (t *Tensor) RandN(rng *rand.Rand, sd float32) {
+	for i, n := 0, t.NumElements(); i < n; i++ {
+		t.SetAt(i, float32(rng.NormFloat64())*sd)
+	}
+}
+
+// AllClose reports whether two tensors have the same shape and elementwise
+// |a-b| <= atol + rtol*|b|.
+func AllClose(a, b *Tensor, rtol, atol float64) bool {
+	if !a.shape.Equal(b.shape) {
+		return false
+	}
+	for i, n := 0, a.NumElements(); i < n; i++ {
+		va, vb := float64(a.At(i)), float64(b.At(i))
+		if math.IsNaN(va) || math.IsNaN(vb) {
+			return false
+		}
+		if math.Abs(va-vb) > atol+rtol*math.Abs(vb) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact description like "f32[2 3]".
+func (t *Tensor) String() string {
+	return fmt.Sprintf("%s%v", t.dtype, t.shape)
+}
+
+func f32bits(f float32) uint32     { return *(*uint32)(unsafe.Pointer(&f)) }
+func f32frombits(b uint32) float32 { return *(*float32)(unsafe.Pointer(&b)) }

@@ -1,0 +1,130 @@
+package transport
+
+import (
+	"fmt"
+	"time"
+
+	"genie/internal/tensor"
+)
+
+// Client is the typed RPC surface over a framed connection to one
+// backend.
+type Client struct {
+	conn *Conn
+}
+
+// NewClient wraps a connection.
+func NewClient(conn *Conn) *Client { return &Client{conn: conn} }
+
+// Conn exposes the underlying connection (for counters).
+func (c *Client) Conn() *Conn { return c.conn }
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Ping measures a protocol round trip.
+func (c *Client) Ping() (time.Duration, error) {
+	start := time.Now()
+	t, _, err := c.conn.Call(MsgPing, nil)
+	if err != nil {
+		return 0, err
+	}
+	if t != MsgPong {
+		return 0, fmt.Errorf("transport: ping got %d", t)
+	}
+	return time.Since(start), nil
+}
+
+// Upload stores a tensor remotely under key.
+func (c *Client) Upload(key string, data *tensor.Tensor) (*UploadOK, error) {
+	t, p, err := c.conn.Call(MsgUpload, EncodeUpload(&Upload{Key: key, Data: data}))
+	if err != nil {
+		return nil, err
+	}
+	if t != MsgUploadOK {
+		return nil, fmt.Errorf("transport: upload got %d", t)
+	}
+	return DecodeUploadOK(p)
+}
+
+// Exec ships a subgraph for remote execution.
+func (c *Client) Exec(x *Exec) (*ExecOK, error) {
+	payload, err := EncodeExec(x)
+	if err != nil {
+		return nil, err
+	}
+	t, p, err := c.conn.Call(MsgExec, payload)
+	if err != nil {
+		return nil, err
+	}
+	if t != MsgExecOK {
+		return nil, fmt.Errorf("transport: exec got %d", t)
+	}
+	return DecodeExecOK(p)
+}
+
+// ExecVerified ships a subgraph and verifies the server's execution
+// attestation: the response must echo the fingerprint of the graph that
+// was sent. A mismatch means the server executed something else
+// (tampering, misrouting, or a buggy proxy) and is returned as an error
+// with the results discarded.
+func (c *Client) ExecVerified(x *Exec) (*ExecOK, error) {
+	want := x.Graph.Fingerprint()
+	ok, err := c.Exec(x)
+	if err != nil {
+		return nil, err
+	}
+	if ok.GraphFP != want {
+		return nil, fmt.Errorf("transport: execution attestation mismatch: sent %s, server ran %s",
+			want, ok.GraphFP)
+	}
+	return ok, nil
+}
+
+// Fetch retrieves a resident object; epoch 0 skips staleness checking.
+func (c *Client) Fetch(key string, epoch uint32) (*tensor.Tensor, error) {
+	t, p, err := c.conn.Call(MsgFetch, EncodeFetch(&Fetch{Key: key, Epoch: epoch}))
+	if err != nil {
+		return nil, err
+	}
+	if t != MsgTensor {
+		return nil, fmt.Errorf("transport: fetch got %d", t)
+	}
+	return DecodeTensorMsg(p)
+}
+
+// Free releases a resident object.
+func (c *Client) Free(key string) error {
+	t, _, err := c.conn.Call(MsgFree, EncodeFetch(&Fetch{Key: key}))
+	if err != nil {
+		return err
+	}
+	if t != MsgFreeOK {
+		return fmt.Errorf("transport: free got %d", t)
+	}
+	return nil
+}
+
+// Crash injects a server failure (drops all resident state).
+func (c *Client) Crash() error {
+	t, _, err := c.conn.Call(MsgCrash, nil)
+	if err != nil {
+		return err
+	}
+	if t != MsgCrashOK {
+		return fmt.Errorf("transport: crash got %d", t)
+	}
+	return nil
+}
+
+// Stats fetches server counters.
+func (c *Client) Stats() (*Stats, error) {
+	t, p, err := c.conn.Call(MsgStats, nil)
+	if err != nil {
+		return nil, err
+	}
+	if t != MsgStatsOK {
+		return nil, fmt.Errorf("transport: stats got %d", t)
+	}
+	return DecodeStats(p)
+}

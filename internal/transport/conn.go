@@ -1,0 +1,191 @@
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counters tracks traffic through one endpoint; the evaluation's "Net
+// [MB]" column reads these.
+type Counters struct {
+	BytesSent atomic.Int64
+	BytesRecv atomic.Int64
+	Calls     atomic.Int64
+}
+
+// Snapshot returns current values.
+func (c *Counters) Snapshot() (sent, recv, calls int64) {
+	return c.BytesSent.Load(), c.BytesRecv.Load(), c.Calls.Load()
+}
+
+// Reset zeroes the counters.
+func (c *Counters) Reset() {
+	c.BytesSent.Store(0)
+	c.BytesRecv.Store(0)
+	c.Calls.Store(0)
+}
+
+// Total returns sent+recv.
+func (c *Counters) Total() int64 { return c.BytesSent.Load() + c.BytesRecv.Load() }
+
+// Shaper emulates link characteristics on top of a fast local socket so
+// small-scale real-transport experiments exhibit the paper's 25 Gbps +
+// RPC-overhead regime. A nil *Shaper is a no-op.
+type Shaper struct {
+	// Bandwidth in bytes/s (0 = unlimited).
+	Bandwidth float64
+	// RTT added per call (half on send, half on receive).
+	RTT time.Duration
+	// PerCall is fixed software overhead added to every RPC, emulating
+	// the TensorPipe/Python dispatch cost the paper measures.
+	PerCall time.Duration
+}
+
+func (s *Shaper) delaySend(n int) {
+	if s == nil {
+		return
+	}
+	d := s.PerCall + s.RTT/2
+	if s.Bandwidth > 0 {
+		d += time.Duration(float64(n) / s.Bandwidth * float64(time.Second))
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+func (s *Shaper) delayRecv(n int) {
+	if s == nil {
+		return
+	}
+	d := s.RTT / 2
+	if s.Bandwidth > 0 {
+		d += time.Duration(float64(n) / s.Bandwidth * float64(time.Second))
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Conn is a counted, optionally shaped, framed connection. It serializes
+// concurrent calls (one outstanding request per conn, like a synchronous
+// RPC channel).
+type Conn struct {
+	mu   sync.Mutex
+	raw  net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	ctr  *Counters
+	shp  *Shaper
+	dead atomic.Bool
+}
+
+// NewConn wraps a net.Conn. counters may be shared across conns; shaper
+// may be nil.
+func NewConn(raw net.Conn, counters *Counters, shaper *Shaper) *Conn {
+	if counters == nil {
+		counters = &Counters{}
+	}
+	return &Conn{
+		raw: raw,
+		br:  bufio.NewReaderSize(raw, 1<<20),
+		bw:  bufio.NewWriterSize(raw, 1<<20),
+		ctr: counters,
+		shp: shaper,
+	}
+}
+
+// Counters returns the traffic counters for this conn.
+func (c *Conn) Counters() *Counters { return c.ctr }
+
+// Close closes the underlying socket.
+func (c *Conn) Close() error {
+	c.dead.Store(true)
+	return c.raw.Close()
+}
+
+// Send writes one frame.
+func (c *Conn) Send(t MsgType, payload []byte) error {
+	c.shp.delaySend(len(payload))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := WriteFrame(c.bw, t, payload); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	c.ctr.BytesSent.Add(int64(len(payload)) + 5)
+	return nil
+}
+
+// Recv reads one frame.
+func (c *Conn) Recv() (MsgType, []byte, error) {
+	t, payload, err := ReadFrame(c.br)
+	if err != nil {
+		return 0, nil, err
+	}
+	c.ctr.BytesRecv.Add(int64(len(payload)) + 5)
+	c.shp.delayRecv(len(payload))
+	return t, payload, nil
+}
+
+// Call performs one synchronous round trip and returns the response
+// frame. MsgErr responses decode to an error.
+func (c *Conn) Call(t MsgType, payload []byte) (MsgType, []byte, error) {
+	c.ctr.Calls.Add(1)
+	if err := c.Send(t, payload); err != nil {
+		return 0, nil, fmt.Errorf("transport: send: %w", err)
+	}
+	rt, rp, err := c.Recv()
+	if err != nil {
+		return 0, nil, fmt.Errorf("transport: recv: %w", err)
+	}
+	if rt == MsgErr {
+		return rt, nil, DecodeErr(rp)
+	}
+	return rt, rp, nil
+}
+
+// Dial connects to a Genie server.
+func Dial(addr string, counters *Counters, shaper *Shaper) (*Conn, error) {
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	if tc, ok := raw.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	return NewConn(raw, counters, shaper), nil
+}
+
+// Pipe returns two in-process connected endpoints (tests, examples).
+func Pipe(counters *Counters, shaper *Shaper) (client, server *Conn) {
+	a, b := net.Pipe()
+	return NewConn(a, counters, shaper), NewConn(b, nil, nil)
+}
+
+// IsClosed reports whether err indicates a closed/broken connection.
+func IsClosed(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	msg := err.Error()
+	return strings.Contains(msg, "use of closed network connection") ||
+		strings.Contains(msg, "EOF") ||
+		strings.Contains(msg, "connection reset")
+}

@@ -1,0 +1,582 @@
+// Package transport implements Genie's network datapath: a length-prefixed
+// binary RPC protocol carrying tensors, SRG subgraphs, and remote-object
+// handles between clients and disaggregated accelerator servers (§3.4).
+//
+// Real bytes move over real sockets; the package also provides a pinned
+// buffer pool (the DPDK-managed-memory analogue) and a link shaper that
+// emulates the paper's 25 Gbps testbed at laptop scale. Per-conn traffic
+// counters feed the evaluation's network-volume metrics.
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"genie/internal/srg"
+	"genie/internal/tensor"
+)
+
+// MsgType identifies a frame's payload.
+type MsgType uint8
+
+// Protocol messages.
+const (
+	// MsgPing / MsgPong measure RTT and probe liveness.
+	MsgPing MsgType = iota + 1
+	MsgPong
+	// MsgUpload stores a tensor server-side under a key.
+	MsgUpload
+	// MsgUploadOK acknowledges with the object's epoch.
+	MsgUploadOK
+	// MsgExec runs an SRG subgraph with bindings.
+	MsgExec
+	// MsgExecOK returns requested results.
+	MsgExecOK
+	// MsgFetch retrieves a resident object by key.
+	MsgFetch
+	// MsgTensor is a fetched tensor.
+	MsgTensor
+	// MsgFree releases a resident object.
+	MsgFree
+	// MsgFreeOK acknowledges a free.
+	MsgFreeOK
+	// MsgErr carries a server-side error string.
+	MsgErr
+	// MsgCrash injects a failure: the server drops all resident state and
+	// advances its epoch (fault-tolerance testing, §3.5).
+	MsgCrash
+	// MsgCrashOK acknowledges injected failure.
+	MsgCrashOK
+	// MsgStats requests server metrics.
+	MsgStats
+	// MsgStatsOK returns them.
+	MsgStatsOK
+)
+
+// maxFrame bounds a frame payload (1 GiB) against malformed peers.
+const maxFrame = 1 << 30
+
+// WriteFrame writes one length-prefixed frame: u32 len | u8 type |
+// payload.
+func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = byte(t)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame.
+func ReadFrame(r io.Reader) (MsgType, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return MsgType(hdr[4]), payload, nil
+}
+
+// --- primitive codec helpers ---
+
+type buf struct{ b []byte }
+
+// str writes a u16-length-prefixed string. Strings beyond the 64 KiB
+// prefix limit are truncated consistently (prefix and bytes together) so
+// the stream can never desynchronize; object keys and refs are far below
+// the limit in practice.
+func (e *buf) str(s string) {
+	if len(s) > 0xffff {
+		s = s[:0xffff]
+	}
+	var l [2]byte
+	binary.LittleEndian.PutUint16(l[:], uint16(len(s)))
+	e.b = append(e.b, l[:]...)
+	e.b = append(e.b, s...)
+}
+
+func (e *buf) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *buf) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *buf) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+
+func (e *buf) tensor(t *tensor.Tensor) {
+	m := tensor.MetaOf(t)
+	e.u8(uint8(m.DType))
+	e.u8(uint8(len(m.Shape)))
+	for _, d := range m.Shape {
+		e.u32(uint32(d))
+	}
+	e.u32(uint32(len(t.Bytes())))
+	e.b = append(e.b, t.Bytes()...)
+}
+
+type rdr struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *rdr) fail(msg string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("transport: %s at offset %d", msg, r.off)
+	}
+}
+
+func (r *rdr) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.b) {
+		r.fail("short buffer")
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *rdr) str() string {
+	b := r.take(2)
+	if b == nil {
+		return ""
+	}
+	n := int(binary.LittleEndian.Uint16(b))
+	s := r.take(n)
+	return string(s)
+}
+
+func (r *rdr) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *rdr) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *rdr) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *rdr) tensor() *tensor.Tensor {
+	dt := tensor.DType(r.u8())
+	if dt > tensor.U8 {
+		r.fail("invalid dtype byte")
+		return nil
+	}
+	rank := int(r.u8())
+	if rank > 16 {
+		r.fail("rank too large")
+		return nil
+	}
+	shape := make(tensor.Shape, rank)
+	for i := range shape {
+		shape[i] = int(r.u32())
+	}
+	n := int(r.u32())
+	data := r.take(n)
+	if r.err != nil {
+		return nil
+	}
+	// Copy: the frame buffer is reused by callers.
+	cp := make([]byte, n)
+	copy(cp, data)
+	t, err := tensor.FromBytes(dt, shape, cp)
+	if err != nil {
+		r.fail(err.Error())
+		return nil
+	}
+	return t
+}
+
+// --- message payloads ---
+
+// Upload stores a tensor under Key on the server.
+type Upload struct {
+	Key  string
+	Data *tensor.Tensor
+}
+
+// EncodeUpload serializes an Upload payload.
+func EncodeUpload(u *Upload) []byte {
+	var e buf
+	e.str(u.Key)
+	e.tensor(u.Data)
+	return e.b
+}
+
+// DecodeUpload parses an Upload payload.
+func DecodeUpload(b []byte) (*Upload, error) {
+	r := rdr{b: b}
+	u := &Upload{Key: r.str(), Data: r.tensor()}
+	return u, r.err
+}
+
+// UploadOK acknowledges an upload with the store epoch it landed in.
+type UploadOK struct {
+	Epoch uint32
+	Bytes int64
+}
+
+// EncodeUploadOK serializes an UploadOK payload.
+func EncodeUploadOK(a *UploadOK) []byte {
+	var e buf
+	e.u32(a.Epoch)
+	e.u64(uint64(a.Bytes))
+	return e.b
+}
+
+// DecodeUploadOK parses an UploadOK payload.
+func DecodeUploadOK(b []byte) (*UploadOK, error) {
+	r := rdr{b: b}
+	a := &UploadOK{Epoch: r.u32(), Bytes: int64(r.u64())}
+	return a, r.err
+}
+
+// Binding supplies data for one SRG leaf ref: either an inline tensor or
+// a reference to a server-resident object.
+type Binding struct {
+	Ref string
+	// Inline carries the data in the call (nil when Key is set).
+	Inline *tensor.Tensor
+	// Key names a server-resident object (empty when Inline is set).
+	Key string
+	// Epoch the client believes the object is from; the server rejects
+	// stale epochs so lineage can detect lost state.
+	Epoch uint32
+}
+
+// Exec runs a subgraph server-side.
+type Exec struct {
+	Graph *srg.Graph
+	Binds []Binding
+	// Keep maps node IDs to keys: those outputs stay resident
+	// server-side under the key (returned by handle, not by value).
+	Keep map[srg.NodeID]string
+	// Want lists node IDs whose values return inline in ExecOK.
+	Want []srg.NodeID
+}
+
+// EncodeExec serializes an Exec payload.
+func EncodeExec(x *Exec) ([]byte, error) {
+	var e buf
+	var gb buf
+	// Graph encodes via its own writer; capture to bytes.
+	w := &sliceWriter{}
+	if err := x.Graph.Encode(w); err != nil {
+		return nil, err
+	}
+	gb.b = w.b
+	e.u32(uint32(len(gb.b)))
+	e.b = append(e.b, gb.b...)
+
+	e.u32(uint32(len(x.Binds)))
+	for _, bd := range x.Binds {
+		e.str(bd.Ref)
+		if bd.Inline != nil {
+			e.u8(1)
+			e.tensor(bd.Inline)
+		} else {
+			e.u8(0)
+			e.str(bd.Key)
+			e.u32(bd.Epoch)
+		}
+	}
+	e.u32(uint32(len(x.Keep)))
+	// Deterministic order: iterate IDs ascending.
+	ids := make([]srg.NodeID, 0, len(x.Keep))
+	for id := range x.Keep {
+		ids = append(ids, id)
+	}
+	sortNodeIDs(ids)
+	for _, id := range ids {
+		e.u32(uint32(id))
+		e.str(x.Keep[id])
+	}
+	e.u32(uint32(len(x.Want)))
+	for _, id := range x.Want {
+		e.u32(uint32(id))
+	}
+	return e.b, nil
+}
+
+func sortNodeIDs(ids []srg.NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+type sliceWriter struct{ b []byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+// DecodeExec parses an Exec payload.
+func DecodeExec(b []byte) (*Exec, error) {
+	r := rdr{b: b}
+	gLen := int(r.u32())
+	gBytes := r.take(gLen)
+	if r.err != nil {
+		return nil, r.err
+	}
+	g, err := srg.Decode(bytesReader(gBytes))
+	if err != nil {
+		return nil, err
+	}
+	x := &Exec{Graph: g}
+	nBind := int(r.u32())
+	if r.err == nil && nBind > 1<<20 {
+		return nil, fmt.Errorf("transport: %d bindings", nBind)
+	}
+	for i := 0; i < nBind && r.err == nil; i++ {
+		bd := Binding{Ref: r.str()}
+		if r.u8() == 1 {
+			bd.Inline = r.tensor()
+		} else {
+			bd.Key = r.str()
+			bd.Epoch = r.u32()
+		}
+		x.Binds = append(x.Binds, bd)
+	}
+	nKeep := int(r.u32())
+	if r.err == nil && nKeep > 1<<20 {
+		return nil, fmt.Errorf("transport: %d keeps", nKeep)
+	}
+	if nKeep > 0 {
+		x.Keep = make(map[srg.NodeID]string, nKeep)
+	}
+	for i := 0; i < nKeep && r.err == nil; i++ {
+		id := srg.NodeID(r.u32())
+		x.Keep[id] = r.str()
+	}
+	nWant := int(r.u32())
+	if r.err == nil && nWant > 1<<20 {
+		return nil, fmt.Errorf("transport: %d wants", nWant)
+	}
+	for i := 0; i < nWant && r.err == nil; i++ {
+		x.Want = append(x.Want, srg.NodeID(r.u32()))
+	}
+	return x, r.err
+}
+
+func bytesReader(b []byte) io.Reader { return &byteRdr{b: b} }
+
+type byteRdr struct {
+	b   []byte
+	off int
+}
+
+func (r *byteRdr) Read(p []byte) (int, error) {
+	if r.off >= len(r.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// ExecOK returns an execution's requested results.
+type ExecOK struct {
+	// Results holds the Want values by node ID, in request order.
+	Results map[srg.NodeID]*tensor.Tensor
+	// Kept echoes the keys materialized server-side with their sizes.
+	Kept map[string]int64
+	// Epoch is the server store epoch the kept objects live in.
+	Epoch uint32
+	// GPUTimeNs is the modeled device busy time for this execution.
+	GPUTimeNs int64
+	// GraphFP attests which graph the server actually executed: the
+	// fingerprint of the received SRG. Clients compare it against their
+	// own plan's fingerprint to detect tampering or misrouting — the
+	// verifiable-computation hook of the paper's §5 "trust and
+	// verifiability" challenge.
+	GraphFP string
+}
+
+// EncodeExecOK serializes an ExecOK payload.
+func EncodeExecOK(a *ExecOK) []byte {
+	var e buf
+	e.u32(uint32(len(a.Results)))
+	ids := make([]srg.NodeID, 0, len(a.Results))
+	for id := range a.Results {
+		ids = append(ids, id)
+	}
+	sortNodeIDs(ids)
+	for _, id := range ids {
+		e.u32(uint32(id))
+		e.tensor(a.Results[id])
+	}
+	e.u32(uint32(len(a.Kept)))
+	keys := make([]string, 0, len(a.Kept))
+	for k := range a.Kept {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	for _, k := range keys {
+		e.str(k)
+		e.u64(uint64(a.Kept[k]))
+	}
+	e.u32(a.Epoch)
+	e.u64(uint64(a.GPUTimeNs))
+	e.str(a.GraphFP)
+	return e.b
+}
+
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+// DecodeExecOK parses an ExecOK payload.
+func DecodeExecOK(b []byte) (*ExecOK, error) {
+	r := rdr{b: b}
+	a := &ExecOK{}
+	nRes := int(r.u32())
+	if r.err == nil && nRes > 1<<20 {
+		return nil, fmt.Errorf("transport: %d results", nRes)
+	}
+	if nRes > 0 {
+		a.Results = make(map[srg.NodeID]*tensor.Tensor, nRes)
+	}
+	for i := 0; i < nRes && r.err == nil; i++ {
+		id := srg.NodeID(r.u32())
+		a.Results[id] = r.tensor()
+	}
+	nKept := int(r.u32())
+	if r.err == nil && nKept > 1<<20 {
+		return nil, fmt.Errorf("transport: %d kepts", nKept)
+	}
+	if nKept > 0 {
+		a.Kept = make(map[string]int64, nKept)
+	}
+	for i := 0; i < nKept && r.err == nil; i++ {
+		k := r.str()
+		a.Kept[k] = int64(r.u64())
+	}
+	a.Epoch = r.u32()
+	a.GPUTimeNs = int64(r.u64())
+	a.GraphFP = r.str()
+	return a, r.err
+}
+
+// Fetch retrieves a resident object.
+type Fetch struct {
+	Key   string
+	Epoch uint32
+}
+
+// EncodeFetch serializes a Fetch payload.
+func EncodeFetch(f *Fetch) []byte {
+	var e buf
+	e.str(f.Key)
+	e.u32(f.Epoch)
+	return e.b
+}
+
+// DecodeFetch parses a Fetch payload.
+func DecodeFetch(b []byte) (*Fetch, error) {
+	r := rdr{b: b}
+	f := &Fetch{Key: r.str(), Epoch: r.u32()}
+	return f, r.err
+}
+
+// EncodeTensorMsg serializes a MsgTensor payload.
+func EncodeTensorMsg(t *tensor.Tensor) []byte {
+	var e buf
+	e.tensor(t)
+	return e.b
+}
+
+// DecodeTensorMsg parses a MsgTensor payload.
+func DecodeTensorMsg(b []byte) (*tensor.Tensor, error) {
+	r := rdr{b: b}
+	t := r.tensor()
+	return t, r.err
+}
+
+// Stats reports server-side counters.
+type Stats struct {
+	Epoch         uint32
+	ResidentBytes int64
+	ResidentCount int64
+	GPUBusyNs     int64
+	ExecCalls     int64
+}
+
+// EncodeStats serializes a Stats payload.
+func EncodeStats(s *Stats) []byte {
+	var e buf
+	e.u32(s.Epoch)
+	e.u64(uint64(s.ResidentBytes))
+	e.u64(uint64(s.ResidentCount))
+	e.u64(uint64(s.GPUBusyNs))
+	e.u64(uint64(s.ExecCalls))
+	return e.b
+}
+
+// DecodeStats parses a Stats payload.
+func DecodeStats(b []byte) (*Stats, error) {
+	r := rdr{b: b}
+	s := &Stats{
+		Epoch:         r.u32(),
+		ResidentBytes: int64(r.u64()),
+		ResidentCount: int64(r.u64()),
+		GPUBusyNs:     int64(r.u64()),
+		ExecCalls:     int64(r.u64()),
+	}
+	return s, r.err
+}
+
+// EncodeErr serializes an error message payload.
+func EncodeErr(err error) []byte {
+	var e buf
+	e.str(err.Error())
+	return e.b
+}
+
+// DecodeErr parses an error payload into an error value.
+func DecodeErr(b []byte) error {
+	r := rdr{b: b}
+	msg := r.str()
+	if r.err != nil {
+		return r.err
+	}
+	return &RemoteError{Msg: msg}
+}
+
+// RemoteError is an error reported by the server.
+type RemoteError struct{ Msg string }
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string { return "remote: " + e.Msg }

@@ -1,0 +1,221 @@
+// Package workload generates deterministic request streams for the
+// evaluation: LLM serving traces (prompt + decode lengths, arrivals),
+// vision batches, recommendation queries with Zipf-skewed (hot/cold)
+// embedding access, and multi-tenant mixes for the global scheduler.
+// Everything is seeded — reruns are bit-identical.
+package workload
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// LLMRequest is one serving request.
+type LLMRequest struct {
+	Prompt  []int64
+	Decode  int
+	Arrival time.Duration
+}
+
+// LLMTrace parameterizes a serving trace.
+type LLMTrace struct {
+	Requests  int
+	Vocab     int
+	PromptMin int
+	PromptMax int
+	DecodeMin int
+	DecodeMax int
+	// MeanInterarrival spaces arrivals (exponential); 0 = all at t=0.
+	MeanInterarrival time.Duration
+}
+
+// Generate materializes the trace.
+func (t LLMTrace) Generate(seed int64) []LLMRequest {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]LLMRequest, t.Requests)
+	var clock time.Duration
+	for i := range out {
+		plen := t.PromptMin
+		if t.PromptMax > t.PromptMin {
+			plen += rng.Intn(t.PromptMax - t.PromptMin + 1)
+		}
+		prompt := make([]int64, plen)
+		for j := range prompt {
+			prompt[j] = int64(rng.Intn(t.Vocab))
+		}
+		dec := t.DecodeMin
+		if t.DecodeMax > t.DecodeMin {
+			dec += rng.Intn(t.DecodeMax - t.DecodeMin + 1)
+		}
+		if t.MeanInterarrival > 0 {
+			clock += time.Duration(rng.ExpFloat64() * float64(t.MeanInterarrival))
+		}
+		out[i] = LLMRequest{Prompt: prompt, Decode: dec, Arrival: clock}
+	}
+	return out
+}
+
+// VisionRequest is one image-classification request.
+type VisionRequest struct {
+	// Image is [c, h, w] pixel data in [0,1).
+	Image   []float32
+	C, H, W int
+	Arrival time.Duration
+}
+
+// VisionTrace parameterizes a CV batch.
+type VisionTrace struct {
+	Requests         int
+	Channels, Size   int
+	MeanInterarrival time.Duration
+}
+
+// Generate materializes the trace.
+func (t VisionTrace) Generate(seed int64) []VisionRequest {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]VisionRequest, t.Requests)
+	var clock time.Duration
+	for i := range out {
+		img := make([]float32, t.Channels*t.Size*t.Size)
+		for j := range img {
+			img[j] = rng.Float32()
+		}
+		if t.MeanInterarrival > 0 {
+			clock += time.Duration(rng.ExpFloat64() * float64(t.MeanInterarrival))
+		}
+		out[i] = VisionRequest{Image: img, C: t.Channels, H: t.Size, W: t.Size, Arrival: clock}
+	}
+	return out
+}
+
+// RecRequest is one recommendation query: per-table sparse id bags plus
+// dense features.
+type RecRequest struct {
+	Dense   []float32
+	Sparse  [][]int64
+	Arrival time.Duration
+}
+
+// RecTrace parameterizes recommendation traffic with Zipf-skewed ids —
+// the hot/cold embedding structure that motivates tiering (Table 1).
+type RecTrace struct {
+	Requests      int
+	DenseFeatures int
+	TableRows     []int
+	IDsPerTable   int
+	// ZipfS is the skew exponent (>1); larger = hotter head.
+	ZipfS            float64
+	MeanInterarrival time.Duration
+}
+
+// Generate materializes the trace.
+func (t RecTrace) Generate(seed int64) []RecRequest {
+	rng := rand.New(rand.NewSource(seed))
+	s := t.ZipfS
+	if s <= 1 {
+		s = 1.2
+	}
+	zipfs := make([]*rand.Zipf, len(t.TableRows))
+	for i, rows := range t.TableRows {
+		zipfs[i] = rand.NewZipf(rng, s, 1, uint64(rows-1))
+	}
+	out := make([]RecRequest, t.Requests)
+	var clock time.Duration
+	for i := range out {
+		dense := make([]float32, t.DenseFeatures)
+		for j := range dense {
+			dense[j] = rng.Float32()
+		}
+		sparse := make([][]int64, len(t.TableRows))
+		for ti := range sparse {
+			ids := make([]int64, t.IDsPerTable)
+			for j := range ids {
+				ids[j] = int64(zipfs[ti].Uint64())
+			}
+			sparse[ti] = ids
+		}
+		if t.MeanInterarrival > 0 {
+			clock += time.Duration(rng.ExpFloat64() * float64(t.MeanInterarrival))
+		}
+		out[i] = RecRequest{Dense: dense, Sparse: sparse, Arrival: clock}
+	}
+	return out
+}
+
+// HotSetFraction computes, for a trace, the fraction of accesses that
+// hit the hottest `fraction` of rows — the tiering opportunity metric.
+func HotSetFraction(reqs []RecRequest, tableRows []int, fraction float64) float64 {
+	if len(reqs) == 0 || len(tableRows) == 0 {
+		return 0
+	}
+	hits, total := 0, 0
+	for _, r := range reqs {
+		for ti, ids := range r.Sparse {
+			cut := int64(float64(tableRows[ti]) * fraction)
+			for _, id := range ids {
+				total++
+				if id < cut {
+					hits++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// TenantSpec describes one tenant in a multi-tenant mix.
+type TenantSpec struct {
+	Name string
+	// Class selects the workload family: "llm", "vision",
+	// "recommendation", or "multimodal".
+	Class string
+	// Interactive marks latency-sensitive tenants (vs batch).
+	Interactive bool
+	// Requests in the mix window.
+	Requests int
+}
+
+// MixTrace generates a deterministic multi-tenant arrival schedule: a
+// merged, time-ordered list of (tenant, arrival) pairs the global
+// scheduler consumes.
+type MixTrace struct {
+	Tenants          []TenantSpec
+	MeanInterarrival time.Duration
+}
+
+// MixArrival is one request in the merged schedule.
+type MixArrival struct {
+	Tenant      string
+	Class       string
+	Interactive bool
+	Arrival     time.Duration
+}
+
+// Generate materializes the merged schedule, sorted by arrival.
+func (m MixTrace) Generate(seed int64) []MixArrival {
+	rng := rand.New(rand.NewSource(seed))
+	var out []MixArrival
+	for _, t := range m.Tenants {
+		var clock time.Duration
+		for i := 0; i < t.Requests; i++ {
+			if m.MeanInterarrival > 0 {
+				clock += time.Duration(rng.ExpFloat64() * float64(m.MeanInterarrival))
+			}
+			out = append(out, MixArrival{
+				Tenant: t.Name, Class: t.Class,
+				Interactive: t.Interactive, Arrival: clock,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Arrival != out[j].Arrival {
+			return out[i].Arrival < out[j].Arrival
+		}
+		return out[i].Tenant < out[j].Tenant
+	})
+	return out
+}
