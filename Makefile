@@ -1,0 +1,26 @@
+# Genie build/test entry points. `make check` is the gate every change
+# must pass: full build, vet, and the test suite under the race
+# detector (the serving engine is aggressively concurrent).
+
+GO ?= go
+
+.PHONY: all build vet test race check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+check: build vet race
+
+bench:
+	$(GO) run ./cmd/genie-bench

@@ -1,0 +1,122 @@
+// Command genie-gateway fronts one or more genie-server backends with
+// the online serving engine: a stdlib HTTP API with per-tenant fair
+// queuing, bounded admission (429 on overload), and continuous decode
+// batching per backend.
+//
+// Endpoints:
+//
+//	POST /v1/generate  {"tenant","prompt":[ids],"max_tokens","slo","timeout_ms","stream"}
+//	GET  /healthz      200 while serving, 503 while draining
+//	GET  /stats        queue depth, batch occupancy, TTFT/latency percentiles
+//
+// Every backend must be a running genie-server; the gateway builds the
+// model weights from -seed (all replicas must share it so any lane
+// yields identical tokens) and installs them on each backend at start.
+//
+// Usage:
+//
+//	genie-gateway -addr :8080 -backends 127.0.0.1:7009,127.0.0.1:7010 \
+//	  -mode semantics_aware -seed 1 -queue 64 -batch 8
+//
+// SIGINT/SIGTERM drains gracefully: admission closes, queued and
+// running requests finish, then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"genie/internal/models"
+	"genie/internal/runtime"
+	"genie/internal/serve"
+	"genie/internal/transport"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "HTTP address to serve on")
+	backends := flag.String("backends", "127.0.0.1:7009", "comma-separated genie-server addresses")
+	modeName := flag.String("mode", runtime.ModeSemAware.String(),
+		"disaggregation mode (local, naive, delta_kv, semantics_aware)")
+	seed := flag.Int64("seed", 1, "model weight seed (must match across replicas)")
+	queue := flag.Int("queue", 64, "admission queue bound (requests beyond it get 429)")
+	batch := flag.Int("batch", 8, "max requests per continuous decode batch, per backend")
+	maxTokens := flag.Int("max-tokens", 32, "default generation cap per request")
+	deadline := flag.Duration("deadline", 0, "default per-request deadline (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
+	flag.Parse()
+
+	mode, err := runtime.ParseMode(*modeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var pool []serve.Backend
+	for _, baddr := range strings.Split(*backends, ",") {
+		baddr = strings.TrimSpace(baddr)
+		if baddr == "" {
+			continue
+		}
+		r := &runtime.LLMRunner{
+			Model: models.NewGPT(rand.New(rand.NewSource(*seed)), models.TinyGPT),
+		}
+		if mode != runtime.ModeLocal {
+			conn, err := transport.Dial(baddr, nil, nil)
+			if err != nil {
+				log.Fatalf("genie-gateway: backend %s: %v", baddr, err)
+			}
+			defer conn.Close()
+			r.EP = transport.NewClient(conn)
+			r.Counters = conn.Counters()
+		}
+		pool = append(pool, serve.Backend{Name: baddr, Runner: r})
+	}
+	if len(pool) == 0 {
+		log.Fatal("genie-gateway: no backends")
+	}
+
+	engine, err := serve.NewEngine(serve.Config{
+		Mode:             mode,
+		MaxQueue:         *queue,
+		MaxBatch:         *batch,
+		DefaultMaxTokens: *maxTokens,
+		DefaultDeadline:  *deadline,
+	}, pool)
+	if err != nil {
+		log.Fatalf("genie-gateway: %v", err)
+	}
+	engine.Start()
+
+	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(engine)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("genie-gateway: serving %s on %s (%d backend(s), queue %d, batch %d)",
+		mode, *addr, len(pool), *queue, *batch)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatalf("genie-gateway: %v", err)
+	case sig := <-sigc:
+		log.Printf("genie-gateway: %s, draining (bound %v)", sig, *drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := engine.Drain(ctx); err != nil {
+		log.Printf("genie-gateway: drain incomplete: %v", err)
+	}
+	engine.Stop()
+	_ = srv.Shutdown(ctx)
+	log.Printf("genie-gateway: drained, exiting")
+}

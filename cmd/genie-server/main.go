@@ -3,6 +3,10 @@
 // resident objects (weights, KV caches) and executing SRG subgraphs
 // shipped by clients.
 //
+// SIGINT/SIGTERM triggers a graceful shutdown: the listener closes (no
+// new connections), requests already in flight get their replies, then
+// the process exits.
+//
 // Usage:
 //
 //	genie-server -addr :7009 -device a100-80g
@@ -14,6 +18,8 @@ import (
 	"log"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"genie/internal/backend"
 	"genie/internal/device"
@@ -35,7 +41,19 @@ func main() {
 	}
 	log.Printf("genie-server: %s backend listening on %s", spec.Name, l.Addr())
 	srv := backend.NewServer(spec)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		log.Printf("genie-server: %s, draining (in-flight requests finish, then exit)", sig)
+		l.Close()   // stop accepting
+		srv.Drain() // close idle conns; busy conns finish their reply
+	}()
+
+	// Listen returns only after every per-connection Serve loop exits.
 	if err := srv.Listen(l); err != nil {
 		log.Fatalf("genie-server: %v", err)
 	}
+	log.Printf("genie-server: drained, exiting")
 }

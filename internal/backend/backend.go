@@ -38,6 +38,12 @@ type Server struct {
 	// failNextExecs makes the next n Exec calls fail (fault injection for
 	// tests beyond full crashes).
 	failNextExecs int
+
+	// Connection tracking for graceful drain (see serve.go). Guarded by
+	// its own mutex so RPC handling never contends with store access.
+	connMu   sync.Mutex
+	conns    map[*transport.Conn]bool // conn -> request in flight
+	draining bool
 }
 
 // NewServer creates a backend modeling the given device.
@@ -134,6 +140,18 @@ func (s *Server) Stats() *transport.Stats {
 		GPUBusyNs:     s.busyNs,
 		ExecCalls:     s.execCalls,
 	}
+}
+
+// ResidentKeys lists the keys of all resident objects — diagnostics for
+// tests and operators checking per-request state is released.
+func (s *Server) ResidentKeys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.store))
+	for k := range s.store {
+		keys = append(keys, k)
+	}
+	return keys
 }
 
 // Exec runs a subgraph: binds leaves from inline data or the resident

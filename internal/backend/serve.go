@@ -11,9 +11,17 @@ import (
 )
 
 // Serve answers the Genie wire protocol on one framed connection until
-// the peer disconnects. It is safe to run one Serve per connection
-// concurrently against the same Server.
+// the peer disconnects or the server drains. It is safe to run one
+// Serve per connection concurrently against the same Server.
+//
+// During Drain, a request already read off the wire is served and its
+// reply delivered before the connection closes — in-flight work is
+// never dropped mid-RPC.
 func (s *Server) Serve(conn *transport.Conn) error {
+	if !s.register(conn) {
+		return nil // already draining: refuse the connection
+	}
+	defer s.unregister(conn)
 	for {
 		t, payload, err := conn.Recv()
 		if err != nil {
@@ -22,14 +30,68 @@ func (s *Server) Serve(conn *transport.Conn) error {
 			}
 			return err
 		}
+		s.setBusy(conn, true)
 		rt, rp := s.handle(t, payload)
-		if err := conn.Send(rt, rp); err != nil {
+		err = conn.Send(rt, rp)
+		last := s.setBusy(conn, false)
+		if err != nil {
 			if transport.IsClosed(err) {
 				return nil
 			}
 			return err
 		}
+		if last {
+			return nil // drained: reply delivered, now hang up
+		}
 	}
+}
+
+// register tracks a live connection; it reports false when the server
+// is draining (the connection must be refused).
+func (s *Server) register(conn *transport.Conn) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if s.draining {
+		return false
+	}
+	if s.conns == nil {
+		s.conns = make(map[*transport.Conn]bool)
+	}
+	s.conns[conn] = false
+	return true
+}
+
+func (s *Server) unregister(conn *transport.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, conn)
+	s.connMu.Unlock()
+}
+
+// setBusy flips a connection's in-flight flag; it reports whether the
+// server is draining (so the Serve loop can exit after the reply).
+func (s *Server) setBusy(conn *transport.Conn, busy bool) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if _, ok := s.conns[conn]; ok {
+		s.conns[conn] = busy
+	}
+	return s.draining
+}
+
+// Drain begins a graceful shutdown of the serving side: new
+// connections are refused, idle connections close immediately, and
+// connections with a request in flight close right after delivering
+// their reply. The resident store is untouched. Callers close the
+// listener themselves; Listen returns once every Serve loop exits.
+func (s *Server) Drain() {
+	s.connMu.Lock()
+	s.draining = true
+	for conn, busy := range s.conns {
+		if !busy {
+			_ = conn.Close()
+		}
+	}
+	s.connMu.Unlock()
 }
 
 func (s *Server) handle(t transport.MsgType, payload []byte) (transport.MsgType, []byte) {

@@ -1,0 +1,144 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"genie/internal/backend"
+	"genie/internal/device"
+	"genie/internal/models"
+	"genie/internal/runtime"
+	"genie/internal/serve"
+	"genie/internal/transport"
+	"genie/internal/workload"
+)
+
+// OnlineServingConfig parameterizes the live-engine benchmark: unlike
+// the serving *simulation* (serving.go), this drives the actual
+// internal/serve engine end to end — real sessions, real continuous
+// batching, real transport — under an open-loop Poisson arrival stream.
+type OnlineServingConfig struct {
+	// Mode is the disaggregation mode the engine serves under.
+	Mode runtime.Mode
+	// Backends is the accelerator pool size (each an in-process
+	// genie-server over a framed pipe for remote modes).
+	Backends int
+	// MaxBatch is the continuous-batching bound per backend lane.
+	MaxBatch int
+	// Requests and Rate define the open-loop Poisson stream (req/s).
+	Requests int
+	Rate     float64
+	// MaxTokens is the decode length per request.
+	MaxTokens int
+	Seed      int64
+}
+
+// DefaultOnlineServingConfig is the A10 setup: a burst of TinyGPT
+// requests over two semantics-aware backends.
+func DefaultOnlineServingConfig() OnlineServingConfig {
+	return OnlineServingConfig{
+		Mode:      runtime.ModeSemAware,
+		Backends:  2,
+		MaxBatch:  8,
+		Requests:  24,
+		Rate:      2000,
+		MaxTokens: 6,
+		Seed:      7,
+	}
+}
+
+// OnlineServingResult reports what the live engine actually did.
+type OnlineServingResult struct {
+	Requests  int
+	Completed int64
+	Shed      int64
+	// Occupancy is the engine's decode-batch merge factor; mean > 1
+	// means continuous batching really shared iterations.
+	MeanOccupancy float64
+	MaxOccupancy  int
+	P50Lat        time.Duration
+	P95Lat        time.Duration
+	P95TTFT       time.Duration
+	TokensPerSec  float64
+	Makespan      time.Duration
+}
+
+// RunOnlineServing stands up the online engine over in-process
+// backends, replays a Poisson arrival schedule against it, and drains.
+// It is the measured counterpart to RunServing's model: the simulation
+// predicts batching gains, this observes them.
+func RunOnlineServing(cfg OnlineServingConfig) (OnlineServingResult, error) {
+	if cfg.Backends <= 0 || cfg.Requests <= 0 {
+		return OnlineServingResult{}, fmt.Errorf("eval: bad online config %+v", cfg)
+	}
+	var pool []serve.Backend
+	for i := 0; i < cfg.Backends; i++ {
+		r := &runtime.LLMRunner{
+			Model: models.NewGPT(rand.New(rand.NewSource(cfg.Seed)), models.TinyGPT),
+		}
+		if cfg.Mode != runtime.ModeLocal {
+			cli, srvConn := transport.Pipe(nil, nil)
+			bs := backend.NewServer(device.A100)
+			go func() { _ = bs.Serve(srvConn) }()
+			defer cli.Close()
+			r.EP = transport.NewClient(cli)
+			r.Counters = cli.Counters()
+		}
+		pool = append(pool, serve.Backend{Name: fmt.Sprintf("b%d", i), Runner: r})
+	}
+	engine, err := serve.NewEngine(serve.Config{
+		Mode:     cfg.Mode,
+		MaxQueue: cfg.Requests,
+		MaxBatch: cfg.MaxBatch,
+	}, pool)
+	if err != nil {
+		return OnlineServingResult{}, err
+	}
+	engine.Start()
+	defer engine.Stop()
+
+	arrivals := workload.PoissonArrivals(cfg.Seed, cfg.Rate, cfg.Requests)
+	prompts := workload.LLMTrace{
+		Requests: cfg.Requests, Vocab: int(models.TinyGPT.Vocab),
+		PromptMin: 4, PromptMax: 12, DecodeMin: cfg.MaxTokens, DecodeMax: cfg.MaxTokens,
+	}.Generate(cfg.Seed)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			time.Sleep(arrivals[i] - time.Since(start))
+			_, _ = engine.Submit(context.Background(), serve.Request{
+				Tenant:    fmt.Sprintf("t%d", i%4),
+				Prompt:    prompts[i].Prompt,
+				MaxTokens: cfg.MaxTokens,
+			})
+		}(i)
+	}
+	wg.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := engine.Drain(ctx); err != nil {
+		return OnlineServingResult{}, fmt.Errorf("eval: drain: %w", err)
+	}
+	makespan := time.Since(start)
+
+	st := engine.Stats()
+	return OnlineServingResult{
+		Requests:      cfg.Requests,
+		Completed:     st.Completed,
+		Shed:          st.Shed,
+		MeanOccupancy: st.MeanOccupancy,
+		MaxOccupancy:  st.MaxOccupancy,
+		P50Lat:        st.Latency.P50,
+		P95Lat:        st.Latency.P95,
+		P95TTFT:       st.TTFT.P95,
+		TokensPerSec:  st.TokensPerSec,
+		Makespan:      makespan,
+	}, nil
+}

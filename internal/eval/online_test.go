@@ -1,0 +1,49 @@
+package eval
+
+import (
+	"testing"
+
+	"genie/internal/runtime"
+)
+
+// TestOnlineServingEngine runs the live engine benchmark end to end:
+// every request must complete, and the burst must actually exercise
+// continuous batching (occupancy above one).
+func TestOnlineServingEngine(t *testing.T) {
+	cfg := DefaultOnlineServingConfig()
+	cfg.Requests = 12
+	cfg.Rate = 1e6 // effectively one burst: maximal overlap
+	res, err := RunOnlineServing(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != int64(cfg.Requests) || res.Shed != 0 {
+		t.Fatalf("completed %d shed %d, want %d/0", res.Completed, res.Shed, cfg.Requests)
+	}
+	if res.MaxOccupancy <= 1 {
+		t.Fatalf("max occupancy %d: burst never shared a decode iteration", res.MaxOccupancy)
+	}
+	if res.TokensPerSec <= 0 || res.P95Lat <= 0 || res.P95TTFT <= 0 {
+		t.Fatalf("missing telemetry: %+v", res)
+	}
+	if res.P95TTFT > res.P95Lat {
+		t.Fatalf("p95 TTFT %v exceeds p95 latency %v", res.P95TTFT, res.P95Lat)
+	}
+}
+
+// TestOnlineServingLocalMode: the engine also serves the local
+// (non-disaggregated) upper bound.
+func TestOnlineServingLocalMode(t *testing.T) {
+	cfg := DefaultOnlineServingConfig()
+	cfg.Mode = runtime.ModeLocal
+	cfg.Backends = 1
+	cfg.Requests = 6
+	cfg.Rate = 1e6
+	res, err := RunOnlineServing(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != int64(cfg.Requests) {
+		t.Fatalf("completed %d, want %d", res.Completed, cfg.Requests)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"genie/internal/metrics"
 	"genie/internal/models"
 	"genie/internal/simnet"
 	"genie/internal/workload"
@@ -203,8 +204,8 @@ func RunServing(cfg ServingConfig, policy ServingPolicy) ServingResult {
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	sort.Slice(ttft, func(i, j int) bool { return ttft[i] < ttft[j] })
 	res.MeanLat = sum / time.Duration(len(reqs))
-	res.P95Lat = lats[len(lats)*95/100]
-	res.P95TTFT = ttft[len(ttft)*95/100]
+	res.P95Lat = metrics.Percentile(lats, 0.95)
+	res.P95TTFT = metrics.Percentile(ttft, 0.95)
 	if res.Makespan > 0 {
 		res.Throughput = float64(len(reqs)) / res.Makespan.Seconds()
 	}

@@ -272,16 +272,20 @@ func BatchSpeedup(spec device.Spec, weightBytes, perReqBytes int64, perReqFLOPs 
 	return single * float64(n) / batched
 }
 
-// Prioritize orders submissions for dispatch: interactive before batch,
-// then arrival order (stable). §3.6: "prioritize interactive,
-// latency-sensitive VQA queries over long-running batch training jobs".
+// Less is the dispatch-priority comparator: interactive before batch,
+// then arrival order. §3.6: "prioritize interactive, latency-sensitive
+// VQA queries over long-running batch training jobs". Both the offline
+// Prioritize pass and the online engine's admission queues order by it.
+func Less(a, b Submission) bool {
+	if a.SLO != b.SLO {
+		return a.SLO < b.SLO
+	}
+	return a.Arrival < b.Arrival
+}
+
+// Prioritize orders submissions for dispatch by Less (stable).
 func Prioritize(subs []Submission) []Submission {
 	out := append([]Submission(nil), subs...)
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].SLO != out[j].SLO {
-			return out[i].SLO < out[j].SLO
-		}
-		return out[i].Arrival < out[j].Arrival
-	})
+	sort.SliceStable(out, func(i, j int) bool { return Less(out[i], out[j]) })
 	return out
 }

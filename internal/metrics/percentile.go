@@ -1,0 +1,44 @@
+// Package metrics holds small statistical helpers shared by the offline
+// serving evaluation and the online engine's /stats endpoint, so both
+// report percentiles computed the same way.
+package metrics
+
+import (
+	"sort"
+	"time"
+)
+
+// Percentile returns the p-quantile (0 ≤ p ≤ 1) of an ascending-sorted
+// duration slice using linear interpolation between closest ranks (the
+// same estimator as numpy's default). Empty input returns 0; p outside
+// [0,1] clamps.
+func Percentile(sorted []time.Duration, p float64) time.Duration {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[n-1]
+	}
+	pos := p * float64(n-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if frac == 0 {
+		return sorted[lo]
+	}
+	return sorted[lo] + time.Duration(frac*float64(sorted[lo+1]-sorted[lo])+0.5)
+}
+
+// PercentileOf sorts a copy of durations and returns its p-quantile —
+// the convenience form for callers that still need the original order.
+func PercentileOf(durations []time.Duration, p float64) time.Duration {
+	s := append([]time.Duration(nil), durations...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return Percentile(s, p)
+}

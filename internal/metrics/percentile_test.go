@@ -1,0 +1,57 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPercentileEmpty(t *testing.T) {
+	if got := Percentile(nil, 0.95); got != 0 {
+		t.Errorf("empty: got %v, want 0", got)
+	}
+	if got := Percentile([]time.Duration{}, 0.5); got != 0 {
+		t.Errorf("empty slice: got %v, want 0", got)
+	}
+}
+
+func TestPercentileSingle(t *testing.T) {
+	one := []time.Duration{42 * time.Millisecond}
+	for _, p := range []float64{0, 0.5, 0.95, 1} {
+		if got := Percentile(one, p); got != 42*time.Millisecond {
+			t.Errorf("p=%v: got %v, want 42ms", p, got)
+		}
+	}
+}
+
+func TestPercentileBoundaries(t *testing.T) {
+	s := []time.Duration{10, 20, 30, 40, 50}
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0, 10},       // min
+		{1, 50},       // max
+		{-0.5, 10},    // clamps low
+		{1.5, 50},     // clamps high
+		{0.25, 20},    // exactly on rank 1, no interpolation
+		{0.5, 30},     // exactly on rank 2
+		{0.375, 25},   // interpolates between 20 and 30
+		{0.95, 48},    // pos = 3.8 → 40 + 0.8*10
+	}
+	for _, c := range cases {
+		if got := Percentile(s, c.p); got != c.want {
+			t.Errorf("p=%v: got %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileOfUnsorted(t *testing.T) {
+	s := []time.Duration{30, 10, 40, 20}
+	if got := PercentileOf(s, 0.5); got != 25 {
+		t.Errorf("unsorted median: got %v, want 25", got)
+	}
+	// Original untouched.
+	if s[0] != 30 {
+		t.Error("PercentileOf mutated its input")
+	}
+}

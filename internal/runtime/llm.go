@@ -7,7 +7,6 @@ import (
 	"genie/internal/models"
 	"genie/internal/nn"
 	"genie/internal/srg"
-	"genie/internal/tensor"
 	"genie/internal/transport"
 )
 
@@ -36,24 +35,43 @@ type LLMRunner struct {
 	// step completes; returning false stops generation (the Stream API's
 	// cancellation hook).
 	OnToken func(token int64) bool
+	// WeightsResident marks the endpoint as already provisioned with the
+	// model's weights (InstallModelWeights); sessions then skip the
+	// per-call installation. The serving engine sets this once per
+	// backend so concurrent sessions don't re-upload weights.
+	WeightsResident bool
 }
 
-// Generate runs prompt prefill plus steps decode iterations.
+// Generate runs prompt prefill plus steps decode iterations. It is
+// exactly Prefill + steps×Step over a fresh unscoped Session, so a
+// Generate call and an incrementally-driven session produce identical
+// token sequences.
 func (r *LLMRunner) Generate(mode Mode, prompt []int64, steps int) (*GenResult, error) {
 	if len(prompt) == 0 || steps < 0 {
 		return nil, fmt.Errorf("runtime: empty prompt or negative steps")
 	}
-	switch mode {
-	case ModeLocal:
-		return r.generateLocal(prompt, steps)
-	case ModeNaive:
-		return r.generateNaive(prompt, steps)
-	case ModeDeltaKV:
-		return r.generateDeltaKV(prompt, steps)
-	case ModeSemAware:
-		return r.generateSemAware(prompt, steps)
+	s, err := r.NewSession(mode)
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("runtime: unknown mode %d", mode)
+	if _, err := s.Prefill(prompt); err != nil {
+		return nil, err
+	}
+	res := s.Result()
+	for i := 0; i < steps; i++ {
+		tok := s.Next()
+		res.Tokens = append(res.Tokens, tok)
+		if err := r.emit(tok); err != nil {
+			return res, err
+		}
+		// The final token needs no further forward pass.
+		if i < steps-1 {
+			if _, err := s.Step(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return res, nil
 }
 
 func (r *LLMRunner) snapshot() (int64, int64) {
@@ -79,62 +97,6 @@ func (r *LLMRunner) measure(m *Metrics, gpu *time.Duration, fn func() error) err
 	return err
 }
 
-// --- Local (upper bound) ---
-
-func (r *LLMRunner) generateLocal(prompt []int64, steps int) (*GenResult, error) {
-	res := &GenResult{}
-	var gpu time.Duration
-	caches := emptyCaches(r.Model)
-	var next int64
-
-	err := r.measure(&res.Prefill, &gpu, func() error {
-		b, out := r.Model.BuildPrefill(prompt)
-		vals, err := RunLocal(b)
-		if err != nil {
-			return err
-		}
-		for i := range caches {
-			caches[i].Append(vals[int32(out.CacheK[i])], vals[int32(out.CacheV[i])])
-		}
-		gpu += modelGPUTime(b)
-		next = vals[int32(out.NextToken)].I64()[0]
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	hist := len(prompt)
-	for s := 0; s < steps; s++ {
-		res.Tokens = append(res.Tokens, next)
-		if err := r.emit(next); err != nil {
-			return res, err
-		}
-		tok := next
-		err := r.measure(&res.Decode, &gpu, func() error {
-			b, out := r.Model.BuildDecodeStep(tok, hist, hist, caches)
-			vals, err := RunLocal(b)
-			if err != nil {
-				return err
-			}
-			for i := range caches {
-				// The appended concat holds the full updated cache;
-				// replace rather than append to stay exact.
-				caches[i].K = vals[int32(out.CacheK[i])]
-				caches[i].V = vals[int32(out.CacheV[i])]
-			}
-			gpu += modelGPUTime(b)
-			next = vals[int32(out.NextToken)].I64()[0]
-			hist++
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
-	return res, nil
-}
-
 // modelGPUTime accounts local kernel time with the same device model the
 // backend uses (the client's GPU in Local mode is the same A100).
 func modelGPUTime(b interface {
@@ -152,302 +114,34 @@ func modelGPUTime(b interface {
 	return busy
 }
 
-// --- Naive (semantics-blind) ---
-
-// generateNaive re-uploads every weight on every remote call and keeps
-// nothing resident: each decode step replays the full forward pass over
-// the whole token history.
-func (r *LLMRunner) generateNaive(prompt []int64, steps int) (*GenResult, error) {
+// InstallModelWeights provisions the runner's endpoint with every model
+// parameter under its unscoped ref and marks the runner so sessions skip
+// re-installation. Returns total bytes installed.
+func (r *LLMRunner) InstallModelWeights() (int64, error) {
 	if r.EP == nil {
-		return nil, fmt.Errorf("runtime: naive mode needs an endpoint")
+		return 0, fmt.Errorf("runtime: no endpoint to install weights on")
 	}
-	res := &GenResult{}
-	var gpu time.Duration
-	history := append([]int64(nil), prompt...)
-	var next int64
-
-	call := func() error {
-		b, out := r.Model.BuildPrefill(history)
-		x := &transport.Exec{Graph: b.Graph()}
-		// Blind mode: every leaf inline, weights included.
-		for _, n := range b.Graph().Nodes() {
-			switch n.Op {
-			case "param":
-				data, _ := b.ParamData(n.Ref)
-				x.Binds = append(x.Binds, transport.Binding{Ref: n.Ref, Inline: data})
-			case "input":
-				data, _ := b.InputData(n.Ref)
-				x.Binds = append(x.Binds, transport.Binding{Ref: n.Ref, Inline: data})
-			}
-		}
-		// A blind RPC library materializes all declared outputs back to
-		// the caller: the full logits matrix and the next token.
-		x.Want = []srg.NodeID{out.Logits, out.NextToken}
-		ok, err := r.EP.Exec(x)
-		if err != nil {
-			return err
-		}
-		gpu += time.Duration(ok.GPUTimeNs)
-		next = ok.Results[out.NextToken].I64()[0]
-		return nil
-	}
-
-	if err := r.measure(&res.Prefill, &gpu, call); err != nil {
-		return nil, err
-	}
-	for s := 0; s < steps; s++ {
-		res.Tokens = append(res.Tokens, next)
-		if err := r.emit(next); err != nil {
-			return res, err
-		}
-		history = append(history, next)
-		if err := r.measure(&res.Decode, &gpu, call); err != nil {
-			return nil, err
-		}
-	}
-	return res, nil
-}
-
-// --- ΔKV (semantics-blind with transport-level caching) ---
-
-// generateDeltaKV keeps weights and per-layer caches resident (the
-// transport's content cache) but dispatches the model the way a blind
-// runtime sees it: one RPC per module (embedding, each block, head), and
-// every call's outputs — activations and fresh KV rows, the "delta
-// slice" — are shipped back to the client because the library cannot
-// know the client will never read them.
-func (r *LLMRunner) generateDeltaKV(prompt []int64, steps int) (*GenResult, error) {
-	if r.EP == nil {
-		return nil, fmt.Errorf("runtime: delta_kv mode needs an endpoint")
-	}
-	res := &GenResult{}
-	var gpu time.Duration
-
-	// One-time provisioning: weights remain remote (not counted in phase
-	// traffic, exactly as the paper's setup pre-installs the model).
-	if err := r.installAllWeights(); err != nil {
-		return nil, err
-	}
-
-	var x *tensor.Tensor // current activation at the client
-	var next int64
-	histLen := 0
-
-	// embedCall runs the embedding module remotely (the CPU client holds
-	// no weights) and materializes the activation home.
-	embedCall := func(tokens []int64, startPos int) error {
-		eb, embID := r.Model.BuildEmbedStep(tokens, startPos)
-		ex := &transport.Exec{Graph: eb.Graph()}
-		for _, n := range eb.Graph().Nodes() {
-			if n.Op == "input" {
-				data, _ := eb.InputData(n.Ref)
-				ex.Binds = append(ex.Binds, transport.Binding{Ref: n.Ref, Inline: data})
-			}
-		}
-		ex.Want = []srg.NodeID{embID}
-		ok, err := r.EP.Exec(ex)
-		if err != nil {
-			return err
-		}
-		gpu += time.Duration(ok.GPUTimeNs)
-		x = ok.Results[embID]
-		return nil
-	}
-
-	// layerCall runs one block remotely. histLen 0 = prefill (no cache);
-	// otherwise the cache binds by key. Either way the updated cache is
-	// kept remotely AND the delta rows come back to the client.
-	layerCall := func(layer, hist int) error {
-		b, lo := r.Model.BuildLayerStep(layer, x, nil, hist)
-		ex := &transport.Exec{Graph: b.Graph()}
-		xt, _ := b.InputData("gpt.x")
-		ex.Binds = append(ex.Binds, transport.Binding{Ref: "gpt.x", Inline: xt})
-		kKey, vKey := models.CacheRef(layer, "k"), models.CacheRef(layer, "v")
-		ex.Keep = map[srg.NodeID]string{}
-		if hist > 0 {
-			ex.Binds = append(ex.Binds,
-				transport.Binding{Ref: kKey, Key: kKey},
-				transport.Binding{Ref: vKey, Key: vKey})
-			ex.Keep[lo.AppendedK] = kKey
-			ex.Keep[lo.AppendedV] = vKey
-		} else {
-			ex.Keep[lo.NewK] = kKey
-			ex.Keep[lo.NewV] = vKey
-		}
-		ex.Want = []srg.NodeID{lo.Out, lo.NewK, lo.NewV}
-		ok, err := r.EP.Exec(ex)
-		if err != nil {
-			return err
-		}
-		gpu += time.Duration(ok.GPUTimeNs)
-		x = ok.Results[lo.Out]
-		return nil
-	}
-
-	// headCall runs the final norm + lm head remotely; the blind library
-	// materializes the full logits matrix home along with the argmax.
-	headCall := func() error {
-		hb, logitsID, nextID := r.Model.BuildHeadStep(x)
-		hx := &transport.Exec{Graph: hb.Graph()}
-		xt, _ := hb.InputData("gpt.x")
-		hx.Binds = append(hx.Binds, transport.Binding{Ref: "gpt.x", Inline: xt})
-		hx.Want = []srg.NodeID{logitsID, nextID}
-		hok, err := r.EP.Exec(hx)
-		if err != nil {
-			return err
-		}
-		gpu += time.Duration(hok.GPUTimeNs)
-		next = hok.Results[nextID].I64()[0]
-		return nil
-	}
-
-	err := r.measure(&res.Prefill, &gpu, func() error {
-		if err := embedCall(prompt, 0); err != nil {
-			return err
-		}
-		for layer := range r.Model.Blocks {
-			if err := layerCall(layer, 0); err != nil {
-				return err
-			}
-		}
-		if err := headCall(); err != nil {
-			return err
-		}
-		histLen = len(prompt)
-		return nil
-	})
+	n, err := r.installAllWeights()
 	if err != nil {
-		return nil, err
+		return n, err
 	}
-
-	for s := 0; s < steps; s++ {
-		res.Tokens = append(res.Tokens, next)
-		if err := r.emit(next); err != nil {
-			return res, err
-		}
-		tok := next
-		err := r.measure(&res.Decode, &gpu, func() error {
-			if err := embedCall([]int64{tok}, histLen); err != nil {
-				return err
-			}
-			for layer := range r.Model.Blocks {
-				if err := layerCall(layer, histLen); err != nil {
-					return err
-				}
-			}
-			if err := headCall(); err != nil {
-				return err
-			}
-			histLen++
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
-	return res, nil
+	r.WeightsResident = true
+	return n, nil
 }
 
-// --- Semantics-Aware (Genie) ---
-
-// generateSemAware executes each phase as one fused RPC: weights and
-// caches stay remote under stable keys; only the prompt/token go up and
-// only the final logits row + next token come down.
-func (r *LLMRunner) generateSemAware(prompt []int64, steps int) (*GenResult, error) {
-	if r.EP == nil {
-		return nil, fmt.Errorf("runtime: semantics_aware mode needs an endpoint")
-	}
-	res := &GenResult{}
-	var gpu time.Duration
-	if err := r.installAllWeights(); err != nil {
-		return nil, err
-	}
-
-	var next int64
-	var epoch uint32
-	histLen := 0
-
-	err := r.measure(&res.Prefill, &gpu, func() error {
-		b, out := r.Model.BuildPrefill(prompt)
-		ex := &transport.Exec{Graph: b.Graph()}
-		for _, n := range b.Graph().Nodes() {
-			if n.Op == "input" {
-				data, _ := b.InputData(n.Ref)
-				ex.Binds = append(ex.Binds, transport.Binding{Ref: n.Ref, Inline: data})
-			}
-		}
-		ex.Keep = map[srg.NodeID]string{}
-		for i := range out.CacheK {
-			ex.Keep[out.CacheK[i]] = models.CacheRef(i, "k")
-			ex.Keep[out.CacheV[i]] = models.CacheRef(i, "v")
-		}
-		ex.Want = []srg.NodeID{out.LastLogits, out.NextToken}
-		ok, err := r.EP.Exec(ex)
-		if err != nil {
-			return err
-		}
-		gpu += time.Duration(ok.GPUTimeNs)
-		epoch = ok.Epoch
-		next = ok.Results[out.NextToken].I64()[0]
-		histLen = len(prompt)
+// ensureWeights provisions weights unless the caller already did.
+func (r *LLMRunner) ensureWeights() error {
+	if r.WeightsResident {
 		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
-
-	nilCaches := emptyCaches(r.Model)
-	for s := 0; s < steps; s++ {
-		res.Tokens = append(res.Tokens, next)
-		if err := r.emit(next); err != nil {
-			return res, err
-		}
-		tok := next
-		err := r.measure(&res.Decode, &gpu, func() error {
-			b, out := r.Model.BuildDecodeStep(tok, histLen, histLen, nilCaches)
-			ex := &transport.Exec{Graph: b.Graph()}
-			for _, n := range b.Graph().Nodes() {
-				if n.Op != "input" {
-					continue
-				}
-				if n.Residency == srg.ResidencyStatefulKVCache {
-					// Remote cache by handle: the tiny-handle round trip
-					// of §4's Semantics-Aware mode.
-					ex.Binds = append(ex.Binds, transport.Binding{
-						Ref: n.Ref, Key: n.Ref, Epoch: epoch})
-					continue
-				}
-				data, _ := b.InputData(n.Ref)
-				ex.Binds = append(ex.Binds, transport.Binding{Ref: n.Ref, Inline: data})
-			}
-			ex.Keep = map[srg.NodeID]string{}
-			for i := range out.CacheK {
-				ex.Keep[out.CacheK[i]] = models.CacheRef(i, "k")
-				ex.Keep[out.CacheV[i]] = models.CacheRef(i, "v")
-			}
-			ex.Want = []srg.NodeID{out.LastLogits, out.NextToken}
-			ok, err := r.EP.Exec(ex)
-			if err != nil {
-				return err
-			}
-			gpu += time.Duration(ok.GPUTimeNs)
-			epoch = ok.Epoch
-			next = ok.Results[out.NextToken].I64()[0]
-			histLen++
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
-	return res, nil
+	_, err := r.installAllWeights()
+	return err
 }
 
-func (r *LLMRunner) installAllWeights() error {
+func (r *LLMRunner) installAllWeights() (int64, error) {
 	// Capture one throwaway prefill to enumerate params.
 	b, _ := r.Model.BuildPrefill([]int64{0})
-	_, err := InstallWeights(r.EP, b)
-	return err
+	return InstallWeights(r.EP, b)
 }
 
 func emptyCaches(m *models.GPT) []*nn.KVCache {

@@ -125,12 +125,15 @@ func TestRPCCallOrdering(t *testing.T) {
 		}
 		calls[mode] = res.Decode.RPCCalls
 	}
+	// Prefill emits the first token, so steps tokens take steps-1 decode
+	// executions.
+	execs := int64(steps - 1)
 	layers := int64(models.TinyGPT.Layers)
-	if want := steps * (layers + 2); calls[ModeDeltaKV] != want {
+	if want := execs * (layers + 2); calls[ModeDeltaKV] != want {
 		t.Errorf("delta_kv decode calls = %d, want %d", calls[ModeDeltaKV], want)
 	}
-	if want := int64(steps); calls[ModeSemAware] != want {
-		t.Errorf("semantics_aware decode calls = %d, want %d", calls[ModeSemAware], want)
+	if calls[ModeSemAware] != execs {
+		t.Errorf("semantics_aware decode calls = %d, want %d", calls[ModeSemAware], execs)
 	}
 }
 
@@ -152,7 +155,8 @@ func TestSemAwareKeepsCacheRemote(t *testing.T) {
 	// Per-step decode traffic = SRG shipment + token up + logits down,
 	// independent of history length. Bound it by the graph encoding plus
 	// a few logits rows — crucially it must NOT include the KV cache.
-	perStep := res.Decode.NetBytes / 5
+	// (5 tokens = prefill + 4 decode executions.)
+	perStep := res.Decode.NetBytes / 4
 	logits := int64(models.TinyGPT.Vocab * 4)
 	b, _ := r.Model.BuildDecodeStep(0, len(testPrompt), len(testPrompt), emptyCaches(r.Model))
 	var enc countBuf
@@ -199,7 +203,7 @@ func TestDeltaKVLinearGrowthVsSemAwareFlat(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", mode, err)
 		}
-		return res.Decode.NetBytes / int64(steps)
+		return res.Decode.NetBytes / int64(steps-1) // prefill emits token 0
 	}
 	semShort := perStepBytes(ModeSemAware, 2)
 	semLong := perStepBytes(ModeSemAware, 10)

@@ -1,0 +1,457 @@
+package runtime
+
+import (
+	"fmt"
+	"time"
+
+	"genie/internal/models"
+	"genie/internal/nn"
+	"genie/internal/srg"
+	"genie/internal/tensor"
+	"genie/internal/transport"
+)
+
+// Session is an incremental generation handle: Prefill establishes the
+// prompt state, then each Step advances generation by exactly one decode
+// iteration. Generate is Prefill + steps×Step by construction, so a
+// session whose steps are interleaved with other sessions' steps (the
+// online engine's continuous decode batching) produces the same token
+// sequence as a standalone Generate call in the same mode.
+//
+// A Scope namespaces the session's remote-resident KV-cache keys, so
+// many sessions can share one backend without clobbering each other's
+// state; weights are installed under unscoped refs and stay shared.
+type Session struct {
+	r     *LLMRunner
+	mode  Mode
+	scope string
+	impl  sessionImpl
+	res   GenResult
+	gpu   time.Duration
+	next  int64
+	ready bool
+}
+
+// sessionImpl is one mode's incremental strategy.
+type sessionImpl interface {
+	// prefill consumes the prompt and returns the first generated token.
+	prefill(prompt []int64) (int64, error)
+	// step runs one decode iteration on tok and returns the next token.
+	step(tok int64) (int64, error)
+	// residentKeys lists per-session remote state to Free on Close
+	// (nil for modes that keep no per-session remote state).
+	residentKeys() []string
+}
+
+// NewSession opens an unscoped session (remote KV keys are the bare
+// cache refs, exactly as Generate uses them).
+func (r *LLMRunner) NewSession(mode Mode) (*Session, error) {
+	return r.NewScopedSession(mode, "")
+}
+
+// NewScopedSession opens a session whose remote per-request state
+// (KV caches) lives under scope-prefixed keys. scope must be unique per
+// concurrent session on the same endpoint; "" means no prefix.
+func (r *LLMRunner) NewScopedSession(mode Mode, scope string) (*Session, error) {
+	s := &Session{r: r, mode: mode, scope: scope}
+	switch mode {
+	case ModeLocal:
+		s.impl = &localSession{r: r, gpu: &s.gpu, caches: emptyCaches(r.Model)}
+	case ModeNaive:
+		if r.EP == nil {
+			return nil, fmt.Errorf("runtime: naive mode needs an endpoint")
+		}
+		s.impl = &naiveSession{r: r, gpu: &s.gpu}
+	case ModeDeltaKV:
+		if r.EP == nil {
+			return nil, fmt.Errorf("runtime: delta_kv mode needs an endpoint")
+		}
+		s.impl = &deltaKVSession{r: r, gpu: &s.gpu, scope: scope}
+	case ModeSemAware:
+		if r.EP == nil {
+			return nil, fmt.Errorf("runtime: semantics_aware mode needs an endpoint")
+		}
+		s.impl = &semSession{r: r, gpu: &s.gpu, scope: scope, nilCaches: emptyCaches(r.Model)}
+	default:
+		return nil, fmt.Errorf("runtime: unknown mode %d", mode)
+	}
+	return s, nil
+}
+
+// Prefill runs the prompt phase and returns the first generated token.
+// It must be called exactly once, before any Step.
+func (s *Session) Prefill(prompt []int64) (int64, error) {
+	if s.ready {
+		return 0, fmt.Errorf("runtime: session already prefilled")
+	}
+	if len(prompt) == 0 {
+		return 0, fmt.Errorf("runtime: empty prompt")
+	}
+	err := s.r.measure(&s.res.Prefill, &s.gpu, func() error {
+		tok, err := s.impl.prefill(prompt)
+		if err != nil {
+			return err
+		}
+		s.next = tok
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	s.ready = true
+	return s.next, nil
+}
+
+// Next returns the most recently generated token without advancing.
+func (s *Session) Next() int64 { return s.next }
+
+// Step runs one decode iteration on the current token and returns the
+// newly generated token. Interleaving Steps of different sessions at
+// these boundaries is the engine's continuous batching.
+func (s *Session) Step() (int64, error) {
+	if !s.ready {
+		return 0, fmt.Errorf("runtime: Step before Prefill")
+	}
+	err := s.r.measure(&s.res.Decode, &s.gpu, func() error {
+		tok, err := s.impl.step(s.next)
+		if err != nil {
+			return err
+		}
+		s.next = tok
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return s.next, nil
+}
+
+// Result exposes the session's accumulated per-phase metrics. Tokens is
+// filled by Generate; incremental callers track tokens themselves from
+// the Prefill/Step return values.
+func (s *Session) Result() *GenResult { return &s.res }
+
+// Close releases the session's per-request remote state (scoped KV
+// caches). Weights and unscoped state are left resident. Safe to call
+// for any mode; local/naive sessions are no-ops.
+func (s *Session) Close() error {
+	keys := s.impl.residentKeys()
+	if len(keys) == 0 || s.r.EP == nil {
+		return nil
+	}
+	var first error
+	for _, k := range keys {
+		if err := s.r.EP.Free(k); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// cacheKeys enumerates the scoped resident-store keys of a model's KV
+// caches.
+func cacheKeys(scope string, m *models.GPT) []string {
+	keys := make([]string, 0, 2*m.Cfg.Layers)
+	for i := 0; i < m.Cfg.Layers; i++ {
+		keys = append(keys, scope+models.CacheRef(i, "k"), scope+models.CacheRef(i, "v"))
+	}
+	return keys
+}
+
+// --- Local (upper bound) ---
+
+type localSession struct {
+	r      *LLMRunner
+	gpu    *time.Duration
+	caches []*nn.KVCache
+	hist   int
+}
+
+func (ls *localSession) prefill(prompt []int64) (int64, error) {
+	b, out := ls.r.Model.BuildPrefill(prompt)
+	vals, err := RunLocal(b)
+	if err != nil {
+		return 0, err
+	}
+	for i := range ls.caches {
+		ls.caches[i].Append(vals[int32(out.CacheK[i])], vals[int32(out.CacheV[i])])
+	}
+	*ls.gpu += modelGPUTime(b)
+	ls.hist = len(prompt)
+	return vals[int32(out.NextToken)].I64()[0], nil
+}
+
+func (ls *localSession) step(tok int64) (int64, error) {
+	b, out := ls.r.Model.BuildDecodeStep(tok, ls.hist, ls.hist, ls.caches)
+	vals, err := RunLocal(b)
+	if err != nil {
+		return 0, err
+	}
+	for i := range ls.caches {
+		// The appended concat holds the full updated cache; replace
+		// rather than append to stay exact.
+		ls.caches[i].K = vals[int32(out.CacheK[i])]
+		ls.caches[i].V = vals[int32(out.CacheV[i])]
+	}
+	*ls.gpu += modelGPUTime(b)
+	ls.hist++
+	return vals[int32(out.NextToken)].I64()[0], nil
+}
+
+func (ls *localSession) residentKeys() []string { return nil }
+
+// --- Naive (semantics-blind) ---
+
+// naiveSession re-uploads every weight on every remote call and keeps
+// nothing resident: each decode step replays the full forward pass over
+// the whole token history.
+type naiveSession struct {
+	r       *LLMRunner
+	gpu     *time.Duration
+	history []int64
+}
+
+func (ns *naiveSession) call() (int64, error) {
+	b, out := ns.r.Model.BuildPrefill(ns.history)
+	x := &transport.Exec{Graph: b.Graph()}
+	// Blind mode: every leaf inline, weights included.
+	for _, n := range b.Graph().Nodes() {
+		switch n.Op {
+		case "param":
+			data, _ := b.ParamData(n.Ref)
+			x.Binds = append(x.Binds, transport.Binding{Ref: n.Ref, Inline: data})
+		case "input":
+			data, _ := b.InputData(n.Ref)
+			x.Binds = append(x.Binds, transport.Binding{Ref: n.Ref, Inline: data})
+		}
+	}
+	// A blind RPC library materializes all declared outputs back to
+	// the caller: the full logits matrix and the next token.
+	x.Want = []srg.NodeID{out.Logits, out.NextToken}
+	ok, err := ns.r.EP.Exec(x)
+	if err != nil {
+		return 0, err
+	}
+	*ns.gpu += time.Duration(ok.GPUTimeNs)
+	return ok.Results[out.NextToken].I64()[0], nil
+}
+
+func (ns *naiveSession) prefill(prompt []int64) (int64, error) {
+	ns.history = append([]int64(nil), prompt...)
+	return ns.call()
+}
+
+func (ns *naiveSession) step(tok int64) (int64, error) {
+	ns.history = append(ns.history, tok)
+	return ns.call()
+}
+
+func (ns *naiveSession) residentKeys() []string { return nil }
+
+// --- ΔKV (semantics-blind with transport-level caching) ---
+
+// deltaKVSession keeps weights and per-layer caches resident (the
+// transport's content cache) but dispatches the model the way a blind
+// runtime sees it: one RPC per module (embedding, each block, head), and
+// every call's outputs — activations and fresh KV rows, the "delta
+// slice" — are shipped back to the client because the library cannot
+// know the client will never read them.
+type deltaKVSession struct {
+	r     *LLMRunner
+	gpu   *time.Duration
+	scope string
+	x     *tensor.Tensor // current activation at the client
+	hist  int
+}
+
+// embedCall runs the embedding module remotely (the CPU client holds no
+// weights) and materializes the activation home.
+func (ds *deltaKVSession) embedCall(tokens []int64, startPos int) error {
+	eb, embID := ds.r.Model.BuildEmbedStep(tokens, startPos)
+	ex := &transport.Exec{Graph: eb.Graph()}
+	for _, n := range eb.Graph().Nodes() {
+		if n.Op == "input" {
+			data, _ := eb.InputData(n.Ref)
+			ex.Binds = append(ex.Binds, transport.Binding{Ref: n.Ref, Inline: data})
+		}
+	}
+	ex.Want = append(ex.Want, embID)
+	ok, err := ds.r.EP.Exec(ex)
+	if err != nil {
+		return err
+	}
+	*ds.gpu += time.Duration(ok.GPUTimeNs)
+	ds.x = ok.Results[embID]
+	return nil
+}
+
+// layerCall runs one block remotely. hist 0 = prefill (no cache);
+// otherwise the cache binds by (scoped) key. Either way the updated
+// cache is kept remotely AND the delta rows come back to the client.
+func (ds *deltaKVSession) layerCall(layer, hist int) error {
+	b, lo := ds.r.Model.BuildLayerStep(layer, ds.x, nil, hist)
+	ex := &transport.Exec{Graph: b.Graph()}
+	xt, _ := b.InputData("gpt.x")
+	ex.Binds = append(ex.Binds, transport.Binding{Ref: "gpt.x", Inline: xt})
+	kRef, vRef := models.CacheRef(layer, "k"), models.CacheRef(layer, "v")
+	kKey, vKey := ds.scope+kRef, ds.scope+vRef
+	ex.Keep = map[srg.NodeID]string{}
+	if hist > 0 {
+		ex.Binds = append(ex.Binds,
+			transport.Binding{Ref: kRef, Key: kKey},
+			transport.Binding{Ref: vRef, Key: vKey})
+		ex.Keep[lo.AppendedK] = kKey
+		ex.Keep[lo.AppendedV] = vKey
+	} else {
+		ex.Keep[lo.NewK] = kKey
+		ex.Keep[lo.NewV] = vKey
+	}
+	ex.Want = append(ex.Want, lo.Out, lo.NewK, lo.NewV)
+	ok, err := ds.r.EP.Exec(ex)
+	if err != nil {
+		return err
+	}
+	*ds.gpu += time.Duration(ok.GPUTimeNs)
+	ds.x = ok.Results[lo.Out]
+	return nil
+}
+
+// headCall runs the final norm + lm head remotely; the blind library
+// materializes the full logits matrix home along with the argmax.
+func (ds *deltaKVSession) headCall() (int64, error) {
+	hb, logitsID, nextID := ds.r.Model.BuildHeadStep(ds.x)
+	hx := &transport.Exec{Graph: hb.Graph()}
+	xt, _ := hb.InputData("gpt.x")
+	hx.Binds = append(hx.Binds, transport.Binding{Ref: "gpt.x", Inline: xt})
+	hx.Want = append(hx.Want, logitsID, nextID)
+	hok, err := ds.r.EP.Exec(hx)
+	if err != nil {
+		return 0, err
+	}
+	*ds.gpu += time.Duration(hok.GPUTimeNs)
+	return hok.Results[nextID].I64()[0], nil
+}
+
+func (ds *deltaKVSession) forward(tokens []int64, startPos int) (int64, error) {
+	if err := ds.embedCall(tokens, startPos); err != nil {
+		return 0, err
+	}
+	for layer := range ds.r.Model.Blocks {
+		if err := ds.layerCall(layer, startPos); err != nil {
+			return 0, err
+		}
+	}
+	return ds.headCall()
+}
+
+func (ds *deltaKVSession) prefill(prompt []int64) (int64, error) {
+	// One-time provisioning: weights remain remote (not counted in phase
+	// traffic, exactly as the paper's setup pre-installs the model).
+	if err := ds.r.ensureWeights(); err != nil {
+		return 0, err
+	}
+	tok, err := ds.forward(prompt, 0)
+	if err != nil {
+		return 0, err
+	}
+	ds.hist = len(prompt)
+	return tok, nil
+}
+
+func (ds *deltaKVSession) step(tok int64) (int64, error) {
+	next, err := ds.forward([]int64{tok}, ds.hist)
+	if err != nil {
+		return 0, err
+	}
+	ds.hist++
+	return next, nil
+}
+
+func (ds *deltaKVSession) residentKeys() []string {
+	if ds.scope == "" {
+		return nil
+	}
+	return cacheKeys(ds.scope, ds.r.Model)
+}
+
+// --- Semantics-Aware (Genie) ---
+
+// semSession executes each phase as one fused RPC: weights and caches
+// stay remote under stable (scoped) keys; only the prompt/token go up
+// and only the final logits row + next token come down.
+type semSession struct {
+	r         *LLMRunner
+	gpu       *time.Duration
+	scope     string
+	epoch     uint32
+	hist      int
+	nilCaches []*nn.KVCache
+}
+
+func (ss *semSession) prefill(prompt []int64) (int64, error) {
+	if err := ss.r.ensureWeights(); err != nil {
+		return 0, err
+	}
+	b, out := ss.r.Model.BuildPrefill(prompt)
+	ex := &transport.Exec{Graph: b.Graph()}
+	for _, n := range b.Graph().Nodes() {
+		if n.Op == "input" {
+			data, _ := b.InputData(n.Ref)
+			ex.Binds = append(ex.Binds, transport.Binding{Ref: n.Ref, Inline: data})
+		}
+	}
+	ex.Keep = map[srg.NodeID]string{}
+	for i := range out.CacheK {
+		ex.Keep[out.CacheK[i]] = ss.scope + models.CacheRef(i, "k")
+		ex.Keep[out.CacheV[i]] = ss.scope + models.CacheRef(i, "v")
+	}
+	ex.Want = append(ex.Want, out.LastLogits, out.NextToken)
+	ok, err := ss.r.EP.Exec(ex)
+	if err != nil {
+		return 0, err
+	}
+	*ss.gpu += time.Duration(ok.GPUTimeNs)
+	ss.epoch = ok.Epoch
+	ss.hist = len(prompt)
+	return ok.Results[out.NextToken].I64()[0], nil
+}
+
+func (ss *semSession) step(tok int64) (int64, error) {
+	b, out := ss.r.Model.BuildDecodeStep(tok, ss.hist, ss.hist, ss.nilCaches)
+	ex := &transport.Exec{Graph: b.Graph()}
+	for _, n := range b.Graph().Nodes() {
+		if n.Op != "input" {
+			continue
+		}
+		if n.Residency == srg.ResidencyStatefulKVCache {
+			// Remote cache by handle: the tiny-handle round trip of §4's
+			// Semantics-Aware mode.
+			ex.Binds = append(ex.Binds, transport.Binding{
+				Ref: n.Ref, Key: ss.scope + n.Ref, Epoch: ss.epoch})
+			continue
+		}
+		data, _ := b.InputData(n.Ref)
+		ex.Binds = append(ex.Binds, transport.Binding{Ref: n.Ref, Inline: data})
+	}
+	ex.Keep = map[srg.NodeID]string{}
+	for i := range out.CacheK {
+		ex.Keep[out.CacheK[i]] = ss.scope + models.CacheRef(i, "k")
+		ex.Keep[out.CacheV[i]] = ss.scope + models.CacheRef(i, "v")
+	}
+	ex.Want = append(ex.Want, out.LastLogits, out.NextToken)
+	ok, err := ss.r.EP.Exec(ex)
+	if err != nil {
+		return 0, err
+	}
+	*ss.gpu += time.Duration(ok.GPUTimeNs)
+	ss.epoch = ok.Epoch
+	ss.hist++
+	return ok.Results[out.NextToken].I64()[0], nil
+}
+
+func (ss *semSession) residentKeys() []string {
+	if ss.scope == "" {
+		return nil
+	}
+	return cacheKeys(ss.scope, ss.r.Model)
+}

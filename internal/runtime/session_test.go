@@ -1,0 +1,166 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSessionMatchesGenerate: driving a Session step by step yields
+// exactly Generate's tokens in every mode — the property the serving
+// engine's continuous batching rests on.
+func TestSessionMatchesGenerate(t *testing.T) {
+	const steps = 5
+	for _, mode := range []Mode{ModeLocal, ModeNaive, ModeDeltaKV, ModeSemAware} {
+		t.Run(mode.String(), func(t *testing.T) {
+			ref, _ := newRunner(t, 21)
+			want, err := ref.Generate(mode, testPrompt, steps)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			r, _ := newRunner(t, 21)
+			s, err := r.NewSession(mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			var got []int64
+			tok, err := s.Prefill(testPrompt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, tok)
+			for len(got) < steps {
+				tok, err = s.Step()
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, tok)
+			}
+			for i := range want.Tokens {
+				if got[i] != want.Tokens[i] {
+					t.Fatalf("%s session diverges at %d: %v vs %v",
+						mode, i, got, want.Tokens)
+				}
+			}
+		})
+	}
+}
+
+// TestInterleavedScopedSessions: multiple sessions with distinct scopes
+// share one backend, their decode steps interleaved at arbitrary
+// boundaries, without corrupting each other's KV-cache state — the
+// isolation continuous batching requires.
+func TestInterleavedScopedSessions(t *testing.T) {
+	const steps = 6
+	for _, mode := range []Mode{ModeDeltaKV, ModeSemAware} {
+		t.Run(mode.String(), func(t *testing.T) {
+			ref, _ := newRunner(t, 33)
+			want, err := ref.Generate(mode, testPrompt, steps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prompt2 := []int64{8, 1, 44, 2}
+			ref2, _ := newRunner(t, 33)
+			want2, err := ref2.Generate(mode, prompt2, steps)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// One backend, one runner, two live sessions.
+			r, _ := newRunner(t, 33)
+			sessA, err := r.NewScopedSession(mode, "reqA/")
+			if err != nil {
+				t.Fatal(err)
+			}
+			sessB, err := r.NewScopedSession(mode, "reqB/")
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotA := []int64{}
+			gotB := []int64{}
+			step := func(s *Session, got *[]int64) {
+				t.Helper()
+				var tok int64
+				var err error
+				if len(*got) == 0 {
+					if s == sessA {
+						tok, err = s.Prefill(testPrompt)
+					} else {
+						tok, err = s.Prefill(prompt2)
+					}
+				} else {
+					tok, err = s.Step()
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				*got = append(*got, tok)
+			}
+			// Interleave: A, B, B, A, A, B, A, B, ...
+			step(sessA, &gotA)
+			step(sessB, &gotB)
+			step(sessB, &gotB)
+			step(sessA, &gotA)
+			for len(gotA) < steps || len(gotB) < steps {
+				if len(gotA) < steps {
+					step(sessA, &gotA)
+				}
+				if len(gotB) < steps {
+					step(sessB, &gotB)
+				}
+			}
+			for i := 0; i < steps; i++ {
+				if gotA[i] != want.Tokens[i] {
+					t.Fatalf("%s session A diverges at %d: %v vs %v", mode, i, gotA, want.Tokens)
+				}
+				if gotB[i] != want2.Tokens[i] {
+					t.Fatalf("%s session B diverges at %d: %v vs %v", mode, i, gotB, want2.Tokens)
+				}
+			}
+			if err := sessA.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := sessB.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestScopedSessionCloseFreesKV: closing a scoped session releases its
+// per-request KV-cache residents so a long-lived backend doesn't leak
+// memory across requests.
+func TestScopedSessionCloseFreesKV(t *testing.T) {
+	r, srv := newRunner(t, 44)
+	s, err := r.NewScopedSession(ModeSemAware, "reqX/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Prefill(testPrompt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	kvBefore := countScoped(srv, "reqX/")
+	if kvBefore == 0 {
+		t.Fatal("expected scoped KV residents after decode")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := countScoped(srv, "reqX/"); n != 0 {
+		t.Fatalf("%d scoped residents leaked after Close", n)
+	}
+}
+
+func countScoped(srv interface{ ResidentKeys() []string }, scope string) int {
+	n := 0
+	for _, k := range srv.ResidentKeys() {
+		if strings.HasPrefix(k, scope) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,73 @@
+package runtime
+
+import (
+	"context"
+	"math/rand"
+	goruntime "runtime"
+	"testing"
+	"time"
+
+	"genie/internal/models"
+)
+
+// TestStreamCancelDoesNotLeakGoroutine is a regression test: cancelling
+// a Stream mid-decode must terminate its generation goroutine and close
+// the token channel — a stream goroutine blocked forever on a channel
+// send would pile up one leaked goroutine per cancelled request in a
+// long-lived gateway.
+func TestStreamCancelDoesNotLeakGoroutine(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	r := &LLMRunner{Model: models.NewGPT(rng, models.TinyGPT)}
+
+	before := goroutineCount()
+	const streams = 8
+	for i := 0; i < streams; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		ch := r.Stream(ctx, ModeLocal, testPrompt, 50)
+		// Read a couple of tokens so the stream is genuinely mid-decode,
+		// then walk away without draining.
+		for j := 0; j < 2; j++ {
+			if _, ok := <-ch; !ok {
+				t.Fatal("stream ended before cancellation")
+			}
+		}
+		cancel()
+		// The channel must close promptly; a blocked producer would keep
+		// it open forever.
+		waitClosed(t, ch)
+	}
+
+	// All stream goroutines must have exited (poll: exit happens after
+	// the close we observed).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if goroutineCount() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after %d cancelled streams",
+				before, goroutineCount(), streams)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func waitClosed(t *testing.T, ch <-chan Token) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-ch:
+			if !ok {
+				return
+			}
+		case <-deadline:
+			t.Fatal("stream channel never closed after cancel")
+		}
+	}
+}
+
+func goroutineCount() int {
+	goruntime.GC() // settle finalizer goroutines
+	return goruntime.NumGoroutine()
+}

@@ -1,0 +1,321 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"genie/internal/global"
+	"genie/internal/models"
+	"genie/internal/runtime"
+)
+
+// newLocalEngine builds a single-lane engine in ModeLocal (no sockets),
+// driven manually through lane.iterate for determinism.
+func newLocalEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	r := &runtime.LLMRunner{Model: models.NewGPT(rng, models.TinyGPT)}
+	e, err := NewEngine(cfg, []Backend{{Name: "local0", Runner: r}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// refTokens generates the ground-truth sequence with a plain Generate
+// call on an identical model.
+func refTokens(t *testing.T, prompt []int64, steps int) []int64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	r := &runtime.LLMRunner{Model: models.NewGPT(rng, models.TinyGPT)}
+	res, err := r.Generate(runtime.ModeLocal, prompt, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Tokens
+}
+
+var unitPrompt = []int64{3, 14, 15, 9, 2, 6}
+
+func TestQueueBandAndRoundRobin(t *testing.T) {
+	q := newTenantQueues()
+	mk := func(tenant string, slo global.SLO, id int64) *activeReq {
+		return &activeReq{id: id, tenant: tenant, slo: slo}
+	}
+	// Batch work arrives first; interactive must still dispatch first
+	// (the global.Prioritize ordering).
+	q.push(mk("batchy", global.SLOBatch, 1))
+	q.push(mk("alice", global.SLOInteractive, 2))
+	q.push(mk("alice", global.SLOInteractive, 3))
+	q.push(mk("alice", global.SLOInteractive, 4))
+	q.push(mk("bob", global.SLOInteractive, 5))
+
+	var got []int64
+	for ar := q.pop(); ar != nil; ar = q.pop() {
+		got = append(got, ar.id)
+	}
+	// alice(2), bob(5) round-robin, then alice's backlog, then batch.
+	want := []int64{2, 5, 3, 4, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+	if q.depth() != 0 {
+		t.Fatalf("depth %d after draining", q.depth())
+	}
+}
+
+// TestFairnessOrdering drives the engine lane deterministically and
+// checks dispatch order: interactive before batch, round-robin across
+// tenants, FIFO within a tenant — matching global.Prioritize semantics.
+func TestFairnessOrdering(t *testing.T) {
+	clk := NewFakeClock()
+	e := newLocalEngine(t, Config{Clock: clk, MaxBatch: 1})
+	var order []string
+	submit := func(label, tenant string, slo global.SLO) {
+		_, err := e.enqueue(context.Background(), Request{
+			Tenant: tenant, SLO: slo, Prompt: unitPrompt, MaxTokens: 1,
+			OnToken: func(tok Token) {
+				if tok.Index == 0 {
+					order = append(order, label)
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	submit("c1", "carol", global.SLOBatch) // first in, batch SLO
+	submit("a1", "alice", global.SLOInteractive)
+	submit("a2", "alice", global.SLOInteractive)
+	submit("b1", "bob", global.SLOInteractive)
+
+	for e.lanes[0].iterate() {
+	}
+	want := []string{"a1", "b1", "a2", "c1"}
+	if len(order) != len(want) {
+		t.Fatalf("dispatched %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dispatch order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestDeadlineExpiryMidDecode: a request whose deadline passes between
+// step boundaries is retired at the next boundary with its partial
+// tokens.
+func TestDeadlineExpiryMidDecode(t *testing.T) {
+	clk := NewFakeClock()
+	e := newLocalEngine(t, Config{Clock: clk, MaxBatch: 1})
+	ar, err := e.enqueue(context.Background(), Request{
+		Tenant: "t", Prompt: unitPrompt, MaxTokens: 100, Timeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := e.lanes[0]
+	l.iterate() // prefill + first decode step (2 tokens)
+	l.iterate() // third token
+	if n := len(ar.tokens); n != 3 {
+		t.Fatalf("expected 3 tokens mid-flight, got %d", n)
+	}
+	clk.Advance(100 * time.Millisecond) // past the deadline, mid-decode
+	l.iterate()
+	select {
+	case <-ar.done:
+	default:
+		t.Fatal("request not retired after deadline")
+	}
+	if !errors.Is(ar.err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", ar.err)
+	}
+	if len(ar.res.Tokens) != 3 {
+		t.Fatalf("partial result has %d tokens, want 3", len(ar.res.Tokens))
+	}
+	if st := e.Stats(); st.Expired != 1 || st.Active != 0 {
+		t.Fatalf("stats after expiry: %+v", st)
+	}
+}
+
+// TestJoinLeaveAtStepBoundaries: a second request joins the running
+// batch at a step boundary, decodes alongside the first, and leaves when
+// finished — while the first continues, producing exactly the tokens a
+// standalone Generate yields.
+func TestJoinLeaveAtStepBoundaries(t *testing.T) {
+	clk := NewFakeClock()
+	e := newLocalEngine(t, Config{Clock: clk, MaxBatch: 4})
+	l := e.lanes[0]
+
+	r1, err := e.enqueue(context.Background(), Request{Tenant: "a", Prompt: unitPrompt, MaxTokens: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.iterate() // r1: prefill + 1 step → 2 tokens, occupancy 1
+
+	r2, err := e.enqueue(context.Background(), Request{Tenant: "b", Prompt: unitPrompt, MaxTokens: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.iterate() // r2 joins (prefill) and both step → r2 done (leaves)
+	select {
+	case <-r2.done:
+	default:
+		t.Fatal("r2 should have completed and left the batch")
+	}
+	if int(l.activeN.Load()) != 1 {
+		t.Fatalf("batch should hold only r1, active=%d", l.activeN.Load())
+	}
+	for !isDone(r1) {
+		if !l.iterate() {
+			t.Fatal("lane idle before r1 finished")
+		}
+	}
+	want := refTokens(t, unitPrompt, 6)
+	assertTokens(t, "r1", r1.res.Tokens, want)
+	assertTokens(t, "r2", r2.res.Tokens, want[:2])
+
+	st := e.Stats()
+	if st.MaxOccupancy != 2 {
+		t.Fatalf("max occupancy %d, want 2 (continuous batch merged r1+r2)", st.MaxOccupancy)
+	}
+	if st.Completed != 2 {
+		t.Fatalf("completed %d, want 2", st.Completed)
+	}
+}
+
+// TestGracefulDrain: draining rejects new work but completes everything
+// already admitted.
+func TestGracefulDrain(t *testing.T) {
+	clk := NewFakeClock()
+	e := newLocalEngine(t, Config{Clock: clk, MaxBatch: 4})
+	var admitted []*activeReq
+	for i := 0; i < 3; i++ {
+		ar, err := e.enqueue(context.Background(), Request{Tenant: "t", Prompt: unitPrompt, MaxTokens: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		admitted = append(admitted, ar)
+	}
+	drainDone := make(chan error, 1)
+	go func() { drainDone <- e.Drain(context.Background()) }()
+
+	// New work is rejected the moment draining begins.
+	waitDraining(t, e)
+	if _, err := e.enqueue(context.Background(), Request{Tenant: "t", Prompt: unitPrompt}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("enqueue while draining: %v, want ErrDraining", err)
+	}
+
+	for e.lanes[0].iterate() {
+	}
+	if err := <-drainDone; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for i, ar := range admitted {
+		if !isDone(ar) || ar.err != nil {
+			t.Fatalf("admitted request %d not completed cleanly (err=%v)", i, ar.err)
+		}
+		if len(ar.res.Tokens) != 3 {
+			t.Fatalf("request %d: %d tokens, want 3", i, len(ar.res.Tokens))
+		}
+	}
+}
+
+// TestInvalidRequestRejected: malformed requests fail at admission
+// with ErrInvalidRequest (HTTP 400), not deep in a lane as a 500.
+func TestInvalidRequestRejected(t *testing.T) {
+	e := newLocalEngine(t, Config{Clock: NewFakeClock()})
+	cases := []Request{
+		{Tenant: "t"},                            // empty prompt
+		{Tenant: "t", Prompt: []int64{1, 9999}},  // out-of-vocab token
+		{Tenant: "t", Prompt: []int64{-1}},       // negative token
+		{Tenant: "t", Prompt: make([]int64, 64)}, // prompt fills the context
+	}
+	for i, req := range cases {
+		if _, err := e.enqueue(context.Background(), req); !errors.Is(err, ErrInvalidRequest) {
+			t.Fatalf("case %d: err = %v, want ErrInvalidRequest", i, err)
+		}
+	}
+	// An oversized max_tokens clamps to the context window instead.
+	ar, err := e.enqueue(context.Background(), Request{Tenant: "t", Prompt: unitPrompt, MaxTokens: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 64 - len(unitPrompt); ar.maxTokens != want { // TinyGPT MaxSeq = 64
+		t.Fatalf("maxTokens clamped to %d, want %d", ar.maxTokens, want)
+	}
+}
+
+// TestLoadShed: the admission queue bound rejects rather than queues.
+func TestLoadShed(t *testing.T) {
+	e := newLocalEngine(t, Config{Clock: NewFakeClock(), MaxQueue: 2})
+	for i := 0; i < 2; i++ {
+		if _, err := e.enqueue(context.Background(), Request{Tenant: "t", Prompt: unitPrompt}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.enqueue(context.Background(), Request{Tenant: "t", Prompt: unitPrompt}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third enqueue: %v, want ErrOverloaded", err)
+	}
+	if st := e.Stats(); st.Shed != 1 || st.Queued != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestCancelledContextRetires: a cancelled submitter's request leaves
+// the batch at the next step boundary.
+func TestCancelledContextRetires(t *testing.T) {
+	e := newLocalEngine(t, Config{Clock: NewFakeClock(), MaxBatch: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	ar, err := e.enqueue(ctx, Request{Tenant: "t", Prompt: unitPrompt, MaxTokens: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := e.lanes[0]
+	l.iterate()
+	cancel()
+	l.iterate()
+	if !isDone(ar) || !errors.Is(ar.err, context.Canceled) {
+		t.Fatalf("cancelled request err=%v", ar.err)
+	}
+	if st := e.Stats(); st.Cancelled != 1 || st.Active != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func isDone(ar *activeReq) bool {
+	select {
+	case <-ar.done:
+		return true
+	default:
+		return false
+	}
+}
+
+func waitDraining(t *testing.T, e *Engine) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !e.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("engine never started draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func assertTokens(t *testing.T, label string, got, want []int64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d tokens, want %d (%v vs %v)", label, len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s diverges at %d: %v vs %v", label, i, got, want)
+		}
+	}
+}

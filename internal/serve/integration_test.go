@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"genie/internal/backend"
+	"genie/internal/device"
+	"genie/internal/models"
+	"genie/internal/runtime"
+	"genie/internal/transport"
+)
+
+const tcpSeed = 7
+
+// startTCPRunner starts a real genie-server backend over TCP and returns
+// a runner wired to it, sharing model weights with every other runner
+// built from the same seed.
+func startTCPRunner(t *testing.T) *runtime.LLMRunner {
+	t.Helper()
+	srv := backend.NewServer(device.A100)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() { _ = srv.Listen(l) }()
+	conn, err := transport.Dial(l.Addr().String(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	client := transport.NewClient(conn)
+	rng := rand.New(rand.NewSource(tcpSeed))
+	return &runtime.LLMRunner{
+		Model:    models.NewGPT(rng, models.TinyGPT),
+		EP:       client,
+		Counters: conn.Counters(),
+	}
+}
+
+// e2ePrompt derives a deterministic per-request prompt.
+func e2ePrompt(i int) []int64 {
+	p := make([]int64, 4+i%3)
+	for j := range p {
+		p[j] = int64((i*13 + j*7) % 90)
+	}
+	return p
+}
+
+// TestGatewayEndToEnd is the acceptance test: in-process genie-server
+// backends over real TCP, the serving engine in ModeSemAware, an
+// httptest gateway in front, and ≥32 concurrent POST /v1/generate
+// calls. Asserts (a) every response's tokens equal a direct
+// runtime.Generate in the same mode, (b) continuous batching actually
+// merged requests (occupancy > 1 at /stats), and (c) requests beyond
+// the queue bound are shed with 429, not hung.
+func TestGatewayEndToEnd(t *testing.T) {
+	const (
+		nReq      = 32
+		maxTokens = 6
+	)
+	backends := []Backend{
+		{Name: "b0", Runner: startTCPRunner(t)},
+		{Name: "b1", Runner: startTCPRunner(t)},
+	}
+	e, err := NewEngine(Config{
+		Mode:     runtime.ModeSemAware,
+		MaxQueue: nReq, // exactly the burst: request nReq+1 must shed
+		MaxBatch: 8,
+	}, backends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := httptest.NewServer(NewHandler(e))
+	t.Cleanup(gw.Close)
+
+	// Ground truth: direct Generate on a fresh backend, same seed+mode.
+	ref := startTCPRunner(t)
+	want := make([][]int64, nReq)
+	for i := range want {
+		res, err := ref.Generate(runtime.ModeSemAware, e2ePrompt(i), maxTokens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res.Tokens
+	}
+
+	post := func(i int) (*http.Response, GenerateResponse, error) {
+		body, _ := json.Marshal(GenerateRequest{
+			Tenant:    fmt.Sprintf("tenant%d", i%4),
+			Prompt:    e2ePrompt(i),
+			MaxTokens: maxTokens,
+		})
+		resp, err := http.Post(gw.URL+"/v1/generate", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, GenerateResponse{}, err
+		}
+		defer resp.Body.Close()
+		var gr GenerateResponse
+		if err := json.NewDecoder(resp.Body).Decode(&gr); err != nil {
+			return resp, gr, err
+		}
+		return resp, gr, nil
+	}
+
+	// Lanes not started yet: the burst lands wholly in the admission
+	// queue, which makes the over-bound rejections deterministic.
+	results := make([]GenerateResponse, nReq)
+	statuses := make([]int, nReq)
+	var wg sync.WaitGroup
+	for i := 0; i < nReq; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, gr, err := post(i)
+			if err != nil {
+				t.Errorf("req %d: %v", i, err)
+				return
+			}
+			statuses[i] = resp.StatusCode
+			results[i] = gr
+		}(i)
+	}
+	waitFor(t, func() bool { return e.Stats().Queued == nReq }, "queue fill")
+
+	// (c) Beyond the bound: load-shed as 429, immediately.
+	for i := 0; i < 4; i++ {
+		resp, _, err := post(nReq + i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("over-bound request got %d, want 429", resp.StatusCode)
+		}
+	}
+
+	e.Start()
+	wg.Wait()
+
+	// (a) Token equality with direct Generate.
+	for i := 0; i < nReq; i++ {
+		if statuses[i] != http.StatusOK {
+			t.Fatalf("req %d: status %d (%s)", i, statuses[i], results[i].Error)
+		}
+		assertTokens(t, fmt.Sprintf("req %d", i), results[i].Tokens, want[i])
+	}
+
+	// (b) Continuous batching merged concurrent requests.
+	resp, err := http.Get(gw.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.MaxOccupancy <= 1 {
+		t.Fatalf("max occupancy %d, want >1 (batching never merged requests)", st.MaxOccupancy)
+	}
+	if st.Completed != nReq || st.Shed != 4 {
+		t.Fatalf("stats completed=%d shed=%d, want %d/4", st.Completed, st.Shed, nReq)
+	}
+	if st.TTFT.P95 <= 0 || st.Latency.P95 <= 0 || st.TokensPerSec <= 0 {
+		t.Fatalf("latency telemetry missing: %+v", st)
+	}
+
+	// healthz flips 200 → 503 across drain.
+	if code := getStatus(t, gw.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz %d, want 200", code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := e.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if code := getStatus(t, gw.URL+"/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining %d, want 503", code)
+	}
+	e.Stop()
+}
+
+// TestGatewayStreaming exercises the NDJSON token stream: per-token
+// events followed by a summary, tokens matching the non-streamed path.
+func TestGatewayStreaming(t *testing.T) {
+	rng := rand.New(rand.NewSource(tcpSeed))
+	r := &runtime.LLMRunner{Model: models.NewGPT(rng, models.TinyGPT)}
+	e, err := NewEngine(Config{Mode: runtime.ModeLocal}, []Backend{{Name: "local", Runner: r}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	t.Cleanup(e.Stop)
+	gw := httptest.NewServer(NewHandler(e))
+	t.Cleanup(gw.Close)
+
+	const maxTokens = 5
+	prompt := e2ePrompt(1)
+	body, _ := json.Marshal(GenerateRequest{Tenant: "s", Prompt: prompt, MaxTokens: maxTokens, Stream: true})
+	resp, err := http.Post(gw.URL+"/v1/generate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content-type %q", ct)
+	}
+
+	var events []StreamEvent
+	var summary GenerateResponse
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if bytes.Contains(line, []byte(`"index"`)) { // token event lines carry an index
+			var ev StreamEvent
+			if err := json.Unmarshal(line, &ev); err != nil {
+				t.Fatalf("bad event line %q: %v", line, err)
+			}
+			events = append(events, ev)
+			continue
+		}
+		if err := json.Unmarshal(line, &summary); err != nil {
+			t.Fatalf("bad stream line %q: %v", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	ref := &runtime.LLMRunner{Model: models.NewGPT(rand.New(rand.NewSource(tcpSeed)), models.TinyGPT)}
+	wantRes, err := ref.Generate(runtime.ModeLocal, prompt, maxTokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTokens(t, "summary", summary.Tokens, wantRes.Tokens)
+	if len(events) != maxTokens {
+		t.Fatalf("streamed %d events, want %d", len(events), maxTokens)
+	}
+	for i, ev := range events {
+		if ev.Index != i || ev.Token != wantRes.Tokens[i] {
+			t.Fatalf("event %d = %+v, want index %d token %d", i, ev, i, wantRes.Tokens[i])
+		}
+	}
+}
+
+func getStatus(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

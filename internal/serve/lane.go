@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"genie/internal/runtime"
+)
+
+// lane is one backend's dispatch loop. A lane owns its runner's
+// connection outright (the transport is a synchronous RPC channel), so
+// everything on a backend — prefills and decode steps of every resident
+// request — executes from this single goroutine. Continuous batching is
+// the loop structure itself: each iterate() is one step boundary where
+// finished requests leave, queued requests join (prefill), and every
+// active request advances exactly one decode step.
+type lane struct {
+	e       *Engine
+	name    string
+	runner  *runtime.LLMRunner
+	active  []*activeReq
+	activeN atomic.Int32
+	wake    chan struct{}
+}
+
+func newLane(e *Engine, name string, r *runtime.LLMRunner) *lane {
+	return &lane{e: e, name: name, runner: r, wake: make(chan struct{}, 1)}
+}
+
+// run is the production loop: iterate while there is work, sleep until
+// nudged otherwise.
+func (l *lane) run() {
+	defer l.e.wg.Done()
+	for {
+		if l.iterate() {
+			continue
+		}
+		select {
+		case <-l.wake:
+		case <-l.e.stop:
+			return
+		}
+	}
+}
+
+// iterate executes one step boundary; it reports whether any work was
+// done (false = the lane is idle and may sleep).
+func (l *lane) iterate() bool {
+	worked := l.admit()
+	if len(l.active) > 0 {
+		worked = true
+		stepped := 0
+		keep := l.active[:0]
+		for _, ar := range l.active {
+			didStep, stay := l.advance(ar)
+			if didStep {
+				stepped++
+			}
+			if stay {
+				keep = append(keep, ar)
+			}
+		}
+		for i := len(keep); i < len(l.active); i++ {
+			l.active[i] = nil
+		}
+		l.active = keep
+		l.activeN.Store(int32(len(l.active)))
+		l.e.stats.occupancy(stepped)
+	}
+	l.e.maybeDrained()
+	return worked
+}
+
+// admit moves queued requests into the running batch until it is full,
+// running each newcomer's prefill. Reports whether anything was
+// admitted or retired.
+func (l *lane) admit() bool {
+	worked := false
+	for len(l.active) < l.e.cfg.MaxBatch {
+		ar := l.e.dequeue()
+		if ar == nil {
+			break
+		}
+		worked = true
+		if !l.prefill(ar) {
+			continue // retired at admission (cancelled/expired/failed)
+		}
+		l.active = append(l.active, ar)
+	}
+	l.activeN.Store(int32(len(l.active)))
+	return worked
+}
+
+// prefill runs a newcomer's prompt phase; it reports whether the
+// request joined the batch (false = already completed or retired).
+func (l *lane) prefill(ar *activeReq) bool {
+	if l.retireIfDone(ar) {
+		return false
+	}
+	sess, err := l.runner.NewScopedSession(l.e.cfg.Mode, fmt.Sprintf("req%d/", ar.id))
+	if err != nil {
+		l.finish(ar, err, func(c *collector) { c.failed++ })
+		return false
+	}
+	ar.sess = sess
+	first, err := sess.Prefill(ar.prompt)
+	if err != nil {
+		l.finish(ar, err, func(c *collector) { c.failed++ })
+		return false
+	}
+	ar.ttft = l.e.clock.Now().Sub(ar.arrival)
+	l.e.stats.recordTTFT(ar.ttft)
+	l.emit(ar, first)
+	if len(ar.tokens) >= ar.maxTokens {
+		l.finish(ar, nil, func(c *collector) { c.completed++ })
+		return false
+	}
+	return true
+}
+
+// advance runs one request's share of a decode iteration. didStep
+// reports whether a decode step executed (the occupancy sample); stay
+// whether the request remains in the batch.
+func (l *lane) advance(ar *activeReq) (didStep, stay bool) {
+	if l.retireIfDone(ar) {
+		return false, false
+	}
+	tok, err := ar.sess.Step()
+	if err != nil {
+		l.finish(ar, err, func(c *collector) { c.failed++ })
+		return false, false
+	}
+	l.emit(ar, tok)
+	if len(ar.tokens) >= ar.maxTokens {
+		l.finish(ar, nil, func(c *collector) { c.completed++ })
+		return true, false
+	}
+	return true, true
+}
+
+// retireIfDone retires a cancelled or deadline-expired request at this
+// step boundary; it reports whether the request was retired.
+func (l *lane) retireIfDone(ar *activeReq) bool {
+	if ar.ctx != nil && ar.ctx.Err() != nil {
+		l.finish(ar, ar.ctx.Err(), func(c *collector) { c.cancelled++ })
+		return true
+	}
+	if !ar.deadline.IsZero() && l.e.clock.Now().After(ar.deadline) {
+		l.finish(ar, ErrDeadlineExceeded, func(c *collector) { c.expired++ })
+		return true
+	}
+	return false
+}
+
+// emit records a generated token and invokes the streaming hook.
+func (l *lane) emit(ar *activeReq, tok int64) {
+	idx := len(ar.tokens)
+	ar.tokens = append(ar.tokens, tok)
+	l.e.stats.count(func(c *collector) { c.tokensOut++ })
+	if ar.onToken != nil {
+		ar.onToken(Token{Index: idx, ID: tok})
+	}
+}
+
+// finish retires a request: releases its per-request remote state,
+// builds the result (partial tokens included on expiry/cancel), bumps
+// the outcome counter, and unblocks the submitter.
+func (l *lane) finish(ar *activeReq, err error, outcome func(*collector)) {
+	if ar.sess != nil {
+		_ = ar.sess.Close()
+	}
+	lat := l.e.clock.Now().Sub(ar.arrival)
+	if err == nil {
+		l.e.stats.recordLatency(lat)
+	}
+	l.e.stats.count(outcome)
+	ar.complete(&Result{
+		Tokens:  ar.tokens,
+		TTFT:    ar.ttft,
+		Latency: lat,
+		Backend: l.name,
+	}, err)
+}

@@ -1,0 +1,87 @@
+package serve
+
+import "genie/internal/global"
+
+// tenantQueues is the engine's admission queue: one FIFO per tenant,
+// grouped into SLO bands ordered exactly as global.Less/Prioritize
+// orders submissions (interactive before batch). Within a band, dispatch
+// round-robins across tenants so one chatty tenant cannot starve the
+// rest; within a tenant, arrival order holds.
+type tenantQueues struct {
+	bands [2]band
+	n     int
+}
+
+// band is one SLO class's set of per-tenant FIFOs with a round-robin
+// cursor.
+type band struct {
+	fifos map[string][]*activeReq
+	order []string // tenants with queued work, in rotation order
+	next  int      // round-robin cursor into order
+}
+
+func newTenantQueues() *tenantQueues {
+	q := &tenantQueues{}
+	for i := range q.bands {
+		q.bands[i].fifos = map[string][]*activeReq{}
+	}
+	return q
+}
+
+// bandIndex maps an SLO to its dispatch band; the ordering invariant
+// (interactive = 0 dispatches first) is global.Prioritize's.
+func bandIndex(slo global.SLO) int {
+	if slo == global.SLOInteractive {
+		return 0
+	}
+	return 1
+}
+
+// push appends to the tenant's FIFO in the request's band.
+func (q *tenantQueues) push(ar *activeReq) {
+	b := &q.bands[bandIndex(ar.slo)]
+	if _, ok := b.fifos[ar.tenant]; !ok {
+		b.order = append(b.order, ar.tenant)
+	}
+	b.fifos[ar.tenant] = append(b.fifos[ar.tenant], ar)
+	q.n++
+}
+
+// pop removes and returns the next request to dispatch, or nil when
+// empty: highest-priority non-empty band, round-robin across its
+// tenants.
+func (q *tenantQueues) pop() *activeReq {
+	for i := range q.bands {
+		if ar := q.bands[i].pop(); ar != nil {
+			q.n--
+			return ar
+		}
+	}
+	return nil
+}
+
+func (b *band) pop() *activeReq {
+	for len(b.order) > 0 {
+		if b.next >= len(b.order) {
+			b.next = 0
+		}
+		t := b.order[b.next]
+		fifo := b.fifos[t]
+		ar := fifo[0]
+		if len(fifo) == 1 {
+			// Tenant drained: drop it from rotation. The cursor now
+			// points at the next tenant, which keeps the round-robin
+			// moving.
+			delete(b.fifos, t)
+			b.order = append(b.order[:b.next], b.order[b.next+1:]...)
+		} else {
+			b.fifos[t] = fifo[1:]
+			b.next++
+		}
+		return ar
+	}
+	return nil
+}
+
+// depth is the number of queued (admitted, not yet running) requests.
+func (q *tenantQueues) depth() int { return q.n }

@@ -1,0 +1,385 @@
+// Package serve is Genie's online serving engine: it owns the live
+// request lifecycle the offline evaluation (internal/eval/serving.go)
+// only replays. Requests are admitted against a bounded queue
+// (load-shedding above the bound), ordered by per-tenant fair queues
+// with the global scheduler's SLO priority (global.Less), dispatched to
+// backend lanes, and decoded with continuous batching: requests join and
+// leave a lane's running decode batch at step boundaries
+// (iteration-level scheduling over runtime.Session), so short requests
+// never wait for long ones and decode slots refill the moment a request
+// finishes. Deadlines, context cancellation, graceful drain, and an
+// injectable clock make the whole engine deterministic under test.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"genie/internal/global"
+	"genie/internal/runtime"
+)
+
+// Engine lifecycle errors.
+var (
+	// ErrOverloaded is the load-shed rejection (HTTP 429): the admission
+	// queue is at its bound, so the engine refuses rather than queues.
+	ErrOverloaded = errors.New("serve: overloaded, admission queue full")
+	// ErrDraining rejects new work while the engine drains.
+	ErrDraining = errors.New("serve: engine is draining")
+	// ErrDeadlineExceeded retires a request whose deadline passed while
+	// queued or mid-decode; partial tokens are returned alongside it.
+	ErrDeadlineExceeded = errors.New("serve: request deadline exceeded")
+	// ErrInvalidRequest rejects a malformed request at admission (HTTP
+	// 400): empty prompt, out-of-vocab token, or a prompt that already
+	// fills the model's context.
+	ErrInvalidRequest = errors.New("serve: invalid request")
+)
+
+// Config parameterizes the engine.
+type Config struct {
+	// Mode is the disaggregation mode sessions run under. The zero value
+	// is ModeLocal; production gateways want ModeSemAware — the only
+	// remote mode whose per-step cost makes online serving viable.
+	Mode runtime.Mode
+	// MaxQueue bounds admitted-but-not-yet-running requests; Submit
+	// beyond it fails fast with ErrOverloaded (default 64).
+	MaxQueue int
+	// MaxBatch is the continuous-batching limit per backend lane: the
+	// most requests that share one decode iteration (default 8).
+	MaxBatch int
+	// DefaultMaxTokens caps generation when a request doesn't say
+	// (default 32).
+	DefaultMaxTokens int
+	// DefaultDeadline bounds queue+generation time per request when the
+	// request carries none; 0 = no deadline.
+	DefaultDeadline time.Duration
+	// Clock is injectable for deterministic tests; nil = wall clock.
+	Clock Clock
+}
+
+func (c *Config) fillDefaults() {
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.DefaultMaxTokens <= 0 {
+		c.DefaultMaxTokens = 32
+	}
+	if c.Clock == nil {
+		c.Clock = realClock{}
+	}
+}
+
+// Backend is one accelerator server the engine can place sessions on.
+type Backend struct {
+	// Name labels the backend in results and stats.
+	Name string
+	// Runner must be bound to the backend's endpoint (EP) for remote
+	// modes; each Backend needs its own runner (lanes serialize all RPC
+	// on their runner's connection).
+	Runner *runtime.LLMRunner
+}
+
+// Token is one streamed generation event delivered to Request.OnToken.
+type Token struct {
+	// Index is the position in the generated sequence (0 = first token,
+	// produced by prefill).
+	Index int
+	// ID is the generated token id.
+	ID int64
+}
+
+// Request is one tenant's generation call.
+type Request struct {
+	Tenant string
+	// SLO orders dispatch (interactive before batch), with the exact
+	// semantics of global.Prioritize.
+	SLO    global.SLO
+	Prompt []int64
+	// MaxTokens caps generation (0 = engine default).
+	MaxTokens int
+	// Timeout bounds queue+generation (0 = engine default; negative =
+	// no deadline even if the engine has a default).
+	Timeout time.Duration
+	// OnToken, when set, observes each token as its step completes (the
+	// streaming hook). It runs on the engine's dispatch goroutine and
+	// must not block.
+	OnToken func(Token)
+}
+
+// Result is a finished request's outcome. On deadline expiry it carries
+// the tokens generated so far alongside the error.
+type Result struct {
+	Tokens  []int64
+	TTFT    time.Duration
+	Latency time.Duration
+	Backend string
+}
+
+// activeReq is a request's engine-internal lifecycle record.
+type activeReq struct {
+	id        int64
+	tenant    string
+	slo       global.SLO
+	prompt    []int64
+	maxTokens int
+	deadline  time.Time // zero = none
+	ctx       context.Context
+	onToken   func(Token)
+	arrival   time.Time
+
+	// Lane-owned after admission.
+	sess   *runtime.Session
+	tokens []int64
+	ttft   time.Duration
+
+	// Completion.
+	res  *Result
+	err  error
+	done chan struct{}
+}
+
+func (ar *activeReq) complete(res *Result, err error) {
+	ar.res, ar.err = res, err
+	close(ar.done)
+}
+
+// Engine is the online serving engine.
+type Engine struct {
+	cfg   Config
+	clock Clock
+	stats *collector
+
+	mu       sync.Mutex
+	queues   *tenantQueues
+	draining bool
+	seq      int64
+
+	lanes []*lane
+
+	// Model geometry for request validation (all backends share the
+	// model).
+	vocab  int
+	maxSeq int
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	wg        sync.WaitGroup
+
+	drainOnce sync.Once
+	drained   chan struct{}
+}
+
+// NewEngine builds an engine over the given backends, provisioning each
+// backend's endpoint with the model weights for remote modes (the
+// one-time installation Generate would otherwise repeat per request).
+// Call Start to begin dispatching.
+func NewEngine(cfg Config, backends []Backend) (*Engine, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("serve: no backends")
+	}
+	cfg.fillDefaults()
+	e := &Engine{
+		cfg:     cfg,
+		clock:   cfg.Clock,
+		queues:  newTenantQueues(),
+		stop:    make(chan struct{}),
+		drained: make(chan struct{}),
+	}
+	e.stats = newCollector(e.clock)
+	if backends[0].Runner != nil && backends[0].Runner.Model != nil {
+		e.vocab = backends[0].Runner.Model.Cfg.Vocab
+		e.maxSeq = backends[0].Runner.Model.Cfg.MaxSeq
+	}
+	for i, b := range backends {
+		if b.Runner == nil || b.Runner.Model == nil {
+			return nil, fmt.Errorf("serve: backend %d has no runner/model", i)
+		}
+		name := b.Name
+		if name == "" {
+			name = fmt.Sprintf("backend%d", i)
+		}
+		if cfg.Mode != runtime.ModeLocal && !b.Runner.WeightsResident {
+			if _, err := b.Runner.InstallModelWeights(); err != nil {
+				return nil, fmt.Errorf("serve: install weights on %s: %w", name, err)
+			}
+		}
+		e.lanes = append(e.lanes, newLane(e, name, b.Runner))
+	}
+	return e, nil
+}
+
+// Start launches one dispatch goroutine per backend lane. Idempotent.
+func (e *Engine) Start() {
+	e.startOnce.Do(func() {
+		for _, l := range e.lanes {
+			e.wg.Add(1)
+			go l.run()
+		}
+	})
+}
+
+// Stop halts the lane goroutines without waiting for pending work; use
+// Drain first for a graceful shutdown.
+func (e *Engine) Stop() {
+	e.stopOnce.Do(func() { close(e.stop) })
+	e.wg.Wait()
+}
+
+// Submit admits, queues, and runs one request, blocking until it
+// completes, expires, or ctx is cancelled. Rejections (ErrOverloaded,
+// ErrDraining) are immediate.
+func (e *Engine) Submit(ctx context.Context, req Request) (*Result, error) {
+	ar, err := e.enqueue(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-ar.done:
+		return ar.res, ar.err
+	case <-ctx.Done():
+		// The lane retires the request at its next step boundary; the
+		// caller gets control back immediately.
+		return nil, ctx.Err()
+	}
+}
+
+// enqueue is the non-blocking admission half of Submit (tests drive it
+// directly for determinism).
+func (e *Engine) enqueue(ctx context.Context, req Request) (*activeReq, error) {
+	if len(req.Prompt) == 0 {
+		return nil, fmt.Errorf("%w: empty prompt", ErrInvalidRequest)
+	}
+	for _, tok := range req.Prompt {
+		if tok < 0 || tok >= int64(e.vocab) {
+			return nil, fmt.Errorf("%w: token %d outside vocab [0,%d)",
+				ErrInvalidRequest, tok, e.vocab)
+		}
+	}
+	maxTokens := req.MaxTokens
+	if maxTokens <= 0 {
+		maxTokens = e.cfg.DefaultMaxTokens
+	}
+	// Clamp generation to the model's context window; a prompt that
+	// already fills it can't generate anything.
+	if room := e.maxSeq - len(req.Prompt); maxTokens > room {
+		if room <= 0 {
+			return nil, fmt.Errorf("%w: prompt length %d leaves no room in context %d",
+				ErrInvalidRequest, len(req.Prompt), e.maxSeq)
+		}
+		maxTokens = room
+	}
+	timeout := req.Timeout
+	if timeout == 0 {
+		timeout = e.cfg.DefaultDeadline
+	}
+	now := e.clock.Now()
+	ar := &activeReq{
+		tenant:    req.Tenant,
+		slo:       req.SLO,
+		prompt:    req.Prompt,
+		maxTokens: maxTokens,
+		ctx:       ctx,
+		onToken:   req.OnToken,
+		arrival:   now,
+		done:      make(chan struct{}),
+	}
+	if timeout > 0 {
+		ar.deadline = now.Add(timeout)
+	}
+
+	e.mu.Lock()
+	if e.draining {
+		e.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if e.queues.depth() >= e.cfg.MaxQueue {
+		e.mu.Unlock()
+		e.stats.count(func(c *collector) { c.shed++ })
+		return nil, ErrOverloaded
+	}
+	e.seq++
+	ar.id = e.seq
+	e.queues.push(ar)
+	e.mu.Unlock()
+
+	e.stats.count(func(c *collector) { c.admitted++ })
+	e.nudge()
+	return ar, nil
+}
+
+// dequeue pops the next dispatchable request (priority band, then
+// tenant round-robin).
+func (e *Engine) dequeue() *activeReq {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.queues.pop()
+}
+
+// nudge wakes every lane that might be idle.
+func (e *Engine) nudge() {
+	for _, l := range e.lanes {
+		select {
+		case l.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Drain stops admission (Submit fails with ErrDraining), lets every
+// already-admitted request run to completion, and returns when the
+// engine is empty or ctx expires. Lanes keep running; call Stop after.
+func (e *Engine) Drain(ctx context.Context) error {
+	e.mu.Lock()
+	e.draining = true
+	e.mu.Unlock()
+	e.nudge()
+	e.maybeDrained()
+	select {
+	case <-e.drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether admission is closed.
+func (e *Engine) Draining() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.draining
+}
+
+// maybeDrained closes the drain gate once nothing is queued or active.
+func (e *Engine) maybeDrained() {
+	e.mu.Lock()
+	empty := e.draining && e.queues.depth() == 0
+	e.mu.Unlock()
+	if !empty {
+		return
+	}
+	for _, l := range e.lanes {
+		if l.activeN.Load() != 0 {
+			return
+		}
+	}
+	e.drainOnce.Do(func() { close(e.drained) })
+}
+
+// Stats snapshots the engine's observable state.
+func (e *Engine) Stats() Stats {
+	st := e.stats.snapshot()
+	e.mu.Lock()
+	st.Queued = e.queues.depth()
+	e.mu.Unlock()
+	for _, l := range e.lanes {
+		st.Active += int(l.activeN.Load())
+	}
+	return st
+}

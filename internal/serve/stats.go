@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"genie/internal/metrics"
+)
+
+// sampleCap bounds the latency reservoirs; beyond it the collector
+// overwrites the oldest samples (a sliding window over recent traffic).
+const sampleCap = 8192
+
+// LatencySummary is a percentile digest of one duration population.
+type LatencySummary struct {
+	P50 time.Duration `json:"p50"`
+	P95 time.Duration `json:"p95"`
+	P99 time.Duration `json:"p99"`
+	Max time.Duration `json:"max"`
+}
+
+// Stats is the engine's observable state — the /stats payload.
+type Stats struct {
+	// Queued is the current admission-queue depth; Active the number of
+	// requests holding a slot in a running decode batch.
+	Queued int `json:"queued"`
+	Active int `json:"active"`
+	// Lifecycle counters.
+	Admitted  int64 `json:"admitted"`
+	Completed int64 `json:"completed"`
+	Shed      int64 `json:"shed"` // rejected at admission (queue full)
+	Expired   int64 `json:"expired"`
+	Cancelled int64 `json:"cancelled"`
+	Failed    int64 `json:"failed"`
+	TokensOut int64 `json:"tokens_out"`
+	// Continuous-batching occupancy: how many requests shared a decode
+	// iteration. Mean > 1 means the engine actually merged requests.
+	MaxOccupancy  int     `json:"max_occupancy"`
+	MeanOccupancy float64 `json:"mean_occupancy"`
+	// TTFT is measured admission → first token; Latency admission →
+	// completion (successful requests only).
+	TTFT         LatencySummary `json:"ttft"`
+	Latency      LatencySummary `json:"latency"`
+	TokensPerSec float64        `json:"tokens_per_sec"`
+	Uptime       time.Duration  `json:"uptime_ns"`
+}
+
+// collector accumulates engine telemetry; all methods are safe for
+// concurrent use from lanes and Submit.
+type collector struct {
+	clock Clock
+
+	mu        sync.Mutex
+	start     time.Time
+	admitted  int64
+	completed int64
+	shed      int64
+	expired   int64
+	cancelled int64
+	failed    int64
+	tokensOut int64
+
+	occSum     int64
+	occSamples int64
+	occMax     int
+
+	ttfts []time.Duration
+	ttftI int
+	lats  []time.Duration
+	latI  int
+}
+
+func newCollector(clock Clock) *collector {
+	return &collector{clock: clock, start: clock.Now()}
+}
+
+func (c *collector) count(f func(*collector)) {
+	c.mu.Lock()
+	f(c)
+	c.mu.Unlock()
+}
+
+// occupancy records one decode iteration that stepped n requests.
+func (c *collector) occupancy(n int) {
+	if n <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.occSum += int64(n)
+	c.occSamples++
+	if n > c.occMax {
+		c.occMax = n
+	}
+	c.mu.Unlock()
+}
+
+func appendCapped(s []time.Duration, i *int, d time.Duration) []time.Duration {
+	if len(s) < sampleCap {
+		return append(s, d)
+	}
+	s[*i] = d
+	*i = (*i + 1) % sampleCap
+	return s
+}
+
+func (c *collector) recordTTFT(d time.Duration) {
+	c.mu.Lock()
+	c.ttfts = appendCapped(c.ttfts, &c.ttftI, d)
+	c.mu.Unlock()
+}
+
+func (c *collector) recordLatency(d time.Duration) {
+	c.mu.Lock()
+	c.lats = appendCapped(c.lats, &c.latI, d)
+	c.mu.Unlock()
+}
+
+func summarize(samples []time.Duration) LatencySummary {
+	if len(samples) == 0 {
+		return LatencySummary{}
+	}
+	s := append([]time.Duration(nil), samples...)
+	// PercentileOf sorts its own copy, but we need max too — sort once.
+	return LatencySummary{
+		P50: metrics.PercentileOf(s, 0.50),
+		P95: metrics.PercentileOf(s, 0.95),
+		P99: metrics.PercentileOf(s, 0.99),
+		Max: maxOf(s),
+	}
+}
+
+func maxOf(s []time.Duration) time.Duration {
+	m := s[0]
+	for _, d := range s[1:] {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// snapshot renders counters into a Stats (queue/active filled by caller).
+func (c *collector) snapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Stats{
+		Admitted:     c.admitted,
+		Completed:    c.completed,
+		Shed:         c.shed,
+		Expired:      c.expired,
+		Cancelled:    c.cancelled,
+		Failed:       c.failed,
+		TokensOut:    c.tokensOut,
+		MaxOccupancy: c.occMax,
+		TTFT:         summarize(c.ttfts),
+		Latency:      summarize(c.lats),
+		Uptime:       c.clock.Now().Sub(c.start),
+	}
+	if c.occSamples > 0 {
+		st.MeanOccupancy = float64(c.occSum) / float64(c.occSamples)
+	}
+	if up := st.Uptime.Seconds(); up > 0 {
+		st.TokensPerSec = float64(c.tokensOut) / up
+	}
+	return st
+}

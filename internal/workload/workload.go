@@ -56,6 +56,28 @@ func (t LLMTrace) Generate(seed int64) []LLMRequest {
 	return out
 }
 
+// PoissonArrivals generates an open-loop arrival schedule: n arrival
+// offsets whose inter-arrival gaps are exponential with the given rate
+// (arrivals per second). Open-loop means the schedule is fixed up front
+// — arrivals do not wait for earlier requests to finish, so an overloaded
+// server sees queue growth instead of implicit backpressure. The same
+// seed yields the same trace; both the gateway load test and the online
+// serving evaluation replay these schedules.
+func PoissonArrivals(seed int64, rate float64, n int) []time.Duration {
+	out := make([]time.Duration, n)
+	if rate <= 0 {
+		return out // all at t=0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	mean := float64(time.Second) / rate
+	var clock time.Duration
+	for i := range out {
+		clock += time.Duration(rng.ExpFloat64() * mean)
+		out[i] = clock
+	}
+	return out
+}
+
 // VisionRequest is one image-classification request.
 type VisionRequest struct {
 	// Image is [c, h, w] pixel data in [0,1).

@@ -165,3 +165,46 @@ func TestMixTraceMergedAndOrdered(t *testing.T) {
 		}
 	}
 }
+
+func TestPoissonArrivalsDeterministic(t *testing.T) {
+	const n = 200
+	a := PoissonArrivals(9, 1000, n)
+	b := PoissonArrivals(9, 1000, n)
+	if len(a) != n {
+		t.Fatalf("%d arrivals, want %d", len(a), n)
+	}
+	var prev time.Duration
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverges at %d: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] < prev {
+			t.Fatalf("arrivals not monotonic at %d", i)
+		}
+		prev = a[i]
+	}
+	// A different seed yields a different trace.
+	c := PoissonArrivals(10, 1000, n)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+	// Mean interarrival tracks 1/rate (law of large numbers, loose bound).
+	mean := float64(a[n-1]) / n
+	want := float64(time.Second) / 1000
+	if mean < want/2 || mean > want*2 {
+		t.Fatalf("mean interarrival %v, want about %v", time.Duration(mean), time.Duration(want))
+	}
+	// rate <= 0 degenerates to an all-at-once burst.
+	for _, d := range PoissonArrivals(9, 0, 5) {
+		if d != 0 {
+			t.Fatal("rate 0 should put all arrivals at t=0")
+		}
+	}
+}
