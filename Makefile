@@ -1,10 +1,12 @@
 # Genie build/test entry points. `make check` is the gate every change
-# must pass: full build, vet, and the test suite under the race
-# detector (the serving engine is aggressively concurrent).
+# must pass: full build, vet, genie-lint (the domain-specific analyzers
+# in internal/analysis), and the test suite under the race detector
+# (the serving engine is aggressively concurrent). `make test-short`
+# is the fast inner loop.
 
 GO ?= go
 
-.PHONY: all build vet test race check bench
+.PHONY: all build vet lint test test-short race check bench
 
 all: check
 
@@ -14,13 +16,19 @@ build:
 vet:
 	$(GO) vet ./...
 
+lint:
+	$(GO) run ./cmd/genie-lint ./...
+
 test:
 	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
 
 race:
 	$(GO) test -race ./...
 
-check: build vet race
+check: build vet lint race
 
 bench:
 	$(GO) run ./cmd/genie-bench

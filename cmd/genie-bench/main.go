@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -204,7 +205,7 @@ func printAblations(cfg eval.LLMSimConfig) {
 	}
 
 	fmt.Println("\n== A10: online serving engine (live continuous batching, TinyGPT) ==")
-	if r, err := eval.RunOnlineServing(eval.DefaultOnlineServingConfig()); err == nil {
+	if r, err := eval.RunOnlineServing(context.Background(), eval.DefaultOnlineServingConfig()); err == nil {
 		fmt.Printf("%d requests on %s: %d completed, occupancy mean %.2f / max %d\n",
 			r.Requests, runtime.ModeSemAware, r.Completed, r.MeanOccupancy, r.MaxOccupancy)
 		fmt.Printf("p50 lat %v | p95 lat %v | p95 TTFT %v | %.0f tok/s | makespan %v\n",

@@ -47,8 +47,8 @@ func main() {
 	go func() {
 		sig := <-sigc
 		log.Printf("genie-server: %s, draining (in-flight requests finish, then exit)", sig)
-		l.Close()   // stop accepting
-		srv.Drain() // close idle conns; busy conns finish their reply
+		_ = l.Close() // stop accepting
+		srv.Drain()   // close idle conns; busy conns finish their reply
 	}()
 
 	// Listen returns only after every per-connection Serve loop exits.

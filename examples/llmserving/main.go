@@ -61,7 +61,9 @@ func main() {
 				}
 			}
 		}
+		//lint:ignore errcheck example teardown; a failed close cannot affect the finished run
 		client.Close()
+		//lint:ignore errcheck example teardown; a failed close cannot affect the finished run
 		l.Close()
 	}
 	fmt.Println("all modes produced identical tokens — semantics changed data movement, not results")

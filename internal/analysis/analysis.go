@@ -1,0 +1,113 @@
+// Package analysis is genie-lint's engine: a pure-stdlib static-analysis
+// driver (go/parser + go/types + the "source" importer — no external
+// dependencies) that loads every package in the module and runs a
+// registry of Genie-specific analyzers over the type-checked ASTs.
+//
+// The analyzers enforce the semantic invariants the paper argues a
+// disaggregation layer must preserve and that ordinary Go tooling cannot
+// see: context propagation across the remote-execution path (ctxflow),
+// no locks held across transport calls (lockscope), cancellable
+// goroutines in the serving layers (goleak), no silently dropped errors
+// (errcheck), and immutability of materialized tensors outside the
+// kernel packages (tensormut).
+//
+// Deliberate exceptions are encoded in the source as
+//
+//	//lint:ignore <check> <reason>
+//
+// on the offending line or the line directly above it; the reason is
+// mandatory and a malformed directive is itself a diagnostic.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is one named lint pass. Check IDs are stable: they appear
+// in diagnostics, in -checks filters, and in //lint:ignore directives.
+type Analyzer struct {
+	// Name is the stable check ID (e.g. "ctxflow").
+	Name string
+	// Doc is a one-line description shown by genie-lint -list.
+	Doc string
+	// AppliesTo gates the analyzer by package scope path (see
+	// Package.ScopePath). Nil means every package.
+	AppliesTo func(scopePath string) bool
+	// Run inspects one package and reports diagnostics through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one package's type-checked representation to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// ScopePath is the package path used for scope decisions. For real
+	// packages it equals the import path; for packages under
+	// internal/analysis/testdata/src it is the path the testdata package
+	// pretends to live at, so analyzers scope identically in tests.
+	ScopePath string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Check:   p.Analyzer.Name,
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding. The JSON field names are the -json output
+// schema and are load-bearing for CI annotation; do not rename.
+type Diagnostic struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.File, d.Line, d.Col, d.Message, d.Check)
+}
+
+// Analyzers returns the full registry in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		CtxflowAnalyzer,
+		LockscopeAnalyzer,
+		GoleakAnalyzer,
+		ErrcheckAnalyzer,
+		TensormutAnalyzer,
+	}
+}
+
+// RunAnalyzer applies one analyzer to a loaded package and returns its
+// raw diagnostics (ignore directives are applied by the driver).
+func RunAnalyzer(a *Analyzer, pkg *Package) []Diagnostic {
+	if a.AppliesTo != nil && !a.AppliesTo(pkg.ScopePath()) {
+		return nil
+	}
+	var diags []Diagnostic
+	a.Run(&Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		Info:      pkg.Info,
+		ScopePath: pkg.ScopePath(),
+		diags:     &diags,
+	})
+	return diags
+}

@@ -1,0 +1,54 @@
+package analysis
+
+import "testing"
+
+// One fixture package per analyzer, positives and negatives pinned by
+// `// want` comments.
+
+func TestCtxflowFixture(t *testing.T) {
+	runWantTest(t, "ctxflow", fixtureDir("internal", "ctxflow"))
+}
+
+func TestLockscopeFixture(t *testing.T) {
+	runWantTest(t, "lockscope", fixtureDir("internal", "lockscope"))
+}
+
+func TestGoleakFixture(t *testing.T) {
+	runWantTest(t, "goleak", fixtureDir("internal", "serve", "goleakdata"))
+}
+
+func TestErrcheckFixture(t *testing.T) {
+	runWantTest(t, "errcheck", fixtureDir("internal", "errcheckdata"))
+}
+
+func TestTensormutFixture(t *testing.T) {
+	runWantTest(t, "tensormut", fixtureDir("internal", "tmut"))
+}
+
+// TestFixtureScopeMapping pins the testdata/src path translation that
+// makes fixture packages land inside each analyzer's scope.
+func TestFixtureScopeMapping(t *testing.T) {
+	pkg := loadFixture(t, fixtureDir("internal", "serve", "goleakdata"))
+	assertFixtureScoped(t, pkg, "genie/internal/serve/goleakdata")
+}
+
+// TestScopeGates verifies analyzers skip out-of-scope packages: goleak
+// must not fire outside serve/backend/runtime even on code it would
+// otherwise flag.
+func TestScopeGates(t *testing.T) {
+	if GoleakAnalyzer.AppliesTo("genie/internal/eval") {
+		t.Error("goleak should not apply to genie/internal/eval")
+	}
+	if !GoleakAnalyzer.AppliesTo("genie/internal/serve") {
+		t.Error("goleak must apply to genie/internal/serve")
+	}
+	if CtxflowAnalyzer.AppliesTo("genie/cmd/genie-bench") {
+		t.Error("ctxflow must not apply to binaries")
+	}
+	if TensormutAnalyzer.AppliesTo("genie/internal/nn") {
+		t.Error("tensormut must not apply to the nn kernels")
+	}
+	if !TensormutAnalyzer.AppliesTo("genie/internal/serve") {
+		t.Error("tensormut must apply outside the kernel packages")
+	}
+}

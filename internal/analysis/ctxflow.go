@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxflowAnalyzer enforces context propagation in library code. The
+// paper's semantics-aware path works because cancellation travels with
+// the request from the gateway through the runtime to the transport; a
+// context minted mid-stack (context.Background/TODO) or a context
+// parameter that is accepted but never consulted silently detaches
+// everything below it from the caller's lifetime — the drain and
+// deadline machinery then cannot reach the remote session.
+//
+// Rules, scoped to genie/internal/... (non-test files):
+//
+//	CF1: no context.Background() or context.TODO() calls. Library code
+//	     receives its context; only binaries (cmd/, examples/) and tests
+//	     mint root contexts.
+//	CF2: a named context.Context parameter must be used somewhere in the
+//	     function body. Accept-and-drop is how propagation holes start;
+//	     an intentionally unused context is spelled "_".
+var CtxflowAnalyzer = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "context must flow: no context.Background/TODO in internal packages, no dropped ctx parameters",
+	AppliesTo: func(scope string) bool {
+		return hasPrefixPath(scope, "genie/internal")
+	},
+	Run: runCtxflow,
+}
+
+func runCtxflow(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(pass.Info, n)
+				if fn != nil && funcPkgPath(fn) == "context" &&
+					(fn.Name() == "Background" || fn.Name() == "TODO") {
+					pass.Reportf(n.Pos(),
+						"context.%s() in library code: accept a context.Context and propagate it", fn.Name())
+				}
+			case *ast.FuncDecl:
+				checkCtxParamUsed(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkCtxParamUsed implements CF2 for one declared function.
+func checkCtxParamUsed(pass *Pass, fn *ast.FuncDecl) {
+	if fn.Body == nil || fn.Type.Params == nil {
+		return
+	}
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := pass.Info.Defs[name]
+			if obj == nil || !isContextType(obj.Type()) {
+				continue
+			}
+			if !objUsed(pass.Info, fn.Body, obj) {
+				pass.Reportf(name.Pos(),
+					"context parameter %q is never used: propagate it or rename it to _", name.Name)
+			}
+		}
+	}
+}
+
+// objUsed reports whether obj is referenced anywhere under n.
+func objUsed(info *types.Info, n ast.Node, obj types.Object) bool {
+	used := false
+	ast.Inspect(n, func(node ast.Node) bool {
+		if id, ok := node.(*ast.Ident); ok && info.Uses[id] == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestDriverFindingsExitAndJSON runs the driver over a fixture with
+// known findings and checks the exit code and the -json schema CI
+// depends on.
+func TestDriverFindingsExitAndJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("driver runs the full loader; skipped with -short")
+	}
+	modRoot, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errout bytes.Buffer
+	code := Run([]string{fixtureDir("internal", "errcheckdata")}, Options{
+		Dir:    modRoot,
+		Checks: []string{"errcheck"},
+		JSON:   true,
+		Out:    &out,
+		Errout: &errout,
+	})
+	if code != ExitFindings {
+		t.Fatalf("exit = %d, want %d (stderr: %s)", code, ExitFindings, errout.String())
+	}
+	var diags []Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not a JSON diagnostic array: %v\n%s", err, out.String())
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (ignored and discarded forms must not count): %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Check != "errcheck" {
+			t.Errorf("check = %q, want errcheck", d.Check)
+		}
+		if d.Line <= 0 || d.Col <= 0 || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+		if !strings.HasPrefix(d.File, "internal/analysis/testdata/") {
+			t.Errorf("file %q not module-relative", d.File)
+		}
+	}
+}
+
+// TestDriverCleanExit: a findings-free package exits 0 and -json still
+// emits a (empty) array, never null.
+func TestDriverCleanExit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("driver runs the full loader; skipped with -short")
+	}
+	modRoot, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errout bytes.Buffer
+	code := Run([]string{fixtureDir("internal", "clean")}, Options{
+		Dir: modRoot, JSON: true, Out: &out, Errout: &errout,
+	})
+	if code != ExitClean {
+		t.Fatalf("exit = %d, want %d\nstdout: %s\nstderr: %s", code, ExitClean, out.String(), errout.String())
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Fatalf("clean -json output = %q, want []", got)
+	}
+}
+
+// TestDriverUnknownCheck: bad usage is exit 2.
+func TestDriverUnknownCheck(t *testing.T) {
+	var out, errout bytes.Buffer
+	code := Run([]string{fixtureDir("internal", "clean")}, Options{
+		Dir: ".", Checks: []string{"nosuchcheck"}, Out: &out, Errout: &errout,
+	})
+	if code != ExitError {
+		t.Fatalf("exit = %d, want %d", code, ExitError)
+	}
+	if !strings.Contains(errout.String(), "unknown check") {
+		t.Fatalf("stderr %q does not mention the unknown check", errout.String())
+	}
+}
+
+// TestMalformedIgnoreDirective: a //lint:ignore without a reason is
+// itself a finding, so suppressions stay auditable.
+func TestMalformedIgnoreDirective(t *testing.T) {
+	diags := applyIgnores(nil, []ignoreDirective{{file: "x.go", line: 3, broken: "missing reason"}})
+	if len(diags) != 1 || diags[0].Check != "lint" {
+		t.Fatalf("malformed directive not reported: %+v", diags)
+	}
+}

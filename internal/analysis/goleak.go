@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoleakAnalyzer requires a visible cancellation path for every
+// goroutine launched in the serving layers. Drain correctness — the
+// property that Stop/Drain actually terminates the engine — is a global
+// invariant assembled from local ones: each per-lane and per-connection
+// goroutine must observe some stop signal. A `go` statement whose body
+// loops forever without consulting a context, a done/stop channel, or a
+// closable work channel outlives every drain and pins its session (and
+// the remote KV residency it scopes) for the life of the process.
+//
+// Scope: go statements in genie/internal/serve, genie/internal/backend,
+// and genie/internal/runtime. A goroutine is flagged when its body (the
+// literal, or the same-package function/method it calls) contains an
+// unconditional `for { ... }` loop with no cancellation signal anywhere
+// in the body: no channel receive, no select, no ranging over a
+// channel, and no context Done/Err check. Bounded goroutines (no
+// infinite loop) pass; dynamic leak detection is the job of
+// metrics.GoroutineSnapshot.
+var GoleakAnalyzer = &Analyzer{
+	Name: "goleak",
+	Doc:  "goroutines in the serving layers need a visible cancellation path",
+	AppliesTo: func(scope string) bool {
+		return hasPrefixPath(scope, "genie/internal/serve") ||
+			hasPrefixPath(scope, "genie/internal/backend") ||
+			hasPrefixPath(scope, "genie/internal/runtime")
+	},
+	Run: runGoleak,
+}
+
+func runGoleak(pass *Pass) {
+	decls := declBodies(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := goBody(pass, g, decls)
+			if body == nil {
+				return true
+			}
+			if loop := endlessLoop(body); loop != nil && !hasCancelSignal(pass, body) {
+				pass.Reportf(g.Pos(),
+					"goroutine runs an unconditional loop with no cancellation path: select on a ctx/done channel or bound the loop")
+			}
+			return true
+		})
+	}
+}
+
+// declBodies indexes the package's function declarations by object so a
+// `go s.run()` can be traced to run's body.
+func declBodies(pass *Pass) map[types.Object]*ast.BlockStmt {
+	out := make(map[types.Object]*ast.BlockStmt)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.Info.Defs[fd.Name]; obj != nil {
+					out[obj] = fd.Body
+				}
+			}
+		}
+	}
+	return out
+}
+
+// goBody resolves the body a go statement will execute: a literal's
+// body, or the body of a same-package function/method. Cross-package
+// and dynamic callees resolve to nil (not analyzable, not flagged).
+func goBody(pass *Pass, g *ast.GoStmt, decls map[types.Object]*ast.BlockStmt) *ast.BlockStmt {
+	if lit, ok := unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	if fn := calleeFunc(pass.Info, g.Call); fn != nil {
+		return decls[fn]
+	}
+	return nil
+}
+
+// endlessLoop finds an unconditional for-loop in body (not inside a
+// nested function literal).
+func endlessLoop(body *ast.BlockStmt) *ast.ForStmt {
+	var found *ast.ForStmt
+	walkIgnoringFuncLits(body, func(n ast.Node) bool {
+		if f, ok := n.(*ast.ForStmt); ok && f.Cond == nil && found == nil {
+			found = f
+		}
+		return found == nil
+	})
+	return found
+}
+
+// hasCancelSignal reports whether body contains any construct through
+// which a stop can arrive: a channel receive (select case or direct), a
+// range over a channel, or a context Done/Err call.
+func hasCancelSignal(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	walkIgnoringFuncLits(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t, ok := pass.Info.Types[n.X]; ok {
+				if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass.Info, n); fn != nil {
+				if (fn.Name() == "Done" || fn.Name() == "Err") && funcPkgPath(fn) == "context" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

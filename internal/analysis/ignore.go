@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	check  string // check ID or "all"
+	file   string
+	line   int
+	broken string // non-empty = malformed, holds the complaint
+	pos    token.Pos
+}
+
+const directivePrefix = "lint:ignore"
+
+// collectIgnores parses every //lint:ignore directive in the package.
+// The format is
+//
+//	//lint:ignore <check> <reason>
+//
+// and the directive suppresses matching diagnostics on its own line
+// (trailing comment) or the line directly below (standalone comment).
+// A missing check or reason makes the directive malformed, which the
+// driver reports as a finding of its own — silent broad suppressions
+// are exactly the failure mode this tool exists to prevent.
+func collectIgnores(fset *token.FileSet, files []*ast.File) []ignoreDirective {
+	var out []ignoreDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+directivePrefix)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				d := ignoreDirective{file: pos.Filename, line: pos.Line, pos: c.Pos()}
+				fields := strings.Fields(text)
+				switch {
+				case len(fields) == 0:
+					d.broken = "missing check ID and reason"
+				case len(fields) == 1:
+					d.broken = "missing reason (format: //lint:ignore <check> <reason>)"
+				default:
+					d.check = fields[0]
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// applyIgnores filters diags through the directives and appends a
+// diagnostic (check "lint") for every malformed directive.
+func applyIgnores(diags []Diagnostic, directives []ignoreDirective) []Diagnostic {
+	type key struct {
+		file  string
+		line  int
+		check string
+	}
+	suppressed := make(map[key]bool)
+	var out []Diagnostic
+	for _, d := range directives {
+		if d.broken != "" {
+			out = append(out, Diagnostic{
+				Check: "lint", File: d.file, Line: d.line, Col: 1,
+				Message: "malformed //lint:ignore directive: " + d.broken,
+			})
+			continue
+		}
+		for _, line := range []int{d.line, d.line + 1} {
+			suppressed[key{d.file, line, d.check}] = true
+		}
+	}
+	for _, diag := range diags {
+		if suppressed[key{diag.File, diag.Line, diag.Check}] || suppressed[key{diag.File, diag.Line, "all"}] {
+			continue
+		}
+		out = append(out, diag)
+	}
+	return out
+}

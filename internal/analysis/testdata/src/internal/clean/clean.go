@@ -1,0 +1,30 @@
+// Package clean is genie-lint test fixture data with zero findings
+// under every analyzer: the driver must exit 0 here.
+package clean
+
+import (
+	"context"
+	"sync"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) add(delta int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += delta
+}
+
+func (c *counter) watch(ctx context.Context, updates <-chan int) error {
+	for {
+		select {
+		case d := <-updates:
+			c.add(d)
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}

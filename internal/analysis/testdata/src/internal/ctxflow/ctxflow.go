@@ -1,0 +1,48 @@
+// Package ctxflow is genie-lint test fixture data: every `// want`
+// comment is an expected diagnostic. The package pretends to live at
+// genie/internal/ctxflow, inside ctxflow's library scope.
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+func submit(ctx context.Context, work func(context.Context)) { work(ctx) }
+
+// mintRoot detaches itself from the caller: both root constructors are
+// banned in library code.
+func mintRoot(work func(context.Context)) {
+	work(context.Background()) // want "context.Background\\(\\) in library code"
+	work(context.TODO())       // want "context.TODO\\(\\) in library code"
+}
+
+// dropped accepts a context and never consults it.
+func dropped(ctx context.Context, d time.Duration) { // want "context parameter \"ctx\" is never used"
+	time.Sleep(d)
+}
+
+// blankCtx spells intent: an underscore parameter is not a finding.
+func blankCtx(_ context.Context, d time.Duration) {
+	time.Sleep(d)
+}
+
+// propagates uses its context; no finding.
+func propagates(ctx context.Context, work func(context.Context)) error {
+	work(ctx)
+	return ctx.Err()
+}
+
+// deadlineOnly consults the context without forwarding it; consulting
+// counts as use.
+func deadlineOnly(ctx context.Context) bool {
+	<-ctx.Done()
+	return true
+}
+
+// ignored carries a justified suppression; the driver honors it and the
+// harness expects no diagnostic here.
+func ignored(work func(context.Context)) {
+	//lint:ignore ctxflow fixture for the directive itself; root context is the point
+	work(context.Background())
+}

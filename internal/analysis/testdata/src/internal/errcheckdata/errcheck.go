@@ -1,0 +1,54 @@
+// Package errcheckdata is genie-lint test fixture data for the
+// unchecked-error analyzer.
+package errcheckdata
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+type store struct {
+	f *os.File
+}
+
+// drop discards errors on the floor: both forms are findings.
+func (s *store) drop(path string) {
+	os.Remove(path) // want "os.Remove returns an error that is not checked"
+	s.f.Sync()      // want "Sync returns an error that is not checked"
+}
+
+// checked consumes the error; no finding.
+func (s *store) checked(path string) error {
+	if err := os.Remove(path); err != nil {
+		return err
+	}
+	return s.f.Sync()
+}
+
+// explicitDiscard says so in the source: reviewable, not a finding.
+func (s *store) explicitDiscard(path string) {
+	_ = os.Remove(path)
+}
+
+// deferredClose is the teardown idiom; defer statements are exempt.
+func (s *store) deferredClose() {
+	defer s.f.Close()
+}
+
+// allowlisted calls are documented to never fail meaningfully.
+func describe(w *os.File, names []string) string {
+	var b strings.Builder
+	for _, n := range names {
+		b.WriteString(n)
+	}
+	fmt.Fprintln(w, b.Len())
+	fmt.Println("described")
+	return b.String()
+}
+
+// ignored carries a justified suppression.
+func (s *store) ignored(path string) {
+	//lint:ignore errcheck fixture; the deletion is best-effort by design
+	os.Remove(path)
+}

@@ -1,0 +1,112 @@
+// Package lockscope is genie-lint test fixture data for the
+// held-lock-across-blocking-op analyzer.
+package lockscope
+
+import (
+	"sync"
+	"time"
+
+	"genie/internal/transport"
+)
+
+type engine struct {
+	mu    sync.Mutex
+	state int
+	ch    chan int
+	conn  *transport.Conn
+	wg    sync.WaitGroup
+}
+
+// sendWhileLocked blocks on a channel with the mutex held.
+func (e *engine) sendWhileLocked(v int) {
+	e.mu.Lock()
+	e.state = v
+	e.ch <- v // want "channel send while holding e.mu"
+	e.mu.Unlock()
+}
+
+// sendAfterUnlock releases first; no finding.
+func (e *engine) sendAfterUnlock(v int) {
+	e.mu.Lock()
+	e.state = v
+	e.mu.Unlock()
+	e.ch <- v
+}
+
+// sleepUnderDeferredUnlock: a deferred unlock holds to the end of the
+// body, so the sleep is under the lock.
+func (e *engine) sleepUnderDeferredUnlock() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	time.Sleep(time.Millisecond) // want "call to time.Sleep while holding e.mu"
+	e.state++
+}
+
+// rpcWhileLocked holds the lock across a transport round trip.
+func (e *engine) rpcWhileLocked() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, _, _ = e.conn.Call(transport.MsgPing, nil) // want "Call while holding e.mu"
+}
+
+// rpcOutsideLock snapshots under the lock, calls outside; no finding.
+func (e *engine) rpcOutsideLock() int {
+	e.mu.Lock()
+	v := e.state
+	e.mu.Unlock()
+	_, _, _ = e.conn.Call(transport.MsgPing, nil)
+	return v
+}
+
+// selectWhileLocked parks the goroutine with the lock held.
+func (e *engine) selectWhileLocked(done chan struct{}) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	select { // want "select without default while holding e.mu"
+	case v := <-e.ch:
+		e.state = v
+	case <-done:
+	}
+}
+
+// pollWhileLocked uses a default case: a non-blocking poll is fine.
+func (e *engine) pollWhileLocked() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	select {
+	case v := <-e.ch:
+		e.state = v
+	default:
+	}
+}
+
+// branchRelease unlocks on the early-return path before blocking; the
+// branch-local state must not leak a false positive.
+func (e *engine) branchRelease(fast bool, v int) {
+	e.mu.Lock()
+	if fast {
+		e.mu.Unlock()
+		e.ch <- v
+		return
+	}
+	e.state = v
+	e.mu.Unlock()
+}
+
+// waitWhileLocked blocks on a WaitGroup under the lock.
+func (e *engine) waitWhileLocked() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.wg.Wait() // want "WaitGroup.Wait while holding e.mu"
+}
+
+// goroutineDoesNotInherit: the spawned body runs without the caller's
+// lock, so its send is clean; the closure is analyzed on its own.
+func (e *engine) goroutineDoesNotInherit(v int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	go func() {
+		e.ch <- v
+	}()
+	e.state = v
+}

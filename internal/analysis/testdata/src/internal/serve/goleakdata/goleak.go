@@ -1,0 +1,103 @@
+// Package goleakdata is genie-lint test fixture data for the goroutine
+// cancellation analyzer. Its pretend path (genie/internal/serve/...)
+// places it inside goleak's serving-layer scope.
+package goleakdata
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type worker struct {
+	work chan int
+	stop chan struct{}
+	wg   sync.WaitGroup
+	n    int
+}
+
+func (w *worker) tick() { w.n++ }
+
+// spin loops forever with nothing to stop it.
+func (w *worker) spin() {
+	go func() { // want "unconditional loop with no cancellation path"
+		for {
+			w.tick()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+
+// selectLoop observes a stop channel; no finding.
+func (w *worker) selectLoop() {
+	go func() {
+		for {
+			select {
+			case v := <-w.work:
+				w.n += v
+			case <-w.stop:
+				return
+			}
+		}
+	}()
+}
+
+// rangeLoop drains a closable work channel: closing it ends the
+// goroutine, which counts as a cancellation path.
+func (w *worker) rangeLoop() {
+	go func() {
+		for v := range w.work {
+			w.n += v
+		}
+	}()
+}
+
+// ctxLoop polls ctx.Err at each iteration; no finding.
+func (w *worker) ctxLoop(ctx context.Context) {
+	go func() {
+		for {
+			if ctx.Err() != nil {
+				return
+			}
+			w.tick()
+		}
+	}()
+}
+
+// bounded runs to completion on its own; goroutines without an
+// unconditional loop are not flagged.
+func (w *worker) bounded(results chan<- int) {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		results <- w.n
+	}()
+}
+
+// run is the named-method form: `go w.run()` resolves to this body,
+// which spins with no way out.
+func (w *worker) run() {
+	for {
+		w.tick()
+	}
+}
+
+func (w *worker) startNamed() {
+	go w.run() // want "unconditional loop with no cancellation path"
+}
+
+// loop is the cancellable named-method form; no finding.
+func (w *worker) loop() {
+	for {
+		select {
+		case <-w.stop:
+			return
+		case v := <-w.work:
+			w.n += v
+		}
+	}
+}
+
+func (w *worker) startLoop() {
+	go w.loop()
+}

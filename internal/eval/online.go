@@ -69,8 +69,9 @@ type OnlineServingResult struct {
 // RunOnlineServing stands up the online engine over in-process
 // backends, replays a Poisson arrival schedule against it, and drains.
 // It is the measured counterpart to RunServing's model: the simulation
-// predicts batching gains, this observes them.
-func RunOnlineServing(cfg OnlineServingConfig) (OnlineServingResult, error) {
+// predicts batching gains, this observes them. Cancelling ctx aborts
+// in-flight requests at their next step boundary and bounds the drain.
+func RunOnlineServing(ctx context.Context, cfg OnlineServingConfig) (OnlineServingResult, error) {
 	if cfg.Backends <= 0 || cfg.Requests <= 0 {
 		return OnlineServingResult{}, fmt.Errorf("eval: bad online config %+v", cfg)
 	}
@@ -113,7 +114,7 @@ func RunOnlineServing(cfg OnlineServingConfig) (OnlineServingResult, error) {
 		go func(i int) {
 			defer wg.Done()
 			time.Sleep(arrivals[i] - time.Since(start))
-			_, _ = engine.Submit(context.Background(), serve.Request{
+			_, _ = engine.Submit(ctx, serve.Request{
 				Tenant:    fmt.Sprintf("t%d", i%4),
 				Prompt:    prompts[i].Prompt,
 				MaxTokens: cfg.MaxTokens,
@@ -121,9 +122,9 @@ func RunOnlineServing(cfg OnlineServingConfig) (OnlineServingResult, error) {
 		}(i)
 	}
 	wg.Wait()
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	drainCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
 	defer cancel()
-	if err := engine.Drain(ctx); err != nil {
+	if err := engine.Drain(drainCtx); err != nil {
 		return OnlineServingResult{}, fmt.Errorf("eval: drain: %w", err)
 	}
 	makespan := time.Since(start)

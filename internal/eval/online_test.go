@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"testing"
 
 	"genie/internal/runtime"
@@ -13,7 +14,7 @@ func TestOnlineServingEngine(t *testing.T) {
 	cfg := DefaultOnlineServingConfig()
 	cfg.Requests = 12
 	cfg.Rate = 1e6 // effectively one burst: maximal overlap
-	res, err := RunOnlineServing(cfg)
+	res, err := RunOnlineServing(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func TestOnlineServingLocalMode(t *testing.T) {
 	cfg.Backends = 1
 	cfg.Requests = 6
 	cfg.Rate = 1e6
-	res, err := RunOnlineServing(cfg)
+	res, err := RunOnlineServing(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,45 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeReporter captures Check failures instead of failing the test.
+type fakeReporter struct {
+	failures []string
+}
+
+func (f *fakeReporter) Helper() {}
+func (f *fakeReporter) Errorf(format string, args ...any) {
+	f.failures = append(f.failures, format)
+}
+
+func TestGoroutineSnapshotClean(t *testing.T) {
+	snap := SnapGoroutines()
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	var rep fakeReporter
+	snap.Check(&rep)
+	if len(rep.failures) != 0 {
+		t.Fatalf("clean teardown reported a leak: %v", rep.failures)
+	}
+}
+
+func TestGoroutineSnapshotDetectsLeak(t *testing.T) {
+	snap := GoroutineSnapshot{base: 0} // any goroutine at all is "leaked"
+	var rep fakeReporter
+	start := time.Now()
+	snap.Check(&rep)
+	if len(rep.failures) == 0 {
+		t.Fatal("leak not reported")
+	}
+	if !strings.Contains(rep.failures[0], "goroutine leak") {
+		t.Fatalf("unexpected failure message %q", rep.failures[0])
+	}
+	if time.Since(start) < 2*time.Second {
+		t.Fatal("Check gave up before the settle window elapsed")
+	}
+}

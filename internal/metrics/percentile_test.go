@@ -29,14 +29,14 @@ func TestPercentileBoundaries(t *testing.T) {
 		p    float64
 		want time.Duration
 	}{
-		{0, 10},       // min
-		{1, 50},       // max
-		{-0.5, 10},    // clamps low
-		{1.5, 50},     // clamps high
-		{0.25, 20},    // exactly on rank 1, no interpolation
-		{0.5, 30},     // exactly on rank 2
-		{0.375, 25},   // interpolates between 20 and 30
-		{0.95, 48},    // pos = 3.8 → 40 + 0.8*10
+		{0, 10},     // min
+		{1, 50},     // max
+		{-0.5, 10},  // clamps low
+		{1.5, 50},   // clamps high
+		{0.25, 20},  // exactly on rank 1, no interpolation
+		{0.5, 30},   // exactly on rank 2
+		{0.375, 25}, // interpolates between 20 and 30
+		{0.95, 48},  // pos = 3.8 → 40 + 0.8*10
 	}
 	for _, c := range cases {
 		if got := Percentile(s, c.p); got != c.want {

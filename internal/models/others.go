@@ -233,9 +233,7 @@ func (m *MultiModal) BuildForward(img *tensor.Tensor, question []int64) (*lazy.B
 		qe := m.Text.Lookup(b, "text.wte", q)
 		// Mean pool tokens: sum rows via ones-matmul then scale.
 		qt := b.Transpose2D(qe) // [dim, t]
-		onesT := tensor.New(tensor.F32, len(question), 1)
-		onesT.Fill(1)
-		ones := b.Input("ones", onesT)
+		ones := b.Input("ones", tensor.Full(tensor.F32, 1, len(question), 1))
 		qsum := b.MatMul(qt, ones) // [dim, 1]
 		qvec := b.Scale(b.Reshape(qsum, 1, m.dim), 1/float32(len(question)))
 

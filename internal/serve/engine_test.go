@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"genie/internal/global"
+	"genie/internal/metrics"
 	"genie/internal/models"
 	"genie/internal/runtime"
 )
@@ -286,6 +287,25 @@ func TestCancelledContextRetires(t *testing.T) {
 	if st := e.Stats(); st.Cancelled != 1 || st.Active != 0 {
 		t.Fatalf("stats: %+v", st)
 	}
+}
+
+// TestEngineStopReleasesGoroutines: every lane goroutine Start launches
+// must exit across Drain+Stop — the dynamic counterpart to genie-lint's
+// static goleak check (see metrics.GoroutineSnapshot).
+func TestEngineStopReleasesGoroutines(t *testing.T) {
+	snap := metrics.SnapGoroutines()
+	e := newLocalEngine(t, Config{MaxBatch: 2})
+	e.Start()
+	if _, err := e.Submit(context.Background(), Request{Tenant: "t", Prompt: unitPrompt, MaxTokens: 3}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := e.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	e.Stop()
+	snap.Check(t)
 }
 
 func isDone(ar *activeReq) bool {

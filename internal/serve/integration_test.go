@@ -16,6 +16,7 @@ import (
 
 	"genie/internal/backend"
 	"genie/internal/device"
+	"genie/internal/metrics"
 	"genie/internal/models"
 	"genie/internal/runtime"
 	"genie/internal/transport"
@@ -66,10 +67,21 @@ func e2ePrompt(i int) []int64 {
 // merged requests (occupancy > 1 at /stats), and (c) requests beyond
 // the queue bound are shed with 429, not hung.
 func TestGatewayEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full TCP gateway e2e; skipped with -short")
+	}
 	const (
 		nReq      = 32
 		maxTokens = 6
 	)
+	// Goroutine accounting brackets the whole test: registered before
+	// the other cleanups so it runs last (LIFO), after the gateway,
+	// listeners, and connections are torn down.
+	snap := metrics.SnapGoroutines()
+	t.Cleanup(func() {
+		http.DefaultClient.CloseIdleConnections()
+		snap.Check(t)
+	})
 	backends := []Backend{
 		{Name: "b0", Runner: startTCPRunner(t)},
 		{Name: "b1", Runner: startTCPRunner(t)},

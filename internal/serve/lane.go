@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	goruntime "runtime"
 	"sync/atomic"
 
 	"genie/internal/runtime"
@@ -28,11 +29,15 @@ func newLane(e *Engine, name string, r *runtime.LLMRunner) *lane {
 }
 
 // run is the production loop: iterate while there is work, sleep until
-// nudged otherwise.
+// nudged otherwise. The Gosched between iterations keeps admission
+// live on small GOMAXPROCS: a busy lane ping-ponging with an
+// in-process backend would otherwise monopolize the scheduler and
+// starve Submit callers, serializing a burst that should batch.
 func (l *lane) run() {
 	defer l.e.wg.Done()
 	for {
 		if l.iterate() {
+			goruntime.Gosched()
 			continue
 		}
 		select {

@@ -66,6 +66,17 @@ func FromI64(shape Shape, values []int64) *Tensor {
 	return t
 }
 
+// Full allocates a tensor with every element set to v. It is the
+// construction-time alternative to Fill for code outside the kernel
+// packages, where mutating an existing tensor is off-limits (genie-lint
+// tensormut): the tensor is born with the value instead of written
+// after the fact.
+func Full(dt DType, v float32, shape ...int) *Tensor {
+	t := New(dt, shape...)
+	t.Fill(v)
+	return t
+}
+
 // Scalar returns a rank-0 F32 tensor holding v.
 func Scalar(v float32) *Tensor {
 	t := New(F32)
