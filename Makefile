@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race check bench
+.PHONY: all build vet lint test test-short race check bench bench-kernels parity
 
 all: check
 
@@ -32,3 +32,15 @@ check: build vet lint race
 
 bench:
 	$(GO) run ./cmd/genie-bench
+
+# Kernel microbenchmarks: tiled matmul vs the naive reference, softmax,
+# layernorm, gelu, and the end-to-end decode step (allocs/op tracks the
+# scratch arena's reuse rate).
+bench-kernels:
+	$(GO) test ./internal/tensor/ops -run xxx -bench . -benchmem
+	$(GO) test ./internal/runtime -run xxx -bench 'BenchmarkDecodeStep|BenchmarkPrefill' -benchmem
+
+# Kernel parity: every parallelized kernel bit-identical to its serial
+# reference at every worker count, under the race detector.
+parity:
+	$(GO) test -race -run 'Parity|GrainInvariance' ./internal/tensor/ops -count=1

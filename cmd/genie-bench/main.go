@@ -16,18 +16,24 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
+	goruntime "runtime"
 	"time"
 
+	"genie/internal/compute"
 	"genie/internal/eval"
 	"genie/internal/models"
 	"genie/internal/runtime"
 	"genie/internal/scheduler"
+	"genie/internal/tensor"
+	"genie/internal/tensor/ops"
 )
 
 func main() {
 	table := flag.Int("table", 0, "print only this table (1, 2, or 3); 0 = all")
 	ablations := flag.Bool("ablations", false, "print only the ablation experiments")
+	kernels := flag.Bool("kernels", false, "print only the host kernel throughput section")
 	rpc := flag.String("rpc", "tensorpipe", "transport profile: tensorpipe | rdma")
 	naiveReupload := flag.Float64("naive-reupload", 1,
 		"calls per weight re-upload in Naive mode (1 = paper's stated policy; ~6.5 matches its measured decode)")
@@ -45,7 +51,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	all := *table == 0 && !*ablations
+	all := *table == 0 && !*ablations && !*kernels
+	if all || *kernels {
+		printKernels()
+	}
 	if all || *table == 1 {
 		printTable1()
 	}
@@ -61,6 +70,62 @@ func main() {
 	if all || *ablations {
 		printAblations(cfg)
 	}
+}
+
+// printKernels reports real host-kernel throughput: the tiled matmul at
+// serial vs full pool width, and end-to-end local decode tokens/sec.
+// These are wall-clock numbers for the Go kernels underneath every mode
+// — distinct from the tables' roofline-modeled GPU times, which this
+// pool does not influence.
+func printKernels() {
+	fmt.Printf("== K: host kernel throughput (%d-wide pool, GOMAXPROCS=%d) ==\n",
+		compute.Workers(), goruntime.GOMAXPROCS(0))
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{256, 512} {
+		a, b := tensor.New(tensor.F32, n, n), tensor.New(tensor.F32, n, n)
+		a.RandN(rng, 1)
+		b.RandN(rng, 1)
+		serial := timeKernel(1, a, b)
+		pooled := timeKernel(0, a, b)
+		gflops := 2 * float64(n) * float64(n) * float64(n) / 1e9
+		fmt.Printf("matmul %4dx%[1]dx%[1]d: serial %8.2fms (%6.2f GFLOP/s) | pooled %8.2fms (%6.2f GFLOP/s) | %.2fx\n",
+			n, serial.Seconds()*1e3, gflops/serial.Seconds(),
+			pooled.Seconds()*1e3, gflops/pooled.Seconds(),
+			float64(serial)/float64(pooled))
+	}
+	r := &runtime.LLMRunner{Model: models.NewGPT(rng, models.TinyGPT)}
+	start := time.Now()
+	const decodeTokens = 40
+	if _, err := r.Generate(runtime.ModeLocal, []int64{1, 2, 3, 4}, decodeTokens); err != nil {
+		log.Fatal(err)
+	}
+	el := time.Since(start)
+	fmt.Printf("local decode (TinyGPT): %d tokens in %v = %.0f tok/s\n\n",
+		decodeTokens, el.Round(time.Microsecond), decodeTokens/el.Seconds())
+}
+
+// timeKernel times one MatMul at the given pool width (0 = default
+// width), taking the best of three runs.
+func timeKernel(width int, a, b *tensor.Tensor) time.Duration {
+	p := compute.NewPool(width)
+	old := compute.SetDefault(p)
+	defer func() {
+		compute.SetDefault(old)
+		p.Stop()
+	}()
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		out, err := ops.MatMul(a, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if el := time.Since(start); el < best {
+			best = el
+		}
+		out.Release()
+	}
+	return best
 }
 
 func printTable1() {

@@ -52,6 +52,8 @@ func main() {
 	maxTokens := flag.Int("max-tokens", 32, "default generation cap per request")
 	deadline := flag.Duration("deadline", 0, "default per-request deadline (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
+	kernelWorkers := flag.Int("kernel-workers", 0,
+		"CPU kernel worker-pool width (0 = GOMAXPROCS or GENIE_KERNEL_WORKERS, 1 = serial)")
 	flag.Parse()
 
 	mode, err := runtime.ParseMode(*modeName)
@@ -90,6 +92,7 @@ func main() {
 		MaxBatch:         *batch,
 		DefaultMaxTokens: *maxTokens,
 		DefaultDeadline:  *deadline,
+		KernelWorkers:    *kernelWorkers,
 	}, pool)
 	if err != nil {
 		log.Fatalf("genie-gateway: %v", err)

@@ -22,12 +22,15 @@ import (
 	"syscall"
 
 	"genie/internal/backend"
+	"genie/internal/compute"
 	"genie/internal/device"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7009", "TCP address to listen on")
 	dev := flag.String("device", "a100-80g", "modeled device (a100-80g, h100-80g, a10g-24g, cpu-host)")
+	kernelWorkers := flag.Int("kernel-workers", 0,
+		"CPU kernel worker-pool width (0 = GOMAXPROCS or GENIE_KERNEL_WORKERS, 1 = serial)")
 	flag.Parse()
 
 	spec, err := device.ByName(*dev)
@@ -35,11 +38,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if *kernelWorkers > 0 {
+		compute.Configure(*kernelWorkers)
+	}
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("genie-server: %v", err)
 	}
-	log.Printf("genie-server: %s backend listening on %s", spec.Name, l.Addr())
+	log.Printf("genie-server: %s backend listening on %s (%d kernel workers)",
+		spec.Name, l.Addr(), compute.Workers())
 	srv := backend.NewServer(spec)
 
 	sigc := make(chan os.Signal, 1)

@@ -42,6 +42,9 @@ func TestScopeGates(t *testing.T) {
 	if !GoleakAnalyzer.AppliesTo("genie/internal/serve") {
 		t.Error("goleak must apply to genie/internal/serve")
 	}
+	if !GoleakAnalyzer.AppliesTo("genie/internal/compute") {
+		t.Error("goleak must apply to the kernel worker pool")
+	}
 	if CtxflowAnalyzer.AppliesTo("genie/cmd/genie-bench") {
 		t.Error("ctxflow must not apply to binaries")
 	}

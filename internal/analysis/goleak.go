@@ -16,7 +16,10 @@ import (
 // the remote KV residency it scopes) for the life of the process.
 //
 // Scope: go statements in genie/internal/serve, genie/internal/backend,
-// and genie/internal/runtime. A goroutine is flagged when its body (the
+// genie/internal/runtime, and genie/internal/compute (the kernel worker
+// pool: its resident helpers must observe Stop's done-channel close, or
+// every Configure call would strand a band of goroutines for the life of
+// the process). A goroutine is flagged when its body (the
 // literal, or the same-package function/method it calls) contains an
 // unconditional `for { ... }` loop with no cancellation signal anywhere
 // in the body: no channel receive, no select, no ranging over a
@@ -29,7 +32,8 @@ var GoleakAnalyzer = &Analyzer{
 	AppliesTo: func(scope string) bool {
 		return hasPrefixPath(scope, "genie/internal/serve") ||
 			hasPrefixPath(scope, "genie/internal/backend") ||
-			hasPrefixPath(scope, "genie/internal/runtime")
+			hasPrefixPath(scope, "genie/internal/runtime") ||
+			hasPrefixPath(scope, "genie/internal/compute")
 	},
 	Run: runGoleak,
 }

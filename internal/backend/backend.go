@@ -189,7 +189,17 @@ func (s *Server) Exec(x *transport.Exec) (*transport.ExecOK, error) {
 		return s.Lookup(b.Key, b.Epoch)
 	}
 
-	vals, err := exec.Graph(x.Graph, bind)
+	// Ephemeral evaluation: intermediates the client never asked for go
+	// back to the scratch arena as soon as their last consumer runs, so
+	// per-token decode subgraphs reuse activation buffers across calls.
+	need := make(map[srg.NodeID]bool, len(x.Keep)+len(x.Want))
+	for id := range x.Keep {
+		need[id] = true
+	}
+	for _, id := range x.Want {
+		need[id] = true
+	}
+	vals, err := exec.GraphEphemeral(x.Graph, bind, need)
 	if err != nil {
 		return nil, err
 	}

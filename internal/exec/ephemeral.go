@@ -1,0 +1,113 @@
+package exec
+
+import (
+	"fmt"
+
+	"genie/internal/srg"
+	"genie/internal/tensor"
+)
+
+// GraphEphemeral evaluates g like Graph but with activation lifetime
+// tracking: a compute node's value that is not in keep is released back
+// to the tensor scratch arena as soon as its last consumer has
+// executed, so one decode step's intermediates become the next
+// kernel's output buffers instead of fresh heap allocations. Only the
+// keep values are returned.
+//
+// Safety rules, in order of appearance:
+//   - leaf values (param/input) are never released — they are owned by
+//     the binder (weight stores, KV caches, inline RPC payloads);
+//   - keep values are never released — they are the caller's results;
+//   - values on either side of a "reshape" are never released —
+//     Reshape shares its input's backing store, so releasing one side
+//     would recycle a buffer the other side still reads.
+//
+// Node IDs are dense topological positions (srg builders assign them in
+// insertion order), so every lifetime structure here is a flat slice —
+// this runs once per decode step and must not out-allocate the buffers
+// it recycles.
+func GraphEphemeral(g *srg.Graph, bind Binder, keep map[srg.NodeID]bool) (map[srg.NodeID]*tensor.Tensor, error) {
+	n := g.Len()
+	for id := range keep {
+		if g.Node(id) == nil {
+			return nil, fmt.Errorf("exec: keep of unknown node %d", id)
+		}
+	}
+
+	// dieAt[id] is the topo position of id's final consumer (its own
+	// position when nothing consumes it). One backing array serves all
+	// three int32 tables.
+	backing := make([]int32, 3*n+1)
+	dieAt, offs, cursor := backing[:n:n], backing[n:2*n+1:2*n+1], backing[2*n+1:]
+	pinned := make([]bool, n)
+	for id := 0; id < n; id++ {
+		nd := g.Node(srg.NodeID(id))
+		if nd.Op == "param" || nd.Op == "input" {
+			pinned[id] = true
+		}
+		if nd.Op == "reshape" {
+			pinned[id] = true
+			for _, in := range nd.Inputs {
+				pinned[in] = true
+			}
+		}
+		dieAt[id] = int32(id)
+		for _, in := range nd.Inputs {
+			dieAt[in] = int32(id)
+		}
+	}
+
+	// deaths in CSR form: ids dying at position p are
+	// flat[offs[p]:offs[p+1]].
+	for id := 0; id < n; id++ {
+		if !pinned[id] && !keep[srg.NodeID(id)] {
+			offs[dieAt[id]+1]++
+		}
+	}
+	for p := 0; p < n; p++ {
+		offs[p+1] += offs[p]
+	}
+	flat := make([]srg.NodeID, offs[n])
+	copy(cursor, offs[:n])
+	for id := 0; id < n; id++ {
+		if !pinned[id] && !keep[srg.NodeID(id)] {
+			p := dieAt[id]
+			flat[cursor[p]] = srg.NodeID(id)
+			cursor[p]++
+		}
+	}
+
+	vals := make([]*tensor.Tensor, n)
+	for p := 0; p < n; p++ {
+		id := srg.NodeID(p)
+		nd := g.Node(id)
+		switch nd.Op {
+		case "param", "input":
+			t, err := bind(nd.Op, nd.Ref)
+			if err != nil {
+				return nil, fmt.Errorf("exec: bind %s %q: %w", nd.Op, nd.Ref, err)
+			}
+			vals[p] = t
+		default:
+			in := make([]*tensor.Tensor, len(nd.Inputs))
+			for i, dep := range nd.Inputs {
+				in[i] = vals[dep]
+			}
+			t, err := Node(nd, in)
+			if err != nil {
+				return nil, fmt.Errorf("exec: node %d: %w", id, err)
+			}
+			vals[p] = t
+		}
+		for _, dead := range flat[offs[p]:offs[p+1]] {
+			vals[dead].Release()
+			vals[dead] = nil
+		}
+	}
+
+	out := make(map[srg.NodeID]*tensor.Tensor, len(keep))
+	for id := range keep {
+		out[id] = vals[id]
+	}
+	return out, nil
+}

@@ -1,0 +1,124 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"genie/internal/lazy"
+	"genie/internal/srg"
+	"genie/internal/tensor"
+)
+
+// TestGraphEphemeralMatchesGraph: ephemeral evaluation must return
+// bit-identical keep values while releasing everything else.
+func TestGraphEphemeralMatchesGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xT := tensor.New(tensor.F32, 6, 16)
+	wT := tensor.New(tensor.F32, 16, 16)
+	gT := tensor.Full(tensor.F32, 1, 16)
+	bT := tensor.New(tensor.F32, 16)
+	xT.RandN(rng, 1)
+	wT.RandN(rng, 0.5)
+
+	build := func() (*lazy.Builder, lazy.Value) {
+		b := lazy.NewBuilder("eph")
+		x := b.Input("x", xT)
+		w := b.Param("w", wT)
+		gamma := b.Param("gamma", gT)
+		beta := b.Param("beta", bT)
+		h := b.GELU(b.MatMul(x, w))
+		h = b.LayerNorm(h, gamma, beta, 1e-5)
+		y := b.Softmax(b.MatMul(h, w))
+		b.MarkOutput(y)
+		return b, y
+	}
+
+	b1, y1 := build()
+	all, err := Graph(b1.Graph(), binderFor(b1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, y2 := build()
+	kept, err := GraphEphemeral(b2.Graph(), binderFor(b2), map[srg.NodeID]bool{y2.ID(): true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 1 {
+		t.Fatalf("ephemeral returned %d values, want 1", len(kept))
+	}
+	want, got := all[y1.ID()].F32(), kept[y2.ID()].F32()
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("ephemeral diverges at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestGraphEphemeralDoesNotReleaseLeaves: binder-owned tensors (weights,
+// caches, inline payloads) must survive evaluation untouched.
+func TestGraphEphemeralDoesNotReleaseLeaves(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	xT := tensor.NewScratch(tensor.F32, 4, 8) // pooled leaf: worst case
+	wT := tensor.New(tensor.F32, 8, 8)
+	xT.RandN(rng, 1)
+	wT.RandN(rng, 1)
+	b := lazy.NewBuilder("leaves")
+	x := b.Input("x", xT)
+	w := b.Param("w", wT)
+	y := b.MatMul(x, w)
+	b.MarkOutput(y)
+	if _, err := GraphEphemeral(b.Graph(), binderFor(b), map[srg.NodeID]bool{y.ID(): true}); err != nil {
+		t.Fatal(err)
+	}
+	if xT.Bytes() == nil || wT.Bytes() == nil {
+		t.Fatal("ephemeral evaluation released a leaf tensor")
+	}
+}
+
+// TestGraphEphemeralReshapeAliasSafety: a kept reshape output shares
+// its input's buffer; the input must not be recycled underneath it.
+func TestGraphEphemeralReshapeAliasSafety(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xT := tensor.New(tensor.F32, 4, 8)
+	wT := tensor.New(tensor.F32, 8, 8)
+	xT.RandN(rng, 1)
+	wT.RandN(rng, 1)
+	b := lazy.NewBuilder("alias")
+	x := b.Input("x", xT)
+	w := b.Param("w", wT)
+	mm := b.MatMul(x, w) // intermediate: would normally be released
+	rs := b.Reshape(mm, 8, 4)
+	b.MarkOutput(rs)
+	kept, err := GraphEphemeral(b.Graph(), binderFor(b), map[srg.NodeID]bool{rs.ID(): true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := kept[rs.ID()]
+	if got.Bytes() == nil {
+		t.Fatal("kept reshape output was released")
+	}
+	// Recompute the product directly; if mm's buffer had been recycled
+	// the reshaped view would now hold garbage.
+	all, err := Graph(b.Graph(), binderFor(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := all[mm.ID()].F32()
+	for i, v := range got.F32() {
+		if v != want[i] {
+			t.Fatalf("reshape alias corrupted at %d: %v vs %v", i, v, want[i])
+		}
+	}
+}
+
+// TestGraphEphemeralKeepUnknownNode: asking for a node the graph never
+// produced is an error, not a nil tensor.
+func TestGraphEphemeralKeepUnknownNode(t *testing.T) {
+	b := lazy.NewBuilder("missing")
+	x := b.Input("x", tensor.Full(tensor.F32, 1, 2, 2))
+	y := b.GELU(x)
+	b.MarkOutput(y)
+	if _, err := GraphEphemeral(b.Graph(), binderFor(b), map[srg.NodeID]bool{srg.NodeID(9999): true}); err == nil {
+		t.Fatal("keep of unknown node should fail")
+	}
+}

@@ -1,0 +1,73 @@
+package runtime
+
+import (
+	"math/rand"
+	"testing"
+
+	"genie/internal/models"
+)
+
+// BenchmarkDecodeStep measures one local decode iteration end to end —
+// graph capture, kernel execution, KV append — the per-token cost every
+// serving mode pays. allocs/op here is the scratch arena's scorecard:
+// steady-state steps should recycle activation buffers, not grow the
+// heap by a transformer's worth of intermediates per token.
+func BenchmarkDecodeStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	r := &LLMRunner{Model: models.NewGPT(rng, models.TinyGPT)}
+	prompt := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	reset := func() (*Session, int) {
+		s, err := r.NewSession(ModeLocal)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Prefill(prompt); err != nil {
+			b.Fatal(err)
+		}
+		// Warm the history so steps run at a realistic context.
+		for i := 0; i < 8; i++ {
+			if _, err := s.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return s, len(prompt) + 8
+	}
+	s, hist := reset()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// The tiny model's position table caps the context; roll the
+		// session over (off the clock) before hitting it.
+		if hist+1 >= models.TinyGPT.MaxSeq {
+			b.StopTimer()
+			s, hist = reset()
+			b.StartTimer()
+		}
+		if _, err := s.Step(); err != nil {
+			b.Fatal(err)
+		}
+		hist++
+	}
+}
+
+// BenchmarkPrefill measures the prompt pass (the batch-parallel phase
+// the worker pool accelerates most directly).
+func BenchmarkPrefill(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	r := &LLMRunner{Model: models.NewGPT(rng, models.TinyGPT)}
+	prompt := make([]int64, 32)
+	for i := range prompt {
+		prompt[i] = int64(1 + i%50)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := r.NewSession(ModeLocal)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Prefill(prompt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

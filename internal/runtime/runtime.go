@@ -26,6 +26,7 @@ import (
 	"genie/internal/device"
 	"genie/internal/exec"
 	"genie/internal/lazy"
+	"genie/internal/srg"
 	"genie/internal/tensor"
 	"genie/internal/transport"
 )
@@ -127,6 +128,27 @@ func BindAll(b *lazy.Builder) exec.Binder {
 // node values.
 func RunLocal(b *lazy.Builder) (map[int32]*tensor.Tensor, error) {
 	vals, err := exec.Graph(b.Graph(), BindAll(b))
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int32]*tensor.Tensor, len(vals))
+	for id, t := range vals {
+		out[int32(id)] = t
+	}
+	return out, nil
+}
+
+// RunLocalKeep evaluates a captured graph in-process with activation
+// lifetime tracking: only the keep nodes' values are retained and
+// returned; every other intermediate is released back to the tensor
+// scratch arena at its last use, so steady-state decode loops recycle
+// activation buffers instead of reallocating per token.
+func RunLocalKeep(b *lazy.Builder, keep map[int32]bool) (map[int32]*tensor.Tensor, error) {
+	need := make(map[srg.NodeID]bool, len(keep))
+	for id := range keep {
+		need[srg.NodeID(id)] = true
+	}
+	vals, err := exec.GraphEphemeral(b.Graph(), BindAll(b), need)
 	if err != nil {
 		return nil, err
 	}

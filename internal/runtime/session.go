@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"genie/internal/exec"
 	"genie/internal/models"
 	"genie/internal/nn"
 	"genie/internal/srg"
@@ -165,37 +166,72 @@ type localSession struct {
 	gpu    *time.Duration
 	caches []*nn.KVCache
 	hist   int
+	keep   map[srg.NodeID]bool // cached stepKeep set, reused across steps
+}
+
+// stepKeep lists the node values a decode/prefill evaluation must
+// retain: the per-layer cache states and the sampled token. Everything
+// else is ephemeral and recycled mid-evaluation.
+// prev is reused when it already matches — decode steps capture
+// structurally identical graphs, so after the first step this
+// allocates nothing.
+func stepKeep(out models.LLMOutputs, prev map[srg.NodeID]bool) map[srg.NodeID]bool {
+	if len(prev) == 2*len(out.CacheK)+1 {
+		ok := prev[out.NextToken]
+		for i := 0; ok && i < len(out.CacheK); i++ {
+			ok = prev[out.CacheK[i]] && prev[out.CacheV[i]]
+		}
+		if ok {
+			return prev
+		}
+	}
+	keep := make(map[srg.NodeID]bool, 2*len(out.CacheK)+1)
+	for i := range out.CacheK {
+		keep[out.CacheK[i]] = true
+		keep[out.CacheV[i]] = true
+	}
+	keep[out.NextToken] = true
+	return keep
 }
 
 func (ls *localSession) prefill(prompt []int64) (int64, error) {
 	b, out := ls.r.Model.BuildPrefill(prompt)
-	vals, err := RunLocal(b)
+	ls.keep = stepKeep(out, ls.keep)
+	vals, err := exec.GraphEphemeral(b.Graph(), BindAll(b), ls.keep)
 	if err != nil {
 		return 0, err
 	}
 	for i := range ls.caches {
-		ls.caches[i].Append(vals[int32(out.CacheK[i])], vals[int32(out.CacheV[i])])
+		k, v := vals[out.CacheK[i]], vals[out.CacheV[i]]
+		ls.caches[i].Append(k, v) // Append clones; the graph values are dead
+		k.Release()
+		v.Release()
 	}
 	*ls.gpu += modelGPUTime(b)
 	ls.hist = len(prompt)
-	return vals[int32(out.NextToken)].I64()[0], nil
+	return vals[out.NextToken].I64()[0], nil
 }
 
 func (ls *localSession) step(tok int64) (int64, error) {
 	b, out := ls.r.Model.BuildDecodeStep(tok, ls.hist, ls.hist, ls.caches)
-	vals, err := RunLocal(b)
+	ls.keep = stepKeep(out, ls.keep)
+	vals, err := exec.GraphEphemeral(b.Graph(), BindAll(b), ls.keep)
 	if err != nil {
 		return 0, err
 	}
 	for i := range ls.caches {
 		// The appended concat holds the full updated cache; replace
-		// rather than append to stay exact.
-		ls.caches[i].K = vals[int32(out.CacheK[i])]
-		ls.caches[i].V = vals[int32(out.CacheV[i])]
+		// rather than append to stay exact. Concat copies, so the
+		// previous step's cache tensors are dead — recycle them.
+		oldK, oldV := ls.caches[i].K, ls.caches[i].V
+		ls.caches[i].K = vals[out.CacheK[i]]
+		ls.caches[i].V = vals[out.CacheV[i]]
+		oldK.Release()
+		oldV.Release()
 	}
 	*ls.gpu += modelGPUTime(b)
 	ls.hist++
-	return vals[int32(out.NextToken)].I64()[0], nil
+	return vals[out.NextToken].I64()[0], nil
 }
 
 func (ls *localSession) residentKeys() []string { return nil }

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"genie/internal/compute"
 	"genie/internal/global"
 	"genie/internal/runtime"
 )
@@ -58,6 +59,10 @@ type Config struct {
 	DefaultDeadline time.Duration
 	// Clock is injectable for deterministic tests; nil = wall clock.
 	Clock Clock
+	// KernelWorkers, when positive, resizes the process-wide compute
+	// pool the CPU kernels run on (1 = serial). Zero keeps the current
+	// pool — GOMAXPROCS workers unless GENIE_KERNEL_WORKERS overrode it.
+	KernelWorkers int
 }
 
 func (c *Config) fillDefaults() {
@@ -185,6 +190,9 @@ func NewEngine(cfg Config, backends []Backend) (*Engine, error) {
 		return nil, fmt.Errorf("serve: no backends")
 	}
 	cfg.fillDefaults()
+	if cfg.KernelWorkers > 0 {
+		compute.Configure(cfg.KernelWorkers)
+	}
 	e := &Engine{
 		cfg:     cfg,
 		clock:   cfg.Clock,

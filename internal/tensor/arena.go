@@ -1,0 +1,76 @@
+package tensor
+
+import "sync"
+
+// Scratch arena: a size-classed sync.Pool of kernel activation buffers.
+//
+// Every decode step allocates the same cast of intermediates (attention
+// scores, projected activations, logits) and drops them a few nodes
+// later; allocating each from the heap makes the allocator — not the
+// kernels — the hot path. NewScratch hands out pooled buffers instead,
+// using the same release-func discipline pinned transport buffers
+// already follow: the tensor owns its buffer until Release(), which
+// recycles it. A tensor that is never released is merely collected by
+// the GC — forgetting to release is a missed reuse, never a bug.
+//
+// Recycled buffers are dirty. Every pooled allocation is explicitly
+// zeroed before the tensor is handed out, because accumulate-style
+// kernels (matmul2d writes `out[j] += ...`) silently fold stale values
+// into results otherwise. TestScratchBuffersComeBackZeroed is the
+// regression gate for that hazard.
+
+// scratchMinBits/scratchMaxBits bound the pooled size classes:
+// 1 KiB .. 64 MiB, one class per power of two. Requests above the top
+// class fall through to plain allocation (rare: a 64 MiB activation is
+// bigger than anything the bundled models produce).
+const (
+	scratchMinBits = 10
+	scratchMaxBits = 26
+)
+
+var scratchClasses [scratchMaxBits - scratchMinBits + 1]sync.Pool
+
+// classFor returns the class index whose capacity (1<<(scratchMinBits+i))
+// holds nbytes, or -1 when nbytes exceeds the largest class.
+func classFor(nbytes int) int {
+	for i := 0; i <= scratchMaxBits-scratchMinBits; i++ {
+		if nbytes <= 1<<(scratchMinBits+i) {
+			return i
+		}
+	}
+	return -1
+}
+
+// NewScratch allocates a zeroed tensor like New, but backed by the
+// scratch arena when the size fits a class. Calling Release() returns
+// the buffer for reuse; after Release the tensor must not be touched
+// (its data is nil, so a stale use panics rather than corrupting a
+// recycled buffer).
+func NewScratch(dt DType, shape ...int) *Tensor {
+	s := Shape(shape)
+	if !s.Valid() {
+		return New(dt, shape...) // New panics with the canonical message
+	}
+	nbytes := s.NumElements() * dt.Size()
+	cls := classFor(nbytes)
+	if cls < 0 {
+		return New(dt, shape...)
+	}
+	// The pool traffics in *scratchBuf so reuse allocates nothing but
+	// the Tensor header: the put closure is built once per buffer, on
+	// first allocation, and rides along on every recycle.
+	sb, ok := scratchClasses[cls].Get().(*scratchBuf)
+	if ok {
+		clear(sb.data[:nbytes]) // recycled buffers are dirty; accumulate kernels need zeros
+	} else {
+		sb = &scratchBuf{data: make([]byte, 1<<(scratchMinBits+cls))}
+		sb.put = func() { scratchClasses[cls].Put(sb) }
+	}
+	return &Tensor{shape: s.Clone(), dtype: dt, data: sb.data[:nbytes], release: sb.put}
+}
+
+// scratchBuf is one pooled arena buffer plus its recycle closure.
+type scratchBuf struct {
+	data []byte
+	put  func()
+}

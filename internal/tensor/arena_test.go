@@ -1,0 +1,104 @@
+package tensor
+
+import "testing"
+
+func TestScratchAllocatesZeroed(t *testing.T) {
+	a := NewScratch(F32, 4, 8)
+	for i, v := range a.F32() {
+		if v != 0 {
+			t.Fatalf("fresh scratch[%d] = %v, want 0", i, v)
+		}
+	}
+	if a.Pinned() {
+		t.Fatal("scratch tensors must not claim pinned (network) memory")
+	}
+}
+
+// TestScratchBuffersComeBackZeroed is the dirty-recycle regression
+// test: a released buffer full of garbage must never leak stale values
+// into the next tensor carved from it — accumulate kernels (matmul2d's
+// `out += a*b`) would silently fold them into results.
+func TestScratchBuffersComeBackZeroed(t *testing.T) {
+	// Drain cross-test pool state for this size class, then dirty one
+	// buffer and recycle it until we observe reuse.
+	for i := 0; i < 64; i++ {
+		a := NewScratch(F32, 16, 16)
+		for j := range a.F32() {
+			a.F32()[j] = 1e30
+		}
+		a.Release()
+		b := NewScratch(F32, 10, 7) // same class, different shape
+		for j, v := range b.F32() {
+			if v != 0 {
+				t.Fatalf("iteration %d: recycled scratch[%d] = %v, want 0", i, j, v)
+			}
+		}
+		b.Release()
+	}
+}
+
+func TestScratchReleaseMakesTensorUnusable(t *testing.T) {
+	a := NewScratch(F32, 8)
+	a.Release()
+	if a.Bytes() != nil {
+		t.Fatal("released scratch tensor still exposes its buffer")
+	}
+	a.Release() // second release must be a no-op, not a double-put
+}
+
+func TestScratchDifferentShapesShareClasses(t *testing.T) {
+	a := NewScratch(F32, 100) // 400 B -> 1 KiB class
+	buf := &a.Bytes()[0]
+	a.Release()
+	b := NewScratch(F32, 5, 50) // 1000 B -> same class
+	defer b.Release()
+	if &b.Bytes()[0] != buf {
+		t.Skip("pool did not hand the buffer back (valid under GC pressure)")
+	}
+	if b.NumBytes() != 1000 {
+		t.Fatalf("reused tensor is %d bytes, want 1000", b.NumBytes())
+	}
+}
+
+func TestScratchOversizeFallsBackToHeap(t *testing.T) {
+	// Just over the largest class: must still work, just unpooled.
+	n := (1 << scratchMaxBits) / 4 // f32 elements exactly at the top class
+	a := NewScratch(F32, n+1)
+	if a.NumElements() != n+1 {
+		t.Fatalf("oversize scratch has %d elements", a.NumElements())
+	}
+	a.Release() // no-op for unpooled
+	if a.Bytes() == nil {
+		t.Fatal("Release on unpooled scratch must not drop the buffer")
+	}
+}
+
+func TestScratchAllDTypes(t *testing.T) {
+	for _, dt := range []DType{F32, F16, I64, I32, U8} {
+		a := NewScratch(dt, 3, 5)
+		if a.DType() != dt || a.NumElements() != 15 {
+			t.Fatalf("scratch %s: got %s with %d elements", dt, a.DType(), a.NumElements())
+		}
+		for i := 0; i < 15; i++ {
+			if a.At(i) != 0 {
+				t.Fatalf("scratch %s element %d = %v", dt, i, a.At(i))
+			}
+		}
+		a.Release()
+	}
+}
+
+func TestClassFor(t *testing.T) {
+	cases := []struct {
+		bytes, class int
+	}{
+		{1, 0}, {1024, 0}, {1025, 1}, {2048, 1},
+		{1 << scratchMaxBits, scratchMaxBits - scratchMinBits},
+		{1<<scratchMaxBits + 1, -1},
+	}
+	for _, c := range cases {
+		if got := classFor(c.bytes); got != c.class {
+			t.Errorf("classFor(%d) = %d, want %d", c.bytes, got, c.class)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package ops
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"genie/internal/compute"
+)
+
+// Kernel microbenchmarks (run via `make bench-kernels`). The *Naive
+// variants keep the pre-tiling textbook kernels alive as the before
+// side of the EXPERIMENTS.md comparison; the plain variants measure the
+// production path (tiled + pooled + scratch-arena outputs).
+
+// benchNaiveMatmul is a verbatim copy of the kernel this PR replaced:
+// ikj loop with the zero-skip branch, heap-allocated output.
+func benchNaiveMatmul(a, b []float32, m, k, n int) []float32 {
+	out := make([]float32, m*n)
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := out[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := b[kk*n : (kk+1)*n]
+			for j := range brow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+func benchMatMulSize(b *testing.B, m, k, n int) {
+	rng := rand.New(rand.NewSource(1))
+	x := randTensor(rng, m, k)
+	y := randTensor(rng, k, n)
+	b.ReportAllocs()
+	b.SetBytes(int64(4 * (m*k + k*n + m*n)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := MatMul(x, y)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out.Release()
+	}
+}
+
+func BenchmarkMatMul64(b *testing.B)  { benchMatMulSize(b, 64, 64, 64) }
+func BenchmarkMatMul256(b *testing.B) { benchMatMulSize(b, 256, 256, 256) }
+func BenchmarkMatMul512(b *testing.B) { benchMatMulSize(b, 512, 512, 512) }
+
+// BenchmarkMatMul256Serial pins the pool at width 1 — the parallel
+// speedup on a multi-core host is BenchmarkMatMul256Serial /
+// BenchmarkMatMul256.
+func BenchmarkMatMul256Serial(b *testing.B) {
+	p := compute.NewPool(1)
+	old := compute.SetDefault(p)
+	defer func() {
+		compute.SetDefault(old)
+		p.Stop()
+	}()
+	benchMatMulSize(b, 256, 256, 256)
+}
+
+func benchNaiveSize(b *testing.B, m, k, n int) {
+	rng := rand.New(rand.NewSource(1))
+	x := randTensor(rng, m, k)
+	y := randTensor(rng, k, n)
+	b.ReportAllocs()
+	b.SetBytes(int64(4 * (m*k + k*n + m*n)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = benchNaiveMatmul(x.F32(), y.F32(), m, k, n)
+	}
+}
+
+func BenchmarkMatMulNaive256(b *testing.B) { benchNaiveSize(b, 256, 256, 256) }
+func BenchmarkMatMulNaive512(b *testing.B) { benchNaiveSize(b, 512, 512, 512) }
+
+// BenchmarkMatMulTDecode is the attention-score shape during decode:
+// one query row against a growing key history.
+func BenchmarkMatMulTDecode(b *testing.B) {
+	for _, hist := range []int{128, 1024} {
+		b.Run(fmt.Sprintf("hist%d", hist), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(2))
+			q := randTensor(rng, 1, 64)
+			kT := randTensor(rng, hist, 64)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err := MatMulT(q, kT)
+				if err != nil {
+					b.Fatal(err)
+				}
+				out.Release()
+			}
+		})
+	}
+}
+
+func BenchmarkSoftmax(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := randTensor(rng, 256, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := Softmax(x)
+		out.Release()
+	}
+}
+
+func BenchmarkLayerNorm(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	x := randTensor(rng, 256, 1024)
+	g := randTensor(rng, 1024)
+	bt := randTensor(rng, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := LayerNorm(x, g, bt, 1e-5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out.Release()
+	}
+}
+
+func BenchmarkGELU(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	x := randTensor(rng, 256, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := GELU(x)
+		out.Release()
+	}
+}

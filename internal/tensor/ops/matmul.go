@@ -1,0 +1,170 @@
+package ops
+
+import (
+	"fmt"
+
+	"genie/internal/compute"
+	"genie/internal/tensor"
+)
+
+// Matmul kernels: blocked/tiled, register-blocked in the K direction,
+// and parallelized over row bands on the compute pool.
+//
+// Determinism contract: for every output element out[i,j] the
+// contributions a[i,kk]*b[kk,j] are added in strictly increasing kk
+// order, exactly as the textbook ikj loop adds them — K-tiling visits
+// kk blocks in order and the 4-wide unroll performs its four adds as
+// separate sequentially-rounded float32 statements. Combined with
+// row-band parallelism (each out row is written by exactly one chunk),
+// the kernel is bit-identical to its serial form at any worker count.
+const (
+	// mmKTile × mmNTile bounds the b-panel a band re-reads per pass:
+	// 64×256 float32s = 64 KiB, sized to sit in L2 while a row band
+	// streams over it.
+	mmKTile = 64
+	mmNTile = 256
+)
+
+// minChunkWork is roughly how many scalar operations one ParallelFor
+// chunk should amortize; grains are derived from shapes only, so chunk
+// boundaries never depend on worker count.
+const minChunkWork = 32 << 10
+
+// grainBy sizes a grain so each chunk covers about minChunkWork scalar
+// ops, given the per-item cost.
+func grainBy(workPerItem int) int {
+	if workPerItem < 1 {
+		workPerItem = 1
+	}
+	g := minChunkWork / workPerItem
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// MatMul computes a @ b for a [m,k] and b [k,n], returning [m,n].
+// Rank-3 a ([batch,m,k]) is supported with shared b: because b is
+// shared and a and out are contiguous, the batch collapses into the row
+// dimension and runs as one [batch·m,k]@[k,n] product, so every row
+// band parallelizes uniformly regardless of the batch/row split.
+func MatMul(a, b *tensor.Tensor) (*tensor.Tensor, error) {
+	as, bs := a.Shape(), b.Shape()
+	if bs.Rank() != 2 {
+		return nil, fmt.Errorf("ops: matmul rhs must be rank 2, got %v", bs)
+	}
+	switch as.Rank() {
+	case 2:
+		if as[1] != bs[0] {
+			return nil, fmt.Errorf("ops: matmul shape mismatch %v @ %v", as, bs)
+		}
+		out := tensor.NewScratch(tensor.F32, as[0], bs[1])
+		matmul2d(a.F32(), b.F32(), out.F32(), as[0], as[1], bs[1])
+		return out, nil
+	case 3:
+		if as[2] != bs[0] {
+			return nil, fmt.Errorf("ops: matmul shape mismatch %v @ %v", as, bs)
+		}
+		out := tensor.NewScratch(tensor.F32, as[0], as[1], bs[1])
+		matmul2d(a.F32(), b.F32(), out.F32(), as[0]*as[1], as[2], bs[1])
+		return out, nil
+	}
+	return nil, fmt.Errorf("ops: matmul lhs must be rank 2 or 3, got %v", as)
+}
+
+// matmul2d accumulates a @ b into out, which MUST arrive zeroed (the
+// scratch arena guarantees it; see the dirty-recycle regression test in
+// internal/tensor). Row bands are independent, so the parallel split is
+// over m.
+func matmul2d(a, b, out []float32, m, k, n int) {
+	compute.ParallelFor(m, grainBy(2*k*n), func(i0, i1 int) {
+		matmulBand(a, b, out, i0, i1, k, n)
+	})
+}
+
+// matmulBand computes rows [i0,i1) of out. Loop order (jc, kc, i, kk, j)
+// keeps a 64 KiB panel of b hot across the whole band while the inner
+// loop streams over contiguous slices of b and out. The 4-wide K unroll
+// keeps each out element in a register across four updates — the
+// register blocking that removes three of every four out loads/stores —
+// without reordering any addition.
+func matmulBand(a, b, out []float32, i0, i1, k, n int) {
+	for jc := 0; jc < n; jc += mmNTile {
+		jw := min(mmNTile, n-jc)
+		for kc := 0; kc < k; kc += mmKTile {
+			kw := min(mmKTile, k-kc)
+			for i := i0; i < i1; i++ {
+				arow := a[i*k+kc : i*k+kc+kw]
+				orow := out[i*n+jc : i*n+jc+jw]
+				kk := 0
+				for ; kk+4 <= kw; kk += 4 {
+					a0, a1, a2, a3 := arow[kk], arow[kk+1], arow[kk+2], arow[kk+3]
+					r0 := (kc + kk) * n
+					b0 := b[r0+jc : r0+jc+jw]
+					b1 := b[r0+n+jc : r0+n+jc+jw]
+					b2 := b[r0+2*n+jc : r0+2*n+jc+jw]
+					b3 := b[r0+3*n+jc : r0+3*n+jc+jw]
+					for j := range orow {
+						s := orow[j]
+						s += a0 * b0[j]
+						s += a1 * b1[j]
+						s += a2 * b2[j]
+						s += a3 * b3[j]
+						orow[j] = s
+					}
+				}
+				for ; kk < kw; kk++ {
+					av := arow[kk]
+					r := (kc + kk) * n
+					brow := b[r+jc : r+jc+jw]
+					for j := range brow {
+						orow[j] += av * brow[j]
+					}
+				}
+			}
+		}
+	}
+}
+
+// MatMulT computes a @ bᵀ for a [m,k] and b [n,k], returning [m,n]. This
+// is the attention-score kernel (Q @ Kᵀ). Both operands are walked
+// row-major, so each output element is one dot product of contiguous
+// rows; the parallel split follows the larger output dimension because
+// decode steps have m=1 (one query row) while the key count n grows
+// with the history.
+func MatMulT(a, b *tensor.Tensor) (*tensor.Tensor, error) {
+	as, bs := a.Shape(), b.Shape()
+	if as.Rank() != 2 || bs.Rank() != 2 || as[1] != bs[1] {
+		return nil, fmt.Errorf("ops: matmulT shape mismatch %v @ %vᵀ", as, bs)
+	}
+	m, k, n := as[0], as[1], bs[0]
+	out := tensor.NewScratch(tensor.F32, m, n)
+	av, bv, ov := a.F32(), b.F32(), out.F32()
+	if m >= n {
+		compute.ParallelFor(m, grainBy(2*k*n), func(i0, i1 int) {
+			matmulTBlock(av, bv, ov, i0, i1, 0, n, k, n)
+		})
+	} else {
+		compute.ParallelFor(n, grainBy(2*k*m), func(j0, j1 int) {
+			matmulTBlock(av, bv, ov, 0, m, j0, j1, k, n)
+		})
+	}
+	return out, nil
+}
+
+// matmulTBlock fills out rows [i0,i1) × columns [j0,j1). The dot
+// product accumulates in serial kk order (single accumulator), matching
+// the serial reference bit-for-bit.
+func matmulTBlock(a, b, out []float32, i0, i1, j0, j1, k, n int) {
+	for i := i0; i < i1; i++ {
+		arow := a[i*k : (i+1)*k]
+		for j := j0; j < j1; j++ {
+			brow := b[j*k : (j+1)*k]
+			var acc float32
+			for kk := range arow {
+				acc += arow[kk] * brow[kk]
+			}
+			out[i*n+j] = acc
+		}
+	}
+}

@@ -4,88 +4,22 @@
 // be validated by comparing model outputs bit-for-bit across modes.
 //
 // All kernels take and return F32 tensors unless noted; model code converts
-// F16 weights at load. Kernels are deliberately straightforward row-major
-// loops — the evaluation's GPU-side timing comes from the device cost
-// model, not from these kernels' wall-clock.
+// F16 weights at load. Hot kernels run tiled and row-band-parallel on the
+// compute pool (see matmul.go and internal/compute) under a strict
+// determinism contract: every output element is produced by the same
+// float32 operation sequence at any worker count, so cross-mode
+// bit-identity — the evaluation's correctness gate — survives
+// parallelism. The evaluation's GPU-side timing still comes from the
+// device cost model, not from these kernels' wall-clock.
 package ops
 
 import (
 	"fmt"
 	"math"
 
+	"genie/internal/compute"
 	"genie/internal/tensor"
 )
-
-// MatMul computes a @ b for a [m,k] and b [k,n], returning [m,n].
-// Rank-3 a ([batch,m,k]) is supported with shared b.
-func MatMul(a, b *tensor.Tensor) (*tensor.Tensor, error) {
-	as, bs := a.Shape(), b.Shape()
-	if bs.Rank() != 2 {
-		return nil, fmt.Errorf("ops: matmul rhs must be rank 2, got %v", bs)
-	}
-	switch as.Rank() {
-	case 2:
-		if as[1] != bs[0] {
-			return nil, fmt.Errorf("ops: matmul shape mismatch %v @ %v", as, bs)
-		}
-		out := tensor.New(tensor.F32, as[0], bs[1])
-		matmul2d(a.F32(), b.F32(), out.F32(), as[0], as[1], bs[1])
-		return out, nil
-	case 3:
-		if as[2] != bs[0] {
-			return nil, fmt.Errorf("ops: matmul shape mismatch %v @ %v", as, bs)
-		}
-		out := tensor.New(tensor.F32, as[0], as[1], bs[1])
-		m, k, n := as[1], as[2], bs[1]
-		for bi := 0; bi < as[0]; bi++ {
-			matmul2d(a.F32()[bi*m*k:(bi+1)*m*k], b.F32(), out.F32()[bi*m*n:(bi+1)*m*n], m, k, n)
-		}
-		return out, nil
-	}
-	return nil, fmt.Errorf("ops: matmul lhs must be rank 2 or 3, got %v", as)
-}
-
-func matmul2d(a, b, out []float32, m, k, n int) {
-	// ikj loop order keeps the inner loop streaming over b and out.
-	for i := 0; i < m; i++ {
-		arow := a[i*k : (i+1)*k]
-		orow := out[i*n : (i+1)*n]
-		for kk := 0; kk < k; kk++ {
-			av := arow[kk]
-			if av == 0 {
-				continue
-			}
-			brow := b[kk*n : (kk+1)*n]
-			for j := range brow {
-				orow[j] += av * brow[j]
-			}
-		}
-	}
-}
-
-// MatMulT computes a @ bᵀ for a [m,k] and b [n,k], returning [m,n]. This is
-// the attention-score kernel (Q @ Kᵀ).
-func MatMulT(a, b *tensor.Tensor) (*tensor.Tensor, error) {
-	as, bs := a.Shape(), b.Shape()
-	if as.Rank() != 2 || bs.Rank() != 2 || as[1] != bs[1] {
-		return nil, fmt.Errorf("ops: matmulT shape mismatch %v @ %vᵀ", as, bs)
-	}
-	m, k, n := as[0], as[1], bs[0]
-	out := tensor.New(tensor.F32, m, n)
-	av, bv, ov := a.F32(), b.F32(), out.F32()
-	for i := 0; i < m; i++ {
-		arow := av[i*k : (i+1)*k]
-		for j := 0; j < n; j++ {
-			brow := bv[j*k : (j+1)*k]
-			var acc float32
-			for kk := range arow {
-				acc += arow[kk] * brow[kk]
-			}
-			ov[i*n+j] = acc
-		}
-	}
-	return out, nil
-}
 
 // Add returns a + b with broadcasting (b may be a bias of trailing shape).
 func Add(a, b *tensor.Tensor) (*tensor.Tensor, error) {
@@ -107,27 +41,36 @@ func ewise(a, b *tensor.Tensor, f func(x, y float32) float32) (*tensor.Tensor, e
 	if err != nil {
 		return nil, err
 	}
-	res := tensor.New(tensor.F32, out...)
+	res := tensor.NewScratch(tensor.F32, out...)
 	n := res.NumElements()
 	an, bn := a.NumElements(), b.NumElements()
-	// Fast paths: equal shapes, or b broadcast along leading dims.
+	// Fast paths: equal shapes, or b broadcast along leading dims. Each
+	// output element depends on its own index only, so any range split
+	// is bit-exact.
 	switch {
 	case an == n && bn == n:
 		av, bv, rv := a.F32(), b.F32(), res.F32()
-		for i := range rv {
-			rv[i] = f(av[i], bv[i])
-		}
+		compute.ParallelFor(n, grainBy(1), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				rv[i] = f(av[i], bv[i])
+			}
+		})
 	case an == n && n%bn == 0 && trailingCompatible(a.Shape(), b.Shape()):
 		av, bv, rv := a.F32(), b.F32(), res.F32()
-		for i := range rv {
-			rv[i] = f(av[i], bv[i%bn])
-		}
+		compute.ParallelFor(n, grainBy(1), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				rv[i] = f(av[i], bv[i%bn])
+			}
+		})
 	case bn == n && n%an == 0 && trailingCompatible(b.Shape(), a.Shape()):
 		av, bv, rv := a.F32(), b.F32(), res.F32()
-		for i := range rv {
-			rv[i] = f(av[i%an], bv[i])
-		}
+		compute.ParallelFor(n, grainBy(1), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				rv[i] = f(av[i%an], bv[i])
+			}
+		})
 	default:
+		res.Release()
 		return nil, fmt.Errorf("ops: unsupported broadcast %v op %v", a.Shape(), b.Shape())
 	}
 	return res, nil
@@ -149,41 +92,46 @@ func trailingCompatible(big, small tensor.Shape) bool {
 
 // Scale multiplies every element by s.
 func Scale(a *tensor.Tensor, s float32) *tensor.Tensor {
-	out := a.Clone()
+	out := cloneScratch(a)
 	v := out.F32()
-	for i := range v {
-		v[i] *= s
-	}
+	compute.ParallelFor(len(v), grainBy(1), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v[i] *= s
+		}
+	})
 	return out
 }
 
 // Softmax applies a numerically-stable softmax along the last dimension.
+// Rows normalize independently, so the parallel split is per row band.
 func Softmax(a *tensor.Tensor) *tensor.Tensor {
 	s := a.Shape()
 	inner := s[s.Rank()-1]
 	rows := a.NumElements() / inner
-	out := tensor.New(tensor.F32, s...)
+	out := tensor.NewScratch(tensor.F32, s...)
 	av, ov := a.F32(), out.F32()
-	for r := 0; r < rows; r++ {
-		row := av[r*inner : (r+1)*inner]
-		orow := ov[r*inner : (r+1)*inner]
-		maxv := row[0]
-		for _, v := range row {
-			if v > maxv {
-				maxv = v
+	compute.ParallelFor(rows, grainBy(4*inner), func(r0, r1 int) {
+		for r := r0; r < r1; r++ {
+			row := av[r*inner : (r+1)*inner]
+			orow := ov[r*inner : (r+1)*inner]
+			maxv := row[0]
+			for _, v := range row {
+				if v > maxv {
+					maxv = v
+				}
+			}
+			var sum float32
+			for i, v := range row {
+				e := float32(math.Exp(float64(v - maxv)))
+				orow[i] = e
+				sum += e
+			}
+			inv := 1 / sum
+			for i := range orow {
+				orow[i] *= inv
 			}
 		}
-		var sum float32
-		for i, v := range row {
-			e := float32(math.Exp(float64(v - maxv)))
-			orow[i] = e
-			sum += e
-		}
-		inv := 1 / sum
-		for i := range orow {
-			orow[i] *= inv
-		}
-	}
+	})
 	return out
 }
 
@@ -196,50 +144,65 @@ func LayerNorm(a, gamma, beta *tensor.Tensor, eps float32) (*tensor.Tensor, erro
 			gamma.NumElements(), beta.NumElements(), inner)
 	}
 	rows := a.NumElements() / inner
-	out := tensor.New(tensor.F32, s...)
+	out := tensor.NewScratch(tensor.F32, s...)
 	av, ov, gv, bv := a.F32(), out.F32(), gamma.F32(), beta.F32()
-	for r := 0; r < rows; r++ {
-		row := av[r*inner : (r+1)*inner]
-		orow := ov[r*inner : (r+1)*inner]
-		var mean float32
-		for _, v := range row {
-			mean += v
+	compute.ParallelFor(rows, grainBy(5*inner), func(r0, r1 int) {
+		for r := r0; r < r1; r++ {
+			row := av[r*inner : (r+1)*inner]
+			orow := ov[r*inner : (r+1)*inner]
+			var mean float32
+			for _, v := range row {
+				mean += v
+			}
+			mean /= float32(inner)
+			var varsum float32
+			for _, v := range row {
+				d := v - mean
+				varsum += d * d
+			}
+			inv := 1 / float32(math.Sqrt(float64(varsum/float32(inner)+eps)))
+			for i, v := range row {
+				orow[i] = (v-mean)*inv*gv[i] + bv[i]
+			}
 		}
-		mean /= float32(inner)
-		var varsum float32
-		for _, v := range row {
-			d := v - mean
-			varsum += d * d
-		}
-		inv := 1 / float32(math.Sqrt(float64(varsum/float32(inner)+eps)))
-		for i, v := range row {
-			orow[i] = (v-mean)*inv*gv[i] + bv[i]
-		}
-	}
+	})
 	return out, nil
 }
 
-// GELU applies the tanh-approximated Gaussian error linear unit.
+// GELU applies the tanh-approximated Gaussian error linear unit. Pure
+// elementwise (and tanh-heavy), so it parallelizes over flat ranges.
 func GELU(a *tensor.Tensor) *tensor.Tensor {
-	out := a.Clone()
+	out := cloneScratch(a)
 	v := out.F32()
 	const c = 0.7978845608028654 // sqrt(2/pi)
-	for i, x := range v {
-		x64 := float64(x)
-		v[i] = float32(0.5 * x64 * (1 + math.Tanh(c*(x64+0.044715*x64*x64*x64))))
-	}
+	compute.ParallelFor(len(v), grainBy(16), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x64 := float64(v[i])
+			v[i] = float32(0.5 * x64 * (1 + math.Tanh(c*(x64+0.044715*x64*x64*x64))))
+		}
+	})
 	return out
 }
 
 // ReLU applies max(0, x).
 func ReLU(a *tensor.Tensor) *tensor.Tensor {
-	out := a.Clone()
+	out := cloneScratch(a)
 	v := out.F32()
-	for i, x := range v {
-		if x < 0 {
-			v[i] = 0
+	compute.ParallelFor(len(v), grainBy(1), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if v[i] < 0 {
+				v[i] = 0
+			}
 		}
-	}
+	})
+	return out
+}
+
+// cloneScratch copies a into an arena-backed tensor — the pooled
+// counterpart of Clone for kernels that mutate a copy of their input.
+func cloneScratch(a *tensor.Tensor) *tensor.Tensor {
+	out := tensor.NewScratch(a.DType(), a.Shape()...)
+	copy(out.Bytes(), a.Bytes())
 	return out
 }
 
@@ -254,14 +217,21 @@ func Embedding(table *tensor.Tensor, ids *tensor.Tensor) (*tensor.Tensor, error)
 	}
 	vocab, dim := ts[0], ts[1]
 	n := ids.NumElements()
-	out := tensor.New(tensor.F32, n, dim)
-	tv, ov := table.F32(), out.F32()
-	for i, id := range ids.I64() {
+	iv := ids.I64()
+	// Validate serially (cheap) so the parallel gather below is
+	// error-free by construction.
+	for _, id := range iv {
 		if id < 0 || int(id) >= vocab {
 			return nil, fmt.Errorf("ops: embedding id %d out of range [0,%d)", id, vocab)
 		}
-		copy(ov[i*dim:(i+1)*dim], tv[int(id)*dim:(int(id)+1)*dim])
 	}
+	out := tensor.NewScratch(tensor.F32, n, dim)
+	tv, ov := table.F32(), out.F32()
+	compute.ParallelFor(n, grainBy(dim), func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			copy(ov[i*dim:(i+1)*dim], tv[int(iv[i])*dim:(int(iv[i])+1)*dim])
+		}
+	})
 	return out, nil
 }
 
@@ -318,7 +288,7 @@ func Concat(dim int, ts ...*tensor.Tensor) (*tensor.Tensor, error) {
 	}
 	outShape := base.Clone()
 	outShape[dim] = total
-	out := tensor.New(ts[0].DType(), outShape...)
+	out := tensor.NewScratch(ts[0].DType(), outShape...)
 
 	// Treat each tensor as [outer, t.dim*inner] row-major blocks.
 	inner := 1
@@ -406,10 +376,14 @@ func Conv2D(in, kernel *tensor.Tensor, stride, pad int) (*tensor.Tensor, error) 
 	if oh <= 0 || ow <= 0 {
 		return nil, fmt.Errorf("ops: conv2d output empty for in %v kernel %v", is, ks)
 	}
-	out := tensor.New(tensor.F32, outC, oh, ow)
+	out := tensor.NewScratch(tensor.F32, outC, oh, ow)
 	iv, kv, ov := in.F32(), kernel.F32(), out.F32()
-	for oc := 0; oc < outC; oc++ {
-		for oy := 0; oy < oh; oy++ {
+	// Parallel over flattened (outC, oy) output rows: each output
+	// element reduces its own receptive field, so any split is
+	// bit-exact.
+	compute.ParallelFor(outC*oh, grainBy(2*ow*inC*kh*kw), func(r0, r1 int) {
+		for r := r0; r < r1; r++ {
+			oc, oy := r/oh, r%oh
 			for ox := 0; ox < ow; ox++ {
 				var acc float32
 				for ic := 0; ic < inC; ic++ {
@@ -430,7 +404,7 @@ func Conv2D(in, kernel *tensor.Tensor, stride, pad int) (*tensor.Tensor, error) 
 				ov[(oc*oh+oy)*ow+ox] = acc
 			}
 		}
-	}
+	})
 	return out, nil
 }
 
@@ -505,7 +479,7 @@ func CausalMask(scores *tensor.Tensor, offset int) (*tensor.Tensor, error) {
 		return nil, fmt.Errorf("ops: causal_mask needs rank 2, got %v", s)
 	}
 	tq, tk := s[0], s[1]
-	out := scores.Clone()
+	out := cloneScratch(scores)
 	v := out.F32()
 	const negInf = float32(-1e30)
 	for i := 0; i < tq; i++ {
@@ -535,17 +509,21 @@ func RoPE(x *tensor.Tensor, startPos int, base float64) (*tensor.Tensor, error) 
 	if base <= 0 {
 		base = 10000
 	}
-	out := x.Clone()
+	out := cloneScratch(x)
 	v := out.F32()
-	for row := 0; row < t; row++ {
-		pos := float64(startPos + row)
-		for i := 0; i < dim; i += 2 {
-			theta := pos * math.Pow(base, -float64(i)/float64(dim))
-			sin, cos := math.Sincos(theta)
-			a, b := v[row*dim+i], v[row*dim+i+1]
-			v[row*dim+i] = a*float32(cos) - b*float32(sin)
-			v[row*dim+i+1] = a*float32(sin) + b*float32(cos)
+	// Rows rotate independently by their own absolute position, so the
+	// parallel split is per row band.
+	compute.ParallelFor(t, grainBy(8*dim), func(r0, r1 int) {
+		for row := r0; row < r1; row++ {
+			pos := float64(startPos + row)
+			for i := 0; i < dim; i += 2 {
+				theta := pos * math.Pow(base, -float64(i)/float64(dim))
+				sin, cos := math.Sincos(theta)
+				a, b := v[row*dim+i], v[row*dim+i+1]
+				v[row*dim+i] = a*float32(cos) - b*float32(sin)
+				v[row*dim+i+1] = a*float32(sin) + b*float32(cos)
+			}
 		}
-	}
+	})
 	return out, nil
 }

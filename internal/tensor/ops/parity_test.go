@@ -1,0 +1,450 @@
+package ops
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"genie/internal/compute"
+	"genie/internal/tensor"
+)
+
+// Parity suite: every parallelized kernel must be bit-identical to an
+// independent serial reference at every worker count. These references
+// are deliberately textbook re-implementations (not calls into the
+// production kernels), so a tiling or unrolling change that reorders
+// float32 additions fails here even when it looks numerically harmless —
+// the four evaluation modes are compared token-for-token, and a one-ULP
+// drift flips argmaxes.
+
+// workerCounts returns the pool widths the parity contract is checked
+// at: serial, minimal parallel, and the machine's real width (plus
+// oversubscription, which exercises chunk stealing).
+func workerCounts() []int {
+	return []int{1, 2, runtime.NumCPU(), runtime.NumCPU() + 3}
+}
+
+// atWidth runs f with the default pool swapped for a width-w pool,
+// restoring (and stopping the temporary pool) afterwards.
+func atWidth(t *testing.T, w int, f func()) {
+	t.Helper()
+	p := compute.NewPool(w)
+	old := compute.SetDefault(p)
+	defer func() {
+		compute.SetDefault(old)
+		p.Stop()
+	}()
+	f()
+}
+
+func randTensor(rng *rand.Rand, shape ...int) *tensor.Tensor {
+	t := tensor.New(tensor.F32, shape...)
+	v := t.F32()
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	return t
+}
+
+// expectBits fails unless got and want are bit-identical (NaN-safe).
+func expectBits(t *testing.T, ctx string, got, want []float32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", ctx, len(got), len(want))
+	}
+	for i := range want {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("%s: element %d = %v (%#08x), want %v (%#08x)",
+				ctx, i, got[i], math.Float32bits(got[i]),
+				want[i], math.Float32bits(want[i]))
+		}
+	}
+}
+
+// --- serial references ---
+
+// refMatMul is the textbook ikj product: contributions accumulate into
+// each out element in increasing kk order — the order the determinism
+// contract in matmul.go promises to preserve.
+func refMatMul(a, b []float32, m, k, n int) []float32 {
+	out := make([]float32, m*n)
+	for i := 0; i < m; i++ {
+		for kk := 0; kk < k; kk++ {
+			av := a[i*k+kk]
+			for j := 0; j < n; j++ {
+				out[i*n+j] += av * b[kk*n+j]
+			}
+		}
+	}
+	return out
+}
+
+func refMatMulT(a, b []float32, m, k, n int) []float32 {
+	out := make([]float32, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var acc float32
+			for kk := 0; kk < k; kk++ {
+				acc += a[i*k+kk] * b[j*k+kk]
+			}
+			out[i*n+j] = acc
+		}
+	}
+	return out
+}
+
+func refSoftmax(a []float32, rows, inner int) []float32 {
+	out := make([]float32, len(a))
+	for r := 0; r < rows; r++ {
+		row, orow := a[r*inner:(r+1)*inner], out[r*inner:(r+1)*inner]
+		maxv := row[0]
+		for _, v := range row {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float32
+		for i, v := range row {
+			e := float32(math.Exp(float64(v - maxv)))
+			orow[i] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for i := range orow {
+			orow[i] *= inv
+		}
+	}
+	return out
+}
+
+func refLayerNorm(a, g, b []float32, rows, inner int, eps float32) []float32 {
+	out := make([]float32, len(a))
+	for r := 0; r < rows; r++ {
+		row, orow := a[r*inner:(r+1)*inner], out[r*inner:(r+1)*inner]
+		var mean float32
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float32(inner)
+		var varsum float32
+		for _, v := range row {
+			d := v - mean
+			varsum += d * d
+		}
+		inv := 1 / float32(math.Sqrt(float64(varsum/float32(inner)+eps)))
+		for i, v := range row {
+			orow[i] = (v-mean)*inv*g[i] + b[i]
+		}
+	}
+	return out
+}
+
+func refGELU(a []float32) []float32 {
+	out := make([]float32, len(a))
+	const c = 0.7978845608028654
+	for i, v := range a {
+		x := float64(v)
+		out[i] = float32(0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x))))
+	}
+	return out
+}
+
+func refConv2D(in, k []float32, inC, h, w, outC, kh, kw, stride, pad int) []float32 {
+	oh := (h+2*pad-kh)/stride + 1
+	ow := (w+2*pad-kw)/stride + 1
+	out := make([]float32, outC*oh*ow)
+	for oc := 0; oc < outC; oc++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				var acc float32
+				for ic := 0; ic < inC; ic++ {
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*stride + ky - pad
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*stride + kx - pad
+							if ix < 0 || ix >= w {
+								continue
+							}
+							acc += in[(ic*h+iy)*w+ix] * k[((oc*inC+ic)*kh+ky)*kw+kx]
+						}
+					}
+				}
+				out[(oc*oh+oy)*ow+ox] = acc
+			}
+		}
+	}
+	return out
+}
+
+func refRoPE(x []float32, t, dim, startPos int, base float64) []float32 {
+	out := make([]float32, len(x))
+	copy(out, x)
+	for row := 0; row < t; row++ {
+		pos := float64(startPos + row)
+		for i := 0; i < dim; i += 2 {
+			theta := pos * math.Pow(base, -float64(i)/float64(dim))
+			sin, cos := math.Sincos(theta)
+			a, b := out[row*dim+i], out[row*dim+i+1]
+			out[row*dim+i] = a*float32(cos) - b*float32(sin)
+			out[row*dim+i+1] = a*float32(sin) + b*float32(cos)
+		}
+	}
+	return out
+}
+
+// --- parity tests ---
+
+func TestMatMulParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	shapes := [][3]int{
+		{1, 1, 1}, {1, 64, 64}, {3, 5, 7}, {17, 33, 65},
+		{64, 64, 64}, {1, 256, 256}, {130, 70, 300}, {7, 257, 4},
+	}
+	for _, sh := range shapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := randTensor(rng, m, k)
+		b := randTensor(rng, k, n)
+		want := refMatMul(a.F32(), b.F32(), m, k, n)
+		for _, w := range workerCounts() {
+			atWidth(t, w, func() {
+				got, err := MatMul(a, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				expectBits(t, fmt.Sprintf("matmul %dx%dx%d w=%d", m, k, n, w), got.F32(), want)
+				got.Release()
+			})
+		}
+	}
+}
+
+func TestMatMulRank3Parity(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, sh := range [][4]int{{2, 3, 8, 5}, {4, 1, 64, 64}, {3, 17, 9, 33}} {
+		batch, m, k, n := sh[0], sh[1], sh[2], sh[3]
+		a := randTensor(rng, batch, m, k)
+		b := randTensor(rng, k, n)
+		want := refMatMul(a.F32(), b.F32(), batch*m, k, n)
+		for _, w := range workerCounts() {
+			atWidth(t, w, func() {
+				got, err := MatMul(a, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				expectBits(t, fmt.Sprintf("matmul3 %v w=%d", sh, w), got.F32(), want)
+				got.Release()
+			})
+		}
+	}
+}
+
+func TestMatMulTParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	// Includes the decode shape family (m=1, growing n) that flips the
+	// kernel onto its column-split path.
+	shapes := [][3]int{
+		{1, 8, 1}, {1, 64, 100}, {5, 16, 5}, {33, 65, 17},
+		{100, 64, 1}, {2, 256, 77},
+	}
+	for _, sh := range shapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := randTensor(rng, m, k)
+		b := randTensor(rng, n, k)
+		want := refMatMulT(a.F32(), b.F32(), m, k, n)
+		for _, w := range workerCounts() {
+			atWidth(t, w, func() {
+				got, err := MatMulT(a, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				expectBits(t, fmt.Sprintf("matmulT %dx%dx%d w=%d", m, k, n, w), got.F32(), want)
+				got.Release()
+			})
+		}
+	}
+}
+
+func TestSoftmaxParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, sh := range [][2]int{{1, 1}, {1, 1000}, {64, 64}, {500, 13}} {
+		rows, inner := sh[0], sh[1]
+		a := randTensor(rng, rows, inner)
+		want := refSoftmax(a.F32(), rows, inner)
+		for _, w := range workerCounts() {
+			atWidth(t, w, func() {
+				got := Softmax(a)
+				expectBits(t, fmt.Sprintf("softmax %v w=%d", sh, w), got.F32(), want)
+				got.Release()
+			})
+		}
+	}
+}
+
+func TestLayerNormParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for _, sh := range [][2]int{{1, 8}, {200, 64}, {3, 333}} {
+		rows, inner := sh[0], sh[1]
+		a := randTensor(rng, rows, inner)
+		g := randTensor(rng, inner)
+		b := randTensor(rng, inner)
+		want := refLayerNorm(a.F32(), g.F32(), b.F32(), rows, inner, 1e-5)
+		for _, w := range workerCounts() {
+			atWidth(t, w, func() {
+				got, err := LayerNorm(a, g, b, 1e-5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				expectBits(t, fmt.Sprintf("layernorm %v w=%d", sh, w), got.F32(), want)
+				got.Release()
+			})
+		}
+	}
+}
+
+func TestGELUParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	for _, n := range []int{1, 17, 4096} {
+		a := randTensor(rng, n)
+		want := refGELU(a.F32())
+		for _, w := range workerCounts() {
+			atWidth(t, w, func() {
+				got := GELU(a)
+				expectBits(t, fmt.Sprintf("gelu %d w=%d", n, w), got.F32(), want)
+				got.Release()
+			})
+		}
+	}
+}
+
+func TestConv2DParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	cases := []struct{ inC, h, w, outC, kh, kw, stride, pad int }{
+		{1, 8, 8, 1, 3, 3, 1, 1},
+		{3, 16, 16, 8, 3, 3, 1, 1},
+		{4, 13, 11, 6, 5, 3, 2, 2},
+	}
+	for _, c := range cases {
+		in := randTensor(rng, c.inC, c.h, c.w)
+		k := randTensor(rng, c.outC, c.inC, c.kh, c.kw)
+		want := refConv2D(in.F32(), k.F32(), c.inC, c.h, c.w, c.outC, c.kh, c.kw, c.stride, c.pad)
+		for _, w := range workerCounts() {
+			atWidth(t, w, func() {
+				got, err := Conv2D(in, k, c.stride, c.pad)
+				if err != nil {
+					t.Fatal(err)
+				}
+				expectBits(t, fmt.Sprintf("conv2d %+v w=%d", c, w), got.F32(), want)
+				got.Release()
+			})
+		}
+	}
+}
+
+func TestRoPEParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	for _, sh := range [][2]int{{1, 2}, {7, 64}, {100, 32}} {
+		tt, dim := sh[0], sh[1]
+		x := randTensor(rng, tt, dim)
+		want := refRoPE(x.F32(), tt, dim, 5, 10000)
+		for _, w := range workerCounts() {
+			atWidth(t, w, func() {
+				got, err := RoPE(x, 5, 10000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				expectBits(t, fmt.Sprintf("rope %v w=%d", sh, w), got.F32(), want)
+				got.Release()
+			})
+		}
+	}
+}
+
+func TestEmbeddingParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	table := randTensor(rng, 50, 16)
+	ids := tensor.New(tensor.I64, 33)
+	iv := ids.I64()
+	for i := range iv {
+		iv[i] = int64(rng.Intn(50))
+	}
+	want := make([]float32, 33*16)
+	for i, id := range iv {
+		copy(want[i*16:(i+1)*16], table.F32()[int(id)*16:(int(id)+1)*16])
+	}
+	for _, w := range workerCounts() {
+		atWidth(t, w, func() {
+			got, err := Embedding(table, ids)
+			if err != nil {
+				t.Fatal(err)
+			}
+			expectBits(t, fmt.Sprintf("embedding w=%d", w), got.F32(), want)
+			got.Release()
+		})
+	}
+}
+
+func TestElementwiseParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	a := randTensor(rng, 37, 19)
+	b := randTensor(rng, 37, 19)
+	wantAdd := make([]float32, 37*19)
+	wantMul := make([]float32, 37*19)
+	wantScale := make([]float32, 37*19)
+	wantReLU := make([]float32, 37*19)
+	for i := range wantAdd {
+		wantAdd[i] = a.F32()[i] + b.F32()[i]
+		wantMul[i] = a.F32()[i] * b.F32()[i]
+		wantScale[i] = a.F32()[i] * 0.125
+		wantReLU[i] = a.F32()[i]
+		if wantReLU[i] < 0 {
+			wantReLU[i] = 0
+		}
+	}
+	for _, w := range workerCounts() {
+		atWidth(t, w, func() {
+			add, err := Add(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mul, err := Mul(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc := Scale(a, 0.125)
+			re := ReLU(a)
+			expectBits(t, fmt.Sprintf("add w=%d", w), add.F32(), wantAdd)
+			expectBits(t, fmt.Sprintf("mul w=%d", w), mul.F32(), wantMul)
+			expectBits(t, fmt.Sprintf("scale w=%d", w), sc.F32(), wantScale)
+			expectBits(t, fmt.Sprintf("relu w=%d", w), re.F32(), wantReLU)
+			for _, x := range []*tensor.Tensor{add, mul, sc, re} {
+				x.Release()
+			}
+		})
+	}
+}
+
+// TestMatMulGrainInvariance pins down the stronger property the row-band
+// kernel actually has: any band partition gives the same bits, because a
+// row's accumulation sequence is independent of which band computed it.
+// This is what lets grainBy derive grains from shape alone.
+func TestMatMulGrainInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	m, k, n := 37, 53, 29
+	a := randTensor(rng, m, k)
+	b := randTensor(rng, k, n)
+	want := refMatMul(a.F32(), b.F32(), m, k, n)
+	p := compute.NewPool(4)
+	defer p.Stop()
+	for _, grain := range []int{1, 2, 5, m - 1, m, 10 * m} {
+		out := make([]float32, m*n)
+		p.ParallelFor(m, grain, func(i0, i1 int) {
+			matmulBand(a.F32(), b.F32(), out, i0, i1, k, n)
+		})
+		expectBits(t, fmt.Sprintf("grain=%d", grain), out, want)
+	}
+}
