@@ -19,11 +19,13 @@ import (
 	"math/rand"
 	"os"
 	goruntime "runtime"
+	"strings"
 	"time"
 
 	"genie/internal/compute"
 	"genie/internal/eval"
 	"genie/internal/models"
+	"genie/internal/obs"
 	"genie/internal/runtime"
 	"genie/internal/scheduler"
 	"genie/internal/tensor"
@@ -34,6 +36,7 @@ func main() {
 	table := flag.Int("table", 0, "print only this table (1, 2, or 3); 0 = all")
 	ablations := flag.Bool("ablations", false, "print only the ablation experiments")
 	kernels := flag.Bool("kernels", false, "print only the host kernel throughput section")
+	obsSection := flag.Bool("obs", false, "print only the observability section (tracing cost, span + metrics demo)")
 	rpc := flag.String("rpc", "tensorpipe", "transport profile: tensorpipe | rdma")
 	naiveReupload := flag.Float64("naive-reupload", 1,
 		"calls per weight re-upload in Naive mode (1 = paper's stated policy; ~6.5 matches its measured decode)")
@@ -51,9 +54,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	all := *table == 0 && !*ablations && !*kernels
+	all := *table == 0 && !*ablations && !*kernels && !*obsSection
 	if all || *kernels {
 		printKernels()
+	}
+	if all || *obsSection {
+		printObs()
 	}
 	if all || *table == 1 {
 		printTable1()
@@ -102,6 +108,89 @@ func printKernels() {
 	el := time.Since(start)
 	fmt.Printf("local decode (TinyGPT): %d tokens in %v = %.0f tok/s\n\n",
 		decodeTokens, el.Round(time.Microsecond), decodeTokens/el.Seconds())
+}
+
+// printObs measures the tracing tax on the decode hot path live
+// (untraced vs traced session, best of 3 runs), then shows what the
+// subsystem produces: the span ring's contents and a slice of the
+// Prometheus exposition — the same data the gateway serves at
+// /debug/trace and /metrics.
+func printObs() {
+	fmt.Println("== O: observability (internal/obs) — tracing cost + span/metrics demo ==")
+	r := &runtime.LLMRunner{Model: models.NewGPT(rand.New(rand.NewSource(9)), models.TinyGPT)}
+	const steps = 200
+	timeDecode(r, nil, steps/4) // warm caches off the clock
+	untraced := timeDecode(r, nil, steps)
+
+	tr := obs.NewTracer(obs.TracerConfig{Proc: "bench", Capacity: 2048})
+	defer tr.Stop()
+	ctx, root := tr.StartRoot(context.Background(), "bench.decode")
+	traced := timeDecode(r, ctx, steps)
+	root.End()
+
+	perU := untraced / steps
+	perT := traced / steps
+	fmt.Printf("decode step: untraced %v | traced %v | delta %+.1f%% (contract: <5%%, DESIGN.md §8)\n",
+		perU.Round(time.Microsecond), perT.Round(time.Microsecond),
+		100*(float64(traced)-float64(untraced))/float64(untraced))
+
+	spans := tr.Snapshot()
+	fmt.Printf("span ring: %d spans recorded, %d dropped; tail:\n", len(spans), tr.Dropped())
+	for i := len(spans) - 3; i < len(spans); i++ {
+		if i < 0 {
+			continue
+		}
+		s := spans[i]
+		fmt.Printf("  %-16s %10v  trace=%016x parent=%016x\n",
+			s.Name, s.Dur.Round(time.Microsecond), s.Trace, s.Parent)
+	}
+
+	reg := obs.NewRegistry()
+	reg.Counter("genie_bench_decode_steps_total", "decode steps timed above").Add(2 * steps)
+	reg.Histogram("genie_bench_decode_step_seconds", "per-step decode latency", nil).
+		ObserveDuration(perT)
+	var buf strings.Builder
+	_ = reg.WritePrometheus(&buf) // strings.Builder cannot fail
+	fmt.Println("metrics exposition (the gateway serves this at /metrics):")
+	for _, line := range strings.SplitN(buf.String(), "\n", 8)[:7] {
+		fmt.Printf("  %s\n", line)
+	}
+	fmt.Println()
+}
+
+// timeDecode measures steps decode steps through a session carrying ctx
+// (nil = untraced), best of 3 runs, rolling sessions over before the
+// tiny model's context cap.
+func timeDecode(r *runtime.LLMRunner, ctx context.Context, steps int) time.Duration {
+	prompt := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	best := time.Duration(1<<63 - 1)
+	for rep := 0; rep < 3; rep++ {
+		var el time.Duration
+		hist := 0
+		var s *runtime.Session
+		for i := 0; i < steps; i++ {
+			if s == nil || hist+1 >= models.TinyGPT.MaxSeq {
+				var err error
+				if s, err = r.NewScopedSessionCtx(ctx, runtime.ModeLocal, ""); err != nil {
+					log.Fatal(err)
+				}
+				if _, err = s.Prefill(prompt); err != nil {
+					log.Fatal(err)
+				}
+				hist = len(prompt) + 1
+			}
+			start := time.Now()
+			if _, err := s.Step(); err != nil {
+				log.Fatal(err)
+			}
+			el += time.Since(start)
+			hist++
+		}
+		if el < best {
+			best = el
+		}
+	}
+	return best
 }
 
 // timeKernel times one MatMul at the given pool width (0 = default

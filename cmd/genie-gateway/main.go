@@ -8,6 +8,8 @@
 //	POST /v1/generate  {"tenant","prompt":[ids],"max_tokens","slo","timeout_ms","stream"}
 //	GET  /healthz      200 while serving, 503 while draining
 //	GET  /stats        queue depth, batch occupancy, TTFT/latency percentiles
+//	GET  /metrics      Prometheus text: serve/transport counters, gauges, histograms
+//	GET  /debug/trace  Chrome trace JSON of the span ring buffer (chrome://tracing)
 //
 // Every backend must be a running genie-server; the gateway builds the
 // model weights from -seed (all replicas must share it so any lane
@@ -36,6 +38,7 @@ import (
 	"time"
 
 	"genie/internal/models"
+	"genie/internal/obs"
 	"genie/internal/runtime"
 	"genie/internal/serve"
 	"genie/internal/transport"
@@ -54,6 +57,9 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
 	kernelWorkers := flag.Int("kernel-workers", 0,
 		"CPU kernel worker-pool width (0 = GOMAXPROCS or GENIE_KERNEL_WORKERS, 1 = serial)")
+	trace := flag.Bool("trace", true, "record request-scoped spans (GET /debug/trace)")
+	traceCap := flag.Int("trace-cap", 4096, "span ring-buffer capacity (oldest spans overwritten)")
+	traceDump := flag.String("trace-dump", "", "write Chrome trace JSON to this file at shutdown")
 	flag.Parse()
 
 	mode, err := runtime.ParseMode(*modeName)
@@ -61,6 +67,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+
+	// One process-wide metrics registry (served at /metrics) and, unless
+	// -trace=false, one tracer whose spans cover the whole stack: HTTP
+	// handler, queue wait, prefill/decode phases, transport RPCs.
+	reg := obs.NewRegistry()
+	var tracer *obs.Tracer
+	if *trace {
+		tracer = obs.NewTracer(obs.TracerConfig{Proc: "gateway", Capacity: *traceCap})
+		defer tracer.Stop()
+	}
+	tel := transport.NewTelemetry(reg)
 
 	var pool []serve.Backend
 	for _, baddr := range strings.Split(*backends, ",") {
@@ -77,6 +94,7 @@ func main() {
 				log.Fatalf("genie-gateway: backend %s: %v", baddr, err)
 			}
 			defer conn.Close()
+			conn.SetTelemetry(tel)
 			r.EP = transport.NewClient(conn)
 			r.Counters = conn.Counters()
 		}
@@ -93,6 +111,8 @@ func main() {
 		DefaultMaxTokens: *maxTokens,
 		DefaultDeadline:  *deadline,
 		KernelWorkers:    *kernelWorkers,
+		Tracer:           tracer,
+		Metrics:          reg,
 	}, pool)
 	if err != nil {
 		log.Fatalf("genie-gateway: %v", err)
@@ -121,5 +141,25 @@ func main() {
 	}
 	engine.Stop()
 	_ = srv.Shutdown(ctx)
+	if *traceDump != "" && tracer != nil {
+		if err := dumpTrace(*traceDump, tracer); err != nil {
+			log.Printf("genie-gateway: trace dump: %v", err)
+		} else {
+			log.Printf("genie-gateway: wrote trace to %s (open in chrome://tracing)", *traceDump)
+		}
+	}
 	log.Printf("genie-gateway: drained, exiting")
+}
+
+// dumpTrace writes the span ring buffer as Chrome trace JSON.
+func dumpTrace(path string, tracer *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, tracer.Snapshot()); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -7,9 +7,15 @@
 // new connections), requests already in flight get their replies, then
 // the process exits.
 //
+// With -metrics-addr set, a second HTTP listener serves GET /metrics
+// (Prometheus text: exec/upload counters, GPU-busy time, resident
+// bytes) and GET /debug/trace (Chrome trace JSON). Per-RPC spans carry
+// the trace/span IDs clients send in frame envelopes, so a gateway's
+// trace and the server's stitch into one tree.
+//
 // Usage:
 //
-//	genie-server -addr :7009 -device a100-80g
+//	genie-server -addr :7009 -device a100-80g -metrics-addr :9009
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -24,6 +31,7 @@ import (
 	"genie/internal/backend"
 	"genie/internal/compute"
 	"genie/internal/device"
+	"genie/internal/obs"
 )
 
 func main() {
@@ -31,6 +39,9 @@ func main() {
 	dev := flag.String("device", "a100-80g", "modeled device (a100-80g, h100-80g, a10g-24g, cpu-host)")
 	kernelWorkers := flag.Int("kernel-workers", 0,
 		"CPU kernel worker-pool width (0 = GOMAXPROCS or GENIE_KERNEL_WORKERS, 1 = serial)")
+	metricsAddr := flag.String("metrics-addr", "",
+		"HTTP address for GET /metrics and /debug/trace (empty = observability off)")
+	traceCap := flag.Int("trace-cap", 4096, "span ring-buffer capacity (oldest spans overwritten)")
 	flag.Parse()
 
 	spec, err := device.ByName(*dev)
@@ -48,6 +59,26 @@ func main() {
 	log.Printf("genie-server: %s backend listening on %s (%d kernel workers)",
 		spec.Name, l.Addr(), compute.Workers())
 	srv := backend.NewServer(spec)
+
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		srv.Instrument(reg)
+		tracer := obs.NewTracer(obs.TracerConfig{Proc: "server", Capacity: *traceCap})
+		defer tracer.Stop()
+		srv.SetTracer(tracer)
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg)
+		mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = obs.WriteChromeTrace(w, tracer.Snapshot())
+		})
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				log.Printf("genie-server: metrics listener: %v", err)
+			}
+		}()
+		log.Printf("genie-server: metrics on http://%s/metrics", *metricsAddr)
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)

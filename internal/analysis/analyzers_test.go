@@ -45,6 +45,12 @@ func TestScopeGates(t *testing.T) {
 	if !GoleakAnalyzer.AppliesTo("genie/internal/compute") {
 		t.Error("goleak must apply to the kernel worker pool")
 	}
+	if !GoleakAnalyzer.AppliesTo("genie/internal/obs") {
+		t.Error("goleak must apply to the trace recorder")
+	}
+	if !CtxflowAnalyzer.AppliesTo("genie/internal/obs") {
+		t.Error("ctxflow must apply to the observability package")
+	}
 	if CtxflowAnalyzer.AppliesTo("genie/cmd/genie-bench") {
 		t.Error("ctxflow must not apply to binaries")
 	}

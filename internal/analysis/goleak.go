@@ -16,10 +16,12 @@ import (
 // the remote KV residency it scopes) for the life of the process.
 //
 // Scope: go statements in genie/internal/serve, genie/internal/backend,
-// genie/internal/runtime, and genie/internal/compute (the kernel worker
+// genie/internal/runtime, genie/internal/compute (the kernel worker
 // pool: its resident helpers must observe Stop's done-channel close, or
 // every Configure call would strand a band of goroutines for the life of
-// the process). A goroutine is flagged when its body (the
+// the process), and genie/internal/obs (the trace recorder's drain
+// goroutine must observe Stop's done-channel close for the same
+// reason). A goroutine is flagged when its body (the
 // literal, or the same-package function/method it calls) contains an
 // unconditional `for { ... }` loop with no cancellation signal anywhere
 // in the body: no channel receive, no select, no ranging over a
@@ -33,7 +35,8 @@ var GoleakAnalyzer = &Analyzer{
 		return hasPrefixPath(scope, "genie/internal/serve") ||
 			hasPrefixPath(scope, "genie/internal/backend") ||
 			hasPrefixPath(scope, "genie/internal/runtime") ||
-			hasPrefixPath(scope, "genie/internal/compute")
+			hasPrefixPath(scope, "genie/internal/compute") ||
+			hasPrefixPath(scope, "genie/internal/obs")
 	},
 	Run: runGoleak,
 }

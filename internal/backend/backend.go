@@ -14,6 +14,7 @@ import (
 
 	"genie/internal/device"
 	"genie/internal/exec"
+	"genie/internal/obs"
 	"genie/internal/srg"
 	"genie/internal/tensor"
 	"genie/internal/transport"
@@ -44,6 +45,57 @@ type Server struct {
 	connMu   sync.Mutex
 	conns    map[*transport.Conn]bool // conn -> request in flight
 	draining bool
+
+	// Observability: tracer parents server-side spans under wire-sent
+	// trace context; inst mirrors store/exec counters into a metrics
+	// registry. Both optional — nil means uninstrumented.
+	tracer *obs.Tracer
+	inst   *instruments
+}
+
+// instruments holds the server's registered metric handles.
+type instruments struct {
+	execs         *obs.Counter
+	uploads       *obs.Counter
+	crashes       *obs.Counter
+	gpuBusyNs     *obs.Counter
+	residentBytes *obs.Gauge
+	residentObjs  *obs.Gauge
+	epoch         *obs.Gauge
+}
+
+// SetTracer attaches a tracer; server spans parent under the trace
+// context clients send in the wire envelope. Nil detaches.
+func (s *Server) SetTracer(tr *obs.Tracer) { s.tracer = tr }
+
+// Instrument registers backend metric families in reg and mirrors the
+// server's counters into them from then on.
+func (s *Server) Instrument(reg *obs.Registry) {
+	inst := &instruments{
+		execs:         reg.Counter("genie_backend_exec_total", "subgraph executions"),
+		uploads:       reg.Counter("genie_backend_uploads_total", "objects stored via upload or keep"),
+		crashes:       reg.Counter("genie_backend_crashes_total", "injected crashes"),
+		gpuBusyNs:     reg.Counter("genie_backend_gpu_busy_ns_total", "modeled device busy time"),
+		residentBytes: reg.Gauge("genie_backend_resident_bytes", "bytes resident in the object store"),
+		residentObjs:  reg.Gauge("genie_backend_resident_objects", "objects resident in the store"),
+		epoch:         reg.Gauge("genie_backend_epoch", "current store epoch"),
+	}
+	s.mu.Lock()
+	s.inst = inst
+	inst.residentBytes.Set(s.resident)
+	inst.residentObjs.Set(int64(len(s.store)))
+	inst.epoch.Set(int64(s.epoch))
+	s.mu.Unlock()
+}
+
+// syncResidentLocked pushes store gauges; callers hold s.mu.
+func (s *Server) syncResidentLocked() {
+	if s.inst == nil {
+		return
+	}
+	s.inst.residentBytes.Set(s.resident)
+	s.inst.residentObjs.Set(int64(len(s.store)))
+	s.inst.epoch.Set(int64(s.epoch))
 }
 
 // NewServer creates a backend modeling the given device.
@@ -82,6 +134,10 @@ func (s *Server) Upload(key string, t *tensor.Tensor) (*transport.UploadOK, erro
 	}
 	s.store[key] = Object{Data: t, Epoch: s.epoch}
 	s.resident += newBytes
+	if s.inst != nil {
+		s.inst.uploads.Inc()
+	}
+	s.syncResidentLocked()
 	return &transport.UploadOK{Epoch: s.epoch, Bytes: newBytes}, nil
 }
 
@@ -108,6 +164,7 @@ func (s *Server) Free(key string) {
 		s.resident -= int64(o.Data.NumBytes())
 		delete(s.store, key)
 	}
+	s.syncResidentLocked()
 }
 
 // Crash simulates a device/host failure: every resident object is lost
@@ -119,6 +176,10 @@ func (s *Server) Crash() {
 	s.store = make(map[string]Object)
 	s.resident = 0
 	s.epoch++
+	if s.inst != nil {
+		s.inst.crashes.Inc()
+	}
+	s.syncResidentLocked()
 }
 
 // FailNextExecs arms exec-level fault injection: the next n Exec calls
@@ -167,6 +228,9 @@ func (s *Server) Exec(x *transport.Exec) (*transport.ExecOK, error) {
 		return nil, fmt.Errorf("backend: injected exec failure")
 	}
 	s.execCalls++
+	if s.inst != nil {
+		s.inst.execs.Inc()
+	}
 	s.mu.Unlock()
 
 	if err := x.Graph.Validate(); err != nil {
@@ -214,6 +278,9 @@ func (s *Server) Exec(x *transport.Exec) (*transport.ExecOK, error) {
 	}
 	s.mu.Lock()
 	s.busyNs += busy
+	if s.inst != nil {
+		s.inst.gpuBusyNs.Add(busy)
+	}
 	epoch := s.epoch
 	s.mu.Unlock()
 

@@ -23,7 +23,7 @@ func (s *Server) Serve(conn *transport.Conn) error {
 	}
 	defer s.unregister(conn)
 	for {
-		t, payload, err := conn.Recv()
+		t, env, payload, err := conn.RecvEnv()
 		if err != nil {
 			if transport.IsClosed(err) {
 				return nil
@@ -31,8 +31,15 @@ func (s *Server) Serve(conn *transport.Conn) error {
 			return err
 		}
 		s.setBusy(conn, true)
+		// A non-zero envelope means the caller is tracing: the server's
+		// span for this RPC parents under the client-side transport span,
+		// stitching one tree across the process boundary.
+		span := s.tracer.RemoteSpan(env.Trace, env.Span, "backend."+transport.KindName(t))
+		span.SetAttrInt("payload_bytes", int64(len(payload)))
 		rt, rp := s.handle(t, payload)
-		err = conn.Send(rt, rp)
+		span.SetAttrInt("reply_bytes", int64(len(rp)))
+		span.End()
+		err = conn.SendEnv(rt, env, rp)
 		last := s.setBusy(conn, false)
 		if err != nil {
 			if transport.IsClosed(err) {

@@ -1,0 +1,33 @@
+// Package obs is Genie's observability substrate: request-scoped
+// tracing and a unified metrics registry shared by every layer of the
+// serving stack (gateway HTTP handler, serve engine, runtime sessions,
+// transport RPC, backend execution).
+//
+// The paper's core claim is that disaggregation works only when the
+// system can see semantic structure end-to-end; this package makes the
+// stack able to see *itself* end-to-end. A Span carries a trace ID from
+// the gateway through the engine's admission/queue/batch machinery,
+// across the wire (the transport frames an envelope field), and into
+// the backend's per-graph execution — so "where did this request's
+// 40 ms go?" has an answer. A Registry replaces the per-package private
+// counters with one process-wide namespace exposed in Prometheus text
+// format.
+//
+// Both halves are zero-dependency and cheap when idle: with no tracer
+// configured, span creation is a nil-check fast path that allocates
+// nothing, and metrics are padded atomics (the registry's name lookup
+// is lock-striped so kernel-pool workers never serialize on it).
+package obs
+
+import "time"
+
+// Clock abstracts time for deterministic tests. serve.Clock satisfies
+// it; the zero value of every constructor falls back to the wall clock.
+type Clock interface {
+	Now() time.Time
+}
+
+// wallClock is the production clock.
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now() }

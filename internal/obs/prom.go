@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered series in the Prometheus
+// text exposition format (v0.0.4): families sorted by name, HELP/TYPE
+// emitted once per family, series sorted within it.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	type series struct {
+		key string
+		m   any
+	}
+	byFamily := map[string][]series{}
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		for key, m := range s.m {
+			name := key
+			if j := strings.IndexByte(key, '{'); j >= 0 {
+				name = key[:j]
+			}
+			byFamily[name] = append(byFamily[name], series{key, m})
+		}
+		s.mu.RUnlock()
+	}
+
+	r.famMu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.famMu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	for _, f := range fams {
+		ss := byFamily[f.name]
+		if len(ss) == 0 {
+			continue
+		}
+		sort.Slice(ss, func(i, j int) bool { return ss[i].key < ss[j].key })
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		for _, s := range ss {
+			if err := writeSeries(w, s.key, s.m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, key string, m any) error {
+	switch m := m.(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s %d\n", key, m.Value())
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s %d\n", key, m.Value())
+		return err
+	case *Histogram:
+		name, labels := splitKey(key)
+		var cum int64
+		for i, b := range m.bounds {
+			cum += m.buckets[i].n.Load()
+			le := strconv.FormatFloat(b, 'g', -1, 64)
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				name, mergeLabels(labels, `le="`+le+`"`), cum); err != nil {
+				return err
+			}
+		}
+		cum += m.buckets[len(m.bounds)].n.Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			name, mergeLabels(labels, `le="+Inf"`), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", name, labels, m.Sum()); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labels, m.Count())
+		return err
+	}
+	return fmt.Errorf("obs: unknown metric type %T under %s", m, key)
+}
+
+// splitKey separates a series key into base name and label block
+// (including braces; empty when unlabeled).
+func splitKey(key string) (name, labels string) {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i], key[i:]
+	}
+	return key, ""
+}
+
+// mergeLabels appends extra into an existing label block.
+func mergeLabels(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// ServeHTTP makes the registry an http.Handler for GET /metrics.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = r.WritePrometheus(w)
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Recorder keeps the most recent completed spans in a fixed ring
+// buffer. Span.End hands spans to a buffered channel and returns; a
+// single drain goroutine owns the ring, so End never contends with
+// Snapshot readers on the hot path. When the ingest queue is full the
+// span is dropped (and counted) rather than blocking a decode step.
+type Recorder struct {
+	ch    chan Span
+	flush chan chan struct{}
+	done  chan struct{}
+	wg    sync.WaitGroup
+	once  sync.Once
+
+	mu   sync.Mutex
+	ring []Span
+	next int
+	full bool
+
+	dropped atomic.Int64
+}
+
+// NewRecorder starts a recorder whose ring holds capacity spans. Stop
+// must be called to release the drain goroutine.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	r := &Recorder{
+		ch:    make(chan Span, 256),
+		flush: make(chan chan struct{}),
+		done:  make(chan struct{}),
+		ring:  make([]Span, 0, capacity),
+	}
+	r.wg.Add(1)
+	go r.drain(capacity)
+	return r
+}
+
+// drain is the recorder's single writer; it exits when Stop closes
+// done (the cancellation path genie-lint's goleak analyzer demands).
+func (r *Recorder) drain(capacity int) {
+	defer r.wg.Done()
+	for {
+		select {
+		case s := <-r.ch:
+			r.append(s, capacity)
+		case ack := <-r.flush:
+			for {
+				select {
+				case s := <-r.ch:
+					r.append(s, capacity)
+					continue
+				default:
+				}
+				break
+			}
+			close(ack)
+		case <-r.done:
+			return
+		}
+	}
+}
+
+func (r *Recorder) append(s Span, capacity int) {
+	r.mu.Lock()
+	if len(r.ring) < capacity {
+		r.ring = append(r.ring, s)
+	} else {
+		r.ring[r.next] = s
+		r.next = (r.next + 1) % capacity
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// add enqueues a completed span without blocking.
+func (r *Recorder) add(s Span) {
+	select {
+	case r.ch <- s:
+	default:
+		r.dropped.Add(1)
+	}
+}
+
+// Stop terminates the drain goroutine. Idempotent.
+func (r *Recorder) Stop() {
+	r.once.Do(func() { close(r.done) })
+	r.wg.Wait()
+}
+
+// Dropped reports spans discarded because the ingest queue was full.
+func (r *Recorder) Dropped() int64 { return r.dropped.Load() }
+
+// Snapshot returns the ring's contents, oldest first. It first asks the
+// drain goroutine to absorb everything already enqueued, so a snapshot
+// taken after a request completes sees all of that request's spans.
+func (r *Recorder) Snapshot() []Span {
+	ack := make(chan struct{})
+	select {
+	case r.flush <- ack:
+		<-ack
+	case <-r.done:
+		// Stopped: whatever is in the ring is what there is.
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, 0, len(r.ring))
+	if r.full {
+		out = append(out, r.ring[r.next:]...)
+		out = append(out, r.ring[:r.next]...)
+	} else {
+		out = append(out, r.ring...)
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"genie/internal/metrics"
+)
+
+// Window is a bounded sliding reservoir of durations with exact
+// percentiles over the retained samples — the registry-side home for
+// what serve's private collector used to do with raw slices and
+// metrics.Percentile. Histograms answer Prometheus scrapes cheaply;
+// the window answers /stats with the exact quantiles tests pin.
+type Window struct {
+	mu   sync.Mutex
+	cap  int
+	buf  []time.Duration
+	next int
+}
+
+// NewWindow builds a reservoir retaining the most recent capacity
+// samples (oldest overwritten first).
+func NewWindow(capacity int) *Window {
+	if capacity <= 0 {
+		capacity = 8192
+	}
+	return &Window{cap: capacity}
+}
+
+// Observe records one duration.
+func (w *Window) Observe(d time.Duration) {
+	w.mu.Lock()
+	if len(w.buf) < w.cap {
+		w.buf = append(w.buf, d)
+	} else {
+		w.buf[w.next] = d
+		w.next = (w.next + 1) % w.cap
+	}
+	w.mu.Unlock()
+}
+
+// Len reports retained samples.
+func (w *Window) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.buf)
+}
+
+// Quantiles returns the requested quantiles plus the max over the
+// retained samples, sorting one copy once.
+func (w *Window) Quantiles(qs ...float64) (out []time.Duration, max time.Duration) {
+	w.mu.Lock()
+	s := append([]time.Duration(nil), w.buf...)
+	w.mu.Unlock()
+	out = make([]time.Duration, len(qs))
+	if len(s) == 0 {
+		return out, 0
+	}
+	sortDurations(s)
+	for i, q := range qs {
+		out[i] = metrics.Percentile(s, q)
+	}
+	return out, s[len(s)-1]
+}
+
+// sortDurations is an insertion-free pdq via sort.Slice without pulling
+// sort into every caller.
+func sortDurations(s []time.Duration) {
+	// Small fixed shell sort: windows are ≤8192 entries and snapshot
+	// paths are cold; avoids an interface-based sort.Slice allocation.
+	gaps := []int{701, 301, 132, 57, 23, 10, 4, 1}
+	for _, gap := range gaps {
+		for i := gap; i < len(s); i++ {
+			v := s[i]
+			j := i
+			for ; j >= gap && s[j-gap] > v; j -= gap {
+				s[j] = s[j-gap]
+			}
+			s[j] = v
+		}
+	}
+}

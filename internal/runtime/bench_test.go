@@ -1,10 +1,12 @@
 package runtime
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
 	"genie/internal/models"
+	"genie/internal/obs"
 )
 
 // BenchmarkDecodeStep measures one local decode iteration end to end —
@@ -13,11 +15,27 @@ import (
 // steady-state steps should recycle activation buffers, not grow the
 // heap by a transformer's worth of intermediates per token.
 func BenchmarkDecodeStep(b *testing.B) {
+	benchDecodeStep(b, nil)
+}
+
+// BenchmarkDecodeStepTraced is the same workload with a live span in
+// the session context, so every Step opens and records a session.step
+// span. The delta against BenchmarkDecodeStep is the tracing tax on the
+// hot path; the observability contract (DESIGN.md §8) caps it at 5%.
+func BenchmarkDecodeStepTraced(b *testing.B) {
+	tr := obs.NewTracer(obs.TracerConfig{Proc: "bench", Capacity: 1024})
+	defer tr.Stop()
+	ctx, root := tr.StartRoot(context.Background(), "bench.decode")
+	defer root.End()
+	benchDecodeStep(b, ctx)
+}
+
+func benchDecodeStep(b *testing.B, ctx context.Context) {
 	rng := rand.New(rand.NewSource(7))
 	r := &LLMRunner{Model: models.NewGPT(rng, models.TinyGPT)}
 	prompt := []int64{1, 2, 3, 4, 5, 6, 7, 8}
 	reset := func() (*Session, int) {
-		s, err := r.NewSession(ModeLocal)
+		s, err := r.NewScopedSessionCtx(ctx, ModeLocal, "")
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,12 +1,14 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"genie/internal/exec"
 	"genie/internal/models"
 	"genie/internal/nn"
+	"genie/internal/obs"
 	"genie/internal/srg"
 	"genie/internal/tensor"
 	"genie/internal/transport"
@@ -26,6 +28,10 @@ type Session struct {
 	r     *LLMRunner
 	mode  Mode
 	scope string
+	// ctx carries trace context for the session's default Prefill/Step
+	// path; nil when the caller is not tracing (the common case — a nil
+	// ctx short-circuits span creation to one nil check).
+	ctx   context.Context
 	impl  sessionImpl
 	res   GenResult
 	gpu   time.Duration
@@ -33,15 +39,35 @@ type Session struct {
 	ready bool
 }
 
-// sessionImpl is one mode's incremental strategy.
+// sessionImpl is one mode's incremental strategy. The ctx parameter
+// carries trace context down to the endpoint RPCs; implementations must
+// tolerate nil (untraced callers).
 type sessionImpl interface {
 	// prefill consumes the prompt and returns the first generated token.
-	prefill(prompt []int64) (int64, error)
+	prefill(ctx context.Context, prompt []int64) (int64, error)
 	// step runs one decode iteration on tok and returns the next token.
-	step(tok int64) (int64, error)
+	step(ctx context.Context, tok int64) (int64, error)
 	// residentKeys lists per-session remote state to Free on Close
 	// (nil for modes that keep no per-session remote state).
 	residentKeys() []string
+}
+
+// ctxEndpoint is the optional trace-aware surface of an Endpoint.
+// transport.Client implements it; fakes and local endpoints need not.
+type ctxEndpoint interface {
+	ExecCtx(ctx context.Context, x *transport.Exec) (*transport.ExecOK, error)
+}
+
+// execEP dispatches one Exec through ep, routing trace context when
+// both sides support it. This keeps the Endpoint interface — and every
+// fake implementing it — unchanged.
+func execEP(ctx context.Context, ep Endpoint, x *transport.Exec) (*transport.ExecOK, error) {
+	if ctx != nil {
+		if ce, ok := ep.(ctxEndpoint); ok {
+			return ce.ExecCtx(ctx, x)
+		}
+	}
+	return ep.Exec(x)
 }
 
 // NewSession opens an unscoped session (remote KV keys are the bare
@@ -54,7 +80,14 @@ func (r *LLMRunner) NewSession(mode Mode) (*Session, error) {
 // (KV caches) lives under scope-prefixed keys. scope must be unique per
 // concurrent session on the same endpoint; "" means no prefix.
 func (r *LLMRunner) NewScopedSession(mode Mode, scope string) (*Session, error) {
-	s := &Session{r: r, mode: mode, scope: scope}
+	return r.NewScopedSessionCtx(nil, mode, scope)
+}
+
+// NewScopedSessionCtx is NewScopedSession carrying trace context: spans
+// for the session's phases (and the RPCs under them) parent under the
+// span active in ctx. A nil or untraced ctx costs nothing.
+func (r *LLMRunner) NewScopedSessionCtx(ctx context.Context, mode Mode, scope string) (*Session, error) {
+	s := &Session{r: r, mode: mode, scope: scope, ctx: ctx}
 	switch mode {
 	case ModeLocal:
 		s.impl = &localSession{r: r, gpu: &s.gpu, caches: emptyCaches(r.Model)}
@@ -82,20 +115,29 @@ func (r *LLMRunner) NewScopedSession(mode Mode, scope string) (*Session, error) 
 // Prefill runs the prompt phase and returns the first generated token.
 // It must be called exactly once, before any Step.
 func (s *Session) Prefill(prompt []int64) (int64, error) {
+	return s.PrefillCtx(s.ctx, prompt)
+}
+
+// PrefillCtx is Prefill with per-call trace context (the serving engine
+// parents the session's prefill span under its own phase span).
+func (s *Session) PrefillCtx(ctx context.Context, prompt []int64) (int64, error) {
 	if s.ready {
 		return 0, fmt.Errorf("runtime: session already prefilled")
 	}
 	if len(prompt) == 0 {
 		return 0, fmt.Errorf("runtime: empty prompt")
 	}
+	sctx, span := obs.StartSpan(ctx, "session.prefill")
+	span.SetAttrInt("prompt_tokens", int64(len(prompt)))
 	err := s.r.measure(&s.res.Prefill, &s.gpu, func() error {
-		tok, err := s.impl.prefill(prompt)
+		tok, err := s.impl.prefill(sctx, prompt)
 		if err != nil {
 			return err
 		}
 		s.next = tok
 		return nil
 	})
+	span.End()
 	if err != nil {
 		return 0, err
 	}
@@ -110,17 +152,24 @@ func (s *Session) Next() int64 { return s.next }
 // newly generated token. Interleaving Steps of different sessions at
 // these boundaries is the engine's continuous batching.
 func (s *Session) Step() (int64, error) {
+	return s.StepCtx(s.ctx)
+}
+
+// StepCtx is Step with per-call trace context.
+func (s *Session) StepCtx(ctx context.Context) (int64, error) {
 	if !s.ready {
 		return 0, fmt.Errorf("runtime: Step before Prefill")
 	}
+	sctx, span := obs.StartSpan(ctx, "session.step")
 	err := s.r.measure(&s.res.Decode, &s.gpu, func() error {
-		tok, err := s.impl.step(s.next)
+		tok, err := s.impl.step(sctx, s.next)
 		if err != nil {
 			return err
 		}
 		s.next = tok
 		return nil
 	})
+	span.End()
 	if err != nil {
 		return 0, err
 	}
@@ -194,7 +243,7 @@ func stepKeep(out models.LLMOutputs, prev map[srg.NodeID]bool) map[srg.NodeID]bo
 	return keep
 }
 
-func (ls *localSession) prefill(prompt []int64) (int64, error) {
+func (ls *localSession) prefill(_ context.Context, prompt []int64) (int64, error) {
 	b, out := ls.r.Model.BuildPrefill(prompt)
 	ls.keep = stepKeep(out, ls.keep)
 	vals, err := exec.GraphEphemeral(b.Graph(), BindAll(b), ls.keep)
@@ -212,7 +261,7 @@ func (ls *localSession) prefill(prompt []int64) (int64, error) {
 	return vals[out.NextToken].I64()[0], nil
 }
 
-func (ls *localSession) step(tok int64) (int64, error) {
+func (ls *localSession) step(_ context.Context, tok int64) (int64, error) {
 	b, out := ls.r.Model.BuildDecodeStep(tok, ls.hist, ls.hist, ls.caches)
 	ls.keep = stepKeep(out, ls.keep)
 	vals, err := exec.GraphEphemeral(b.Graph(), BindAll(b), ls.keep)
@@ -247,7 +296,7 @@ type naiveSession struct {
 	history []int64
 }
 
-func (ns *naiveSession) call() (int64, error) {
+func (ns *naiveSession) call(ctx context.Context) (int64, error) {
 	b, out := ns.r.Model.BuildPrefill(ns.history)
 	x := &transport.Exec{Graph: b.Graph()}
 	// Blind mode: every leaf inline, weights included.
@@ -264,7 +313,7 @@ func (ns *naiveSession) call() (int64, error) {
 	// A blind RPC library materializes all declared outputs back to
 	// the caller: the full logits matrix and the next token.
 	x.Want = []srg.NodeID{out.Logits, out.NextToken}
-	ok, err := ns.r.EP.Exec(x)
+	ok, err := execEP(ctx, ns.r.EP, x)
 	if err != nil {
 		return 0, err
 	}
@@ -272,14 +321,14 @@ func (ns *naiveSession) call() (int64, error) {
 	return ok.Results[out.NextToken].I64()[0], nil
 }
 
-func (ns *naiveSession) prefill(prompt []int64) (int64, error) {
+func (ns *naiveSession) prefill(ctx context.Context, prompt []int64) (int64, error) {
 	ns.history = append([]int64(nil), prompt...)
-	return ns.call()
+	return ns.call(ctx)
 }
 
-func (ns *naiveSession) step(tok int64) (int64, error) {
+func (ns *naiveSession) step(ctx context.Context, tok int64) (int64, error) {
 	ns.history = append(ns.history, tok)
-	return ns.call()
+	return ns.call(ctx)
 }
 
 func (ns *naiveSession) residentKeys() []string { return nil }
@@ -302,7 +351,7 @@ type deltaKVSession struct {
 
 // embedCall runs the embedding module remotely (the CPU client holds no
 // weights) and materializes the activation home.
-func (ds *deltaKVSession) embedCall(tokens []int64, startPos int) error {
+func (ds *deltaKVSession) embedCall(ctx context.Context, tokens []int64, startPos int) error {
 	eb, embID := ds.r.Model.BuildEmbedStep(tokens, startPos)
 	ex := &transport.Exec{Graph: eb.Graph()}
 	for _, n := range eb.Graph().Nodes() {
@@ -312,7 +361,7 @@ func (ds *deltaKVSession) embedCall(tokens []int64, startPos int) error {
 		}
 	}
 	ex.Want = append(ex.Want, embID)
-	ok, err := ds.r.EP.Exec(ex)
+	ok, err := execEP(ctx, ds.r.EP, ex)
 	if err != nil {
 		return err
 	}
@@ -324,7 +373,7 @@ func (ds *deltaKVSession) embedCall(tokens []int64, startPos int) error {
 // layerCall runs one block remotely. hist 0 = prefill (no cache);
 // otherwise the cache binds by (scoped) key. Either way the updated
 // cache is kept remotely AND the delta rows come back to the client.
-func (ds *deltaKVSession) layerCall(layer, hist int) error {
+func (ds *deltaKVSession) layerCall(ctx context.Context, layer, hist int) error {
 	b, lo := ds.r.Model.BuildLayerStep(layer, ds.x, nil, hist)
 	ex := &transport.Exec{Graph: b.Graph()}
 	xt, _ := b.InputData("gpt.x")
@@ -343,7 +392,7 @@ func (ds *deltaKVSession) layerCall(layer, hist int) error {
 		ex.Keep[lo.NewV] = vKey
 	}
 	ex.Want = append(ex.Want, lo.Out, lo.NewK, lo.NewV)
-	ok, err := ds.r.EP.Exec(ex)
+	ok, err := execEP(ctx, ds.r.EP, ex)
 	if err != nil {
 		return err
 	}
@@ -354,13 +403,13 @@ func (ds *deltaKVSession) layerCall(layer, hist int) error {
 
 // headCall runs the final norm + lm head remotely; the blind library
 // materializes the full logits matrix home along with the argmax.
-func (ds *deltaKVSession) headCall() (int64, error) {
+func (ds *deltaKVSession) headCall(ctx context.Context) (int64, error) {
 	hb, logitsID, nextID := ds.r.Model.BuildHeadStep(ds.x)
 	hx := &transport.Exec{Graph: hb.Graph()}
 	xt, _ := hb.InputData("gpt.x")
 	hx.Binds = append(hx.Binds, transport.Binding{Ref: "gpt.x", Inline: xt})
 	hx.Want = append(hx.Want, logitsID, nextID)
-	hok, err := ds.r.EP.Exec(hx)
+	hok, err := execEP(ctx, ds.r.EP, hx)
 	if err != nil {
 		return 0, err
 	}
@@ -368,25 +417,25 @@ func (ds *deltaKVSession) headCall() (int64, error) {
 	return hok.Results[nextID].I64()[0], nil
 }
 
-func (ds *deltaKVSession) forward(tokens []int64, startPos int) (int64, error) {
-	if err := ds.embedCall(tokens, startPos); err != nil {
+func (ds *deltaKVSession) forward(ctx context.Context, tokens []int64, startPos int) (int64, error) {
+	if err := ds.embedCall(ctx, tokens, startPos); err != nil {
 		return 0, err
 	}
 	for layer := range ds.r.Model.Blocks {
-		if err := ds.layerCall(layer, startPos); err != nil {
+		if err := ds.layerCall(ctx, layer, startPos); err != nil {
 			return 0, err
 		}
 	}
-	return ds.headCall()
+	return ds.headCall(ctx)
 }
 
-func (ds *deltaKVSession) prefill(prompt []int64) (int64, error) {
+func (ds *deltaKVSession) prefill(ctx context.Context, prompt []int64) (int64, error) {
 	// One-time provisioning: weights remain remote (not counted in phase
 	// traffic, exactly as the paper's setup pre-installs the model).
 	if err := ds.r.ensureWeights(); err != nil {
 		return 0, err
 	}
-	tok, err := ds.forward(prompt, 0)
+	tok, err := ds.forward(ctx, prompt, 0)
 	if err != nil {
 		return 0, err
 	}
@@ -394,8 +443,8 @@ func (ds *deltaKVSession) prefill(prompt []int64) (int64, error) {
 	return tok, nil
 }
 
-func (ds *deltaKVSession) step(tok int64) (int64, error) {
-	next, err := ds.forward([]int64{tok}, ds.hist)
+func (ds *deltaKVSession) step(ctx context.Context, tok int64) (int64, error) {
+	next, err := ds.forward(ctx, []int64{tok}, ds.hist)
 	if err != nil {
 		return 0, err
 	}
@@ -424,7 +473,7 @@ type semSession struct {
 	nilCaches []*nn.KVCache
 }
 
-func (ss *semSession) prefill(prompt []int64) (int64, error) {
+func (ss *semSession) prefill(ctx context.Context, prompt []int64) (int64, error) {
 	if err := ss.r.ensureWeights(); err != nil {
 		return 0, err
 	}
@@ -442,7 +491,7 @@ func (ss *semSession) prefill(prompt []int64) (int64, error) {
 		ex.Keep[out.CacheV[i]] = ss.scope + models.CacheRef(i, "v")
 	}
 	ex.Want = append(ex.Want, out.LastLogits, out.NextToken)
-	ok, err := ss.r.EP.Exec(ex)
+	ok, err := execEP(ctx, ss.r.EP, ex)
 	if err != nil {
 		return 0, err
 	}
@@ -452,7 +501,7 @@ func (ss *semSession) prefill(prompt []int64) (int64, error) {
 	return ok.Results[out.NextToken].I64()[0], nil
 }
 
-func (ss *semSession) step(tok int64) (int64, error) {
+func (ss *semSession) step(ctx context.Context, tok int64) (int64, error) {
 	b, out := ss.r.Model.BuildDecodeStep(tok, ss.hist, ss.hist, ss.nilCaches)
 	ex := &transport.Exec{Graph: b.Graph()}
 	for _, n := range b.Graph().Nodes() {
@@ -475,7 +524,7 @@ func (ss *semSession) step(tok int64) (int64, error) {
 		ex.Keep[out.CacheV[i]] = ss.scope + models.CacheRef(i, "v")
 	}
 	ex.Want = append(ex.Want, out.LastLogits, out.NextToken)
-	ok, err := ss.r.EP.Exec(ex)
+	ok, err := execEP(ctx, ss.r.EP, ex)
 	if err != nil {
 		return 0, err
 	}

@@ -339,3 +339,69 @@ func assertTokens(t *testing.T, label string, got, want []int64) {
 		}
 	}
 }
+
+// TestStatsTenantVisibleWhileInFlight: a tenant whose admission queue
+// drained to zero but whose requests are still decoding must stay
+// visible in Stats().Tenants. The queues alone forget a tenant the
+// instant its last queued request dispatches (band.pop drops it from
+// rotation), so without the engine's in-flight counts a tenant with
+// work on the GPU would read as absent — regression test for that
+// blind spot.
+func TestStatsTenantVisibleWhileInFlight(t *testing.T) {
+	clk := NewFakeClock()
+	e := newLocalEngine(t, Config{Clock: clk, MaxBatch: 2})
+	l := e.lanes[0]
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := e.enqueue(ctx, Request{Tenant: "alice", Prompt: unitPrompt, MaxTokens: 6}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.enqueue(ctx, Request{Tenant: "bob", Prompt: unitPrompt, MaxTokens: 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	st := e.Stats()
+	if got := st.Tenants["alice"]; got != (TenantLoad{Queued: 2}) {
+		t.Fatalf("alice pre-dispatch = %+v, want {Queued:2}", got)
+	}
+	if got := st.Tenants["bob"]; got != (TenantLoad{Queued: 1}) {
+		t.Fatalf("bob pre-dispatch = %+v, want {Queued:1}", got)
+	}
+
+	// One iterate admits MaxBatch=2 requests round-robin: one of
+	// alice's plus bob's only one. Bob's queue is now empty while his
+	// request decodes — exactly the state the old /stats lost.
+	l.iterate()
+	st = e.Stats()
+	if got := st.Tenants["alice"]; got != (TenantLoad{Queued: 1, Active: 1}) {
+		t.Fatalf("alice mid-flight = %+v, want {Queued:1 Active:1}", got)
+	}
+	if got := st.Tenants["bob"]; got != (TenantLoad{Active: 1}) {
+		t.Fatalf("bob with drained queue = %+v, want {Active:1}", got)
+	}
+	if st.Queued != 1 || st.Active != 2 {
+		t.Fatalf("queued/active = %d/%d, want 1/2", st.Queued, st.Active)
+	}
+
+	// Bob completes (3 tokens), alice keeps decoding: bob must vanish
+	// from the map entirely rather than linger at zero.
+	l.iterate()
+	st = e.Stats()
+	if _, ok := st.Tenants["bob"]; ok {
+		t.Fatalf("bob still reported after completion: %+v", st.Tenants)
+	}
+	if got := st.Tenants["alice"]; got.Active < 1 {
+		t.Fatalf("alice dropped while decoding: %+v", got)
+	}
+
+	for l.iterate() {
+	}
+	st = e.Stats()
+	if len(st.Tenants) != 0 {
+		t.Fatalf("tenants %+v after drain, want none", st.Tenants)
+	}
+	if st.Completed != 3 {
+		t.Fatalf("completed = %d, want 3", st.Completed)
+	}
+}

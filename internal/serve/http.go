@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"genie/internal/global"
+	"genie/internal/obs"
 )
 
 // GenerateRequest is the POST /v1/generate body.
@@ -42,8 +43,10 @@ type StreamEvent struct {
 }
 
 // NewHandler exposes an engine over HTTP: POST /v1/generate,
-// GET /healthz, GET /stats. cmd/genie-gateway serves exactly this
-// handler; tests drive it via httptest.
+// GET /healthz, GET /stats, GET /metrics (Prometheus text), and
+// GET /debug/trace (Chrome trace JSON of the span ring buffer).
+// cmd/genie-gateway serves exactly this handler; tests drive it via
+// httptest.
 func NewHandler(e *Engine) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/generate", func(w http.ResponseWriter, r *http.Request) {
@@ -51,21 +54,27 @@ func NewHandler(e *Engine) http.Handler {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
 			return
 		}
+		// Root span for the whole HTTP request; everything below —
+		// admission, queueing, session phases, transport RPCs, backend
+		// execution — parents under it. Nil tracer = nil span = free.
+		ctx, root := e.tracer.StartRoot(r.Context(), "http.generate")
+		defer root.End()
 		var greq GenerateRequest
 		if err := json.NewDecoder(r.Body).Decode(&greq); err != nil {
 			http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
 			return
 		}
+		root.SetAttr("tenant", greq.Tenant)
 		req, err := greq.toRequest()
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
 		if greq.Stream {
-			streamGenerate(w, r.Context(), e, req)
+			streamGenerate(w, ctx, e, req)
 			return
 		}
-		res, err := e.Submit(r.Context(), req)
+		res, err := e.Submit(ctx, req)
 		if err != nil {
 			writeSubmitError(w, res, err)
 			return
@@ -82,6 +91,15 @@ func NewHandler(e *Engine) http.Handler {
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, e.Stats())
+	})
+	mux.Handle("/metrics", e.Metrics())
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		if e.Tracer() == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = obs.WriteChromeTrace(w, e.Tracer().Snapshot())
 	})
 	return mux
 }

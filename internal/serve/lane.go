@@ -5,6 +5,7 @@ import (
 	goruntime "runtime"
 	"sync/atomic"
 
+	"genie/internal/obs"
 	"genie/internal/runtime"
 )
 
@@ -91,6 +92,7 @@ func (l *lane) admit() bool {
 			continue // retired at admission (cancelled/expired/failed)
 		}
 		l.active = append(l.active, ar)
+		l.e.noteJoin(ar)
 	}
 	l.activeN.Store(int32(len(l.active)))
 	return worked
@@ -99,25 +101,33 @@ func (l *lane) admit() bool {
 // prefill runs a newcomer's prompt phase; it reports whether the
 // request joined the batch (false = already completed or retired).
 func (l *lane) prefill(ar *activeReq) bool {
+	// Queue wait ends the moment a lane picks the request up.
+	ar.qspan.End()
+	ar.qspan = nil
 	if l.retireIfDone(ar) {
 		return false
 	}
-	sess, err := l.runner.NewScopedSession(l.e.cfg.Mode, fmt.Sprintf("req%d/", ar.id))
+	// The session carries the request span: decode-step spans parent
+	// under serve.request; the prefill itself nests under serve.prefill.
+	sess, err := l.runner.NewScopedSessionCtx(ar.tctx, l.e.cfg.Mode, fmt.Sprintf("req%d/", ar.id))
 	if err != nil {
-		l.finish(ar, err, func(c *collector) { c.failed++ })
+		l.finish(ar, err, outcomeFailed)
 		return false
 	}
 	ar.sess = sess
-	first, err := sess.Prefill(ar.prompt)
+	pctx, pspan := obs.StartSpan(ar.tctx, "serve.prefill")
+	pspan.SetAttr("backend", l.name)
+	first, err := sess.PrefillCtx(pctx, ar.prompt)
+	pspan.End()
 	if err != nil {
-		l.finish(ar, err, func(c *collector) { c.failed++ })
+		l.finish(ar, err, outcomeFailed)
 		return false
 	}
 	ar.ttft = l.e.clock.Now().Sub(ar.arrival)
 	l.e.stats.recordTTFT(ar.ttft)
 	l.emit(ar, first)
 	if len(ar.tokens) >= ar.maxTokens {
-		l.finish(ar, nil, func(c *collector) { c.completed++ })
+		l.finish(ar, nil, outcomeCompleted)
 		return false
 	}
 	return true
@@ -130,14 +140,16 @@ func (l *lane) advance(ar *activeReq) (didStep, stay bool) {
 	if l.retireIfDone(ar) {
 		return false, false
 	}
+	t0 := l.e.clock.Now()
 	tok, err := ar.sess.Step()
+	l.e.stats.recordStep(l.e.clock.Now().Sub(t0))
 	if err != nil {
-		l.finish(ar, err, func(c *collector) { c.failed++ })
+		l.finish(ar, err, outcomeFailed)
 		return false, false
 	}
 	l.emit(ar, tok)
 	if len(ar.tokens) >= ar.maxTokens {
-		l.finish(ar, nil, func(c *collector) { c.completed++ })
+		l.finish(ar, nil, outcomeCompleted)
 		return true, false
 	}
 	return true, true
@@ -147,11 +159,11 @@ func (l *lane) advance(ar *activeReq) (didStep, stay bool) {
 // step boundary; it reports whether the request was retired.
 func (l *lane) retireIfDone(ar *activeReq) bool {
 	if ar.ctx != nil && ar.ctx.Err() != nil {
-		l.finish(ar, ar.ctx.Err(), func(c *collector) { c.cancelled++ })
+		l.finish(ar, ar.ctx.Err(), outcomeCancelled)
 		return true
 	}
 	if !ar.deadline.IsZero() && l.e.clock.Now().After(ar.deadline) {
-		l.finish(ar, ErrDeadlineExceeded, func(c *collector) { c.expired++ })
+		l.finish(ar, ErrDeadlineExceeded, outcomeExpired)
 		return true
 	}
 	return false
@@ -161,7 +173,7 @@ func (l *lane) retireIfDone(ar *activeReq) bool {
 func (l *lane) emit(ar *activeReq, tok int64) {
 	idx := len(ar.tokens)
 	ar.tokens = append(ar.tokens, tok)
-	l.e.stats.count(func(c *collector) { c.tokensOut++ })
+	l.e.stats.tokensOut.Inc()
 	if ar.onToken != nil {
 		ar.onToken(Token{Index: idx, ID: tok})
 	}
@@ -169,16 +181,26 @@ func (l *lane) emit(ar *activeReq, tok int64) {
 
 // finish retires a request: releases its per-request remote state,
 // builds the result (partial tokens included on expiry/cancel), bumps
-// the outcome counter, and unblocks the submitter.
-func (l *lane) finish(ar *activeReq, err error, outcome func(*collector)) {
+// the outcome counter, closes the request span, and unblocks the
+// submitter.
+func (l *lane) finish(ar *activeReq, err error, outcome string) {
 	if ar.sess != nil {
 		_ = ar.sess.Close()
 	}
+	l.e.noteLeave(ar)
 	lat := l.e.clock.Now().Sub(ar.arrival)
 	if err == nil {
 		l.e.stats.recordLatency(lat)
 	}
-	l.e.stats.count(outcome)
+	l.e.stats.countOutcome(outcome)
+	// A request retired while still queued never had its queue span
+	// ended by prefill.
+	ar.qspan.End()
+	ar.qspan = nil
+	ar.span.SetAttr("outcome", outcome)
+	ar.span.SetAttrInt("tokens", int64(len(ar.tokens)))
+	ar.span.SetAttr("backend", l.name)
+	ar.span.End()
 	ar.complete(&Result{
 		Tokens:  ar.tokens,
 		TTFT:    ar.ttft,

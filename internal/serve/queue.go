@@ -85,3 +85,17 @@ func (b *band) pop() *activeReq {
 
 // depth is the number of queued (admitted, not yet running) requests.
 func (q *tenantQueues) depth() int { return q.n }
+
+// perTenant counts queued requests by tenant across all bands.
+func (q *tenantQueues) perTenant() map[string]int {
+	if q.n == 0 {
+		return nil
+	}
+	out := make(map[string]int)
+	for i := range q.bands {
+		for t, fifo := range q.bands[i].fifos {
+			out[t] += len(fifo)
+		}
+	}
+	return out
+}

@@ -20,6 +20,7 @@ import (
 
 	"genie/internal/compute"
 	"genie/internal/global"
+	"genie/internal/obs"
 	"genie/internal/runtime"
 )
 
@@ -63,6 +64,15 @@ type Config struct {
 	// pool the CPU kernels run on (1 = serial). Zero keeps the current
 	// pool — GOMAXPROCS workers unless GENIE_KERNEL_WORKERS overrode it.
 	KernelWorkers int
+	// Tracer records request-scoped spans through admission, queueing,
+	// prefill, and every decode step. Nil disables tracing — the
+	// zero-cost path (one nil check per would-be span). The engine does
+	// not own the tracer; the caller Stops it.
+	Tracer *obs.Tracer
+	// Metrics is the registry engine telemetry registers into (served at
+	// /metrics). Nil gets the engine a private registry, keeping
+	// concurrently-running engines (tests) isolated.
+	Metrics *obs.Registry
 }
 
 func (c *Config) fillDefaults() {
@@ -77,6 +87,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.Clock == nil {
 		c.Clock = realClock{}
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
 	}
 }
 
@@ -138,10 +151,19 @@ type activeReq struct {
 	onToken   func(Token)
 	arrival   time.Time
 
+	// Tracing: tctx carries the request span; qspan covers queue wait
+	// (ended when a lane picks the request up). All nil when untraced.
+	tctx  context.Context
+	span  *obs.Span
+	qspan *obs.Span
+
 	// Lane-owned after admission.
 	sess   *runtime.Session
 	tokens []int64
 	ttft   time.Duration
+	// joined marks a request that holds a decode-batch slot (drives the
+	// per-tenant active accounting).
+	joined bool
 
 	// Completion.
 	res  *Result
@@ -156,14 +178,19 @@ func (ar *activeReq) complete(res *Result, err error) {
 
 // Engine is the online serving engine.
 type Engine struct {
-	cfg   Config
-	clock Clock
-	stats *collector
+	cfg    Config
+	clock  Clock
+	stats  *collector
+	tracer *obs.Tracer
 
 	mu       sync.Mutex
 	queues   *tenantQueues
 	draining bool
 	seq      int64
+	// tenantActive counts requests per tenant that hold a decode-batch
+	// slot — the in-flight half of per-tenant load that the queues can't
+	// see once a tenant's FIFO drains.
+	tenantActive map[string]int
 
 	lanes []*lane
 
@@ -194,13 +221,15 @@ func NewEngine(cfg Config, backends []Backend) (*Engine, error) {
 		compute.Configure(cfg.KernelWorkers)
 	}
 	e := &Engine{
-		cfg:     cfg,
-		clock:   cfg.Clock,
-		queues:  newTenantQueues(),
-		stop:    make(chan struct{}),
-		drained: make(chan struct{}),
+		cfg:          cfg,
+		clock:        cfg.Clock,
+		tracer:       cfg.Tracer,
+		queues:       newTenantQueues(),
+		tenantActive: make(map[string]int),
+		stop:         make(chan struct{}),
+		drained:      make(chan struct{}),
 	}
-	e.stats = newCollector(e.clock)
+	e.stats = newCollector(e.clock, cfg.Metrics)
 	if backends[0].Runner != nil && backends[0].Runner.Model != nil {
 		e.vocab = backends[0].Runner.Model.Cfg.Vocab
 		e.maxSeq = backends[0].Runner.Model.Cfg.MaxSeq
@@ -302,22 +331,41 @@ func (e *Engine) enqueue(ctx context.Context, req Request) (*activeReq, error) {
 		ar.deadline = now.Add(timeout)
 	}
 
+	// Open the request span: as a child when the caller (the HTTP
+	// handler) is already tracing, as a root when the engine has its own
+	// tracer and the caller isn't. Untraced + no tracer = all nil, free.
+	if obs.SpanFromContext(ctx) != nil {
+		ar.tctx, ar.span = obs.StartSpan(ctx, "serve.request")
+	} else if ctx != nil {
+		ar.tctx, ar.span = e.tracer.StartRoot(ctx, "serve.request")
+	}
+	ar.span.SetAttr("tenant", ar.tenant)
+	ar.span.SetAttrInt("prompt_tokens", int64(len(ar.prompt)))
+	reject := func(outcome string) {
+		ar.span.SetAttr("outcome", outcome)
+		ar.span.End()
+	}
+
 	e.mu.Lock()
 	if e.draining {
 		e.mu.Unlock()
+		reject("rejected_draining")
 		return nil, ErrDraining
 	}
 	if e.queues.depth() >= e.cfg.MaxQueue {
 		e.mu.Unlock()
-		e.stats.count(func(c *collector) { c.shed++ })
+		e.stats.shed.Inc()
+		reject("shed")
 		return nil, ErrOverloaded
 	}
 	e.seq++
 	ar.id = e.seq
+	_, ar.qspan = obs.StartSpan(ar.tctx, "serve.queue")
 	e.queues.push(ar)
+	e.stats.queueDepth.Set(int64(e.queues.depth()))
 	e.mu.Unlock()
 
-	e.stats.count(func(c *collector) { c.admitted++ })
+	e.stats.admitted.Inc()
 	e.nudge()
 	return ar, nil
 }
@@ -327,7 +375,37 @@ func (e *Engine) enqueue(ctx context.Context, req Request) (*activeReq, error) {
 func (e *Engine) dequeue() *activeReq {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.queues.pop()
+	ar := e.queues.pop()
+	if ar != nil {
+		e.stats.queueDepth.Set(int64(e.queues.depth()))
+	}
+	return ar
+}
+
+// noteJoin records a request taking a decode-batch slot; noteLeave
+// releases it. Together they keep the per-tenant active counts (and the
+// active gauge) consistent with lane membership.
+func (e *Engine) noteJoin(ar *activeReq) {
+	ar.joined = true
+	e.mu.Lock()
+	e.tenantActive[ar.tenant]++
+	e.mu.Unlock()
+	e.stats.activeReqs.Add(1)
+}
+
+func (e *Engine) noteLeave(ar *activeReq) {
+	if !ar.joined {
+		return
+	}
+	ar.joined = false
+	e.mu.Lock()
+	if n := e.tenantActive[ar.tenant]; n <= 1 {
+		delete(e.tenantActive, ar.tenant)
+	} else {
+		e.tenantActive[ar.tenant] = n - 1
+	}
+	e.mu.Unlock()
+	e.stats.activeReqs.Add(-1)
 }
 
 // nudge wakes every lane that might be idle.
@@ -385,9 +463,34 @@ func (e *Engine) Stats() Stats {
 	st := e.stats.snapshot()
 	e.mu.Lock()
 	st.Queued = e.queues.depth()
+	// Per-tenant load: queued from the FIFOs, active from the in-flight
+	// counts. A tenant whose queue momentarily drained to zero but still
+	// has requests decoding stays visible — the queues alone forget a
+	// tenant the instant its last queued request dispatches.
+	queued := e.queues.perTenant()
+	if len(queued) > 0 || len(e.tenantActive) > 0 {
+		st.Tenants = make(map[string]TenantLoad, len(queued)+len(e.tenantActive))
+		for t, n := range queued {
+			tl := st.Tenants[t]
+			tl.Queued = n
+			st.Tenants[t] = tl
+		}
+		for t, n := range e.tenantActive {
+			tl := st.Tenants[t]
+			tl.Active = n
+			st.Tenants[t] = tl
+		}
+	}
 	e.mu.Unlock()
 	for _, l := range e.lanes {
 		st.Active += int(l.activeN.Load())
 	}
 	return st
 }
+
+// Metrics returns the engine's metrics registry (an http.Handler for
+// GET /metrics).
+func (e *Engine) Metrics() *obs.Registry { return e.cfg.Metrics }
+
+// Tracer returns the engine's tracer (nil when tracing is disabled).
+func (e *Engine) Tracer() *obs.Tracer { return e.tracer }

@@ -4,12 +4,20 @@ import (
 	"sync"
 	"time"
 
-	"genie/internal/metrics"
+	"genie/internal/obs"
 )
 
-// sampleCap bounds the latency reservoirs; beyond it the collector
+// sampleCap bounds the latency windows; beyond it the collector
 // overwrites the oldest samples (a sliding window over recent traffic).
 const sampleCap = 8192
+
+// Request outcome labels (span attrs and collector counters).
+const (
+	outcomeCompleted = "completed"
+	outcomeFailed    = "failed"
+	outcomeCancelled = "cancelled"
+	outcomeExpired   = "expired"
+)
 
 // LatencySummary is a percentile digest of one duration population.
 type LatencySummary struct {
@@ -17,6 +25,15 @@ type LatencySummary struct {
 	P95 time.Duration `json:"p95"`
 	P99 time.Duration `json:"p99"`
 	Max time.Duration `json:"max"`
+}
+
+// TenantLoad is one tenant's live footprint: requests waiting in the
+// admission queue and requests holding a decode-batch slot. A tenant
+// appears while it has either — a drained queue with work still in
+// flight no longer hides it.
+type TenantLoad struct {
+	Queued int `json:"queued"`
+	Active int `json:"active"`
 }
 
 // Stats is the engine's observable state — the /stats payload.
@@ -43,41 +60,88 @@ type Stats struct {
 	Latency      LatencySummary `json:"latency"`
 	TokensPerSec float64        `json:"tokens_per_sec"`
 	Uptime       time.Duration  `json:"uptime_ns"`
+	// Tenants breaks Queued/Active down per tenant (omitted when idle).
+	Tenants map[string]TenantLoad `json:"tenants,omitempty"`
 }
 
-// collector accumulates engine telemetry; all methods are safe for
-// concurrent use from lanes and Submit.
+// collector is the engine's telemetry surface, backed by the process
+// metrics registry: lifecycle counters, queue/batch gauges, and latency
+// histograms are live Prometheus series, while bounded windows keep the
+// exact percentiles /stats reports. All methods are safe for concurrent
+// use from lanes and Submit.
 type collector struct {
 	clock Clock
+	start time.Time
 
-	mu        sync.Mutex
-	start     time.Time
-	admitted  int64
-	completed int64
-	shed      int64
-	expired   int64
-	cancelled int64
-	failed    int64
-	tokensOut int64
+	admitted  *obs.Counter
+	completed *obs.Counter
+	shed      *obs.Counter
+	expired   *obs.Counter
+	cancelled *obs.Counter
+	failed    *obs.Counter
+	tokensOut *obs.Counter
 
+	queueDepth *obs.Gauge
+	activeReqs *obs.Gauge
+
+	ttftH *obs.Histogram
+	latH  *obs.Histogram
+	stepH *obs.Histogram
+
+	ttfts *obs.Window
+	lats  *obs.Window
+
+	mu         sync.Mutex
 	occSum     int64
 	occSamples int64
 	occMax     int
-
-	ttfts []time.Duration
-	ttftI int
-	lats  []time.Duration
-	latI  int
 }
 
-func newCollector(clock Clock) *collector {
-	return &collector{clock: clock, start: clock.Now()}
+func newCollector(clock Clock, reg *obs.Registry) *collector {
+	return &collector{
+		clock: clock,
+		start: clock.Now(),
+		admitted: reg.Counter("genie_serve_admitted_total",
+			"requests admitted past the queue bound"),
+		completed: reg.Counter("genie_serve_completed_total",
+			"requests that generated to completion"),
+		shed: reg.Counter("genie_serve_shed_total",
+			"requests rejected at admission (queue full)"),
+		expired: reg.Counter("genie_serve_expired_total",
+			"requests retired at their deadline"),
+		cancelled: reg.Counter("genie_serve_cancelled_total",
+			"requests retired on caller cancellation"),
+		failed: reg.Counter("genie_serve_failed_total",
+			"requests retired on execution error"),
+		tokensOut: reg.Counter("genie_serve_tokens_total",
+			"tokens generated across all requests"),
+		queueDepth: reg.Gauge("genie_serve_queue_depth",
+			"admitted requests waiting for a decode-batch slot"),
+		activeReqs: reg.Gauge("genie_serve_active_requests",
+			"requests holding a decode-batch slot"),
+		ttftH: reg.Histogram("genie_serve_ttft_seconds",
+			"admission to first token", nil),
+		latH: reg.Histogram("genie_serve_latency_seconds",
+			"admission to completion (successful requests)", nil),
+		stepH: reg.Histogram("genie_serve_decode_step_seconds",
+			"one decode step of one request", nil),
+		ttfts: obs.NewWindow(sampleCap),
+		lats:  obs.NewWindow(sampleCap),
+	}
 }
 
-func (c *collector) count(f func(*collector)) {
-	c.mu.Lock()
-	f(c)
-	c.mu.Unlock()
+// countOutcome bumps the lifecycle counter matching a finish outcome.
+func (c *collector) countOutcome(outcome string) {
+	switch outcome {
+	case outcomeCompleted:
+		c.completed.Inc()
+	case outcomeFailed:
+		c.failed.Inc()
+	case outcomeCancelled:
+		c.cancelled.Inc()
+	case outcomeExpired:
+		c.expired.Inc()
+	}
 }
 
 // occupancy records one decode iteration that stepped n requests.
@@ -94,73 +158,48 @@ func (c *collector) occupancy(n int) {
 	c.mu.Unlock()
 }
 
-func appendCapped(s []time.Duration, i *int, d time.Duration) []time.Duration {
-	if len(s) < sampleCap {
-		return append(s, d)
-	}
-	s[*i] = d
-	*i = (*i + 1) % sampleCap
-	return s
-}
-
 func (c *collector) recordTTFT(d time.Duration) {
-	c.mu.Lock()
-	c.ttfts = appendCapped(c.ttfts, &c.ttftI, d)
-	c.mu.Unlock()
+	c.ttfts.Observe(d)
+	c.ttftH.ObserveDuration(d)
 }
 
 func (c *collector) recordLatency(d time.Duration) {
-	c.mu.Lock()
-	c.lats = appendCapped(c.lats, &c.latI, d)
-	c.mu.Unlock()
+	c.lats.Observe(d)
+	c.latH.ObserveDuration(d)
 }
 
-func summarize(samples []time.Duration) LatencySummary {
-	if len(samples) == 0 {
-		return LatencySummary{}
-	}
-	s := append([]time.Duration(nil), samples...)
-	// PercentileOf sorts its own copy, but we need max too — sort once.
-	return LatencySummary{
-		P50: metrics.PercentileOf(s, 0.50),
-		P95: metrics.PercentileOf(s, 0.95),
-		P99: metrics.PercentileOf(s, 0.99),
-		Max: maxOf(s),
-	}
+func (c *collector) recordStep(d time.Duration) {
+	c.stepH.ObserveDuration(d)
 }
 
-func maxOf(s []time.Duration) time.Duration {
-	m := s[0]
-	for _, d := range s[1:] {
-		if d > m {
-			m = d
-		}
-	}
-	return m
+func summarize(w *obs.Window) LatencySummary {
+	qs, max := w.Quantiles(0.50, 0.95, 0.99)
+	return LatencySummary{P50: qs[0], P95: qs[1], P99: qs[2], Max: max}
 }
 
-// snapshot renders counters into a Stats (queue/active filled by caller).
+// snapshot renders counters into a Stats (queue/active/tenants filled
+// by the engine).
 func (c *collector) snapshot() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	st := Stats{
-		Admitted:     c.admitted,
-		Completed:    c.completed,
-		Shed:         c.shed,
-		Expired:      c.expired,
-		Cancelled:    c.cancelled,
-		Failed:       c.failed,
-		TokensOut:    c.tokensOut,
-		MaxOccupancy: c.occMax,
-		TTFT:         summarize(c.ttfts),
-		Latency:      summarize(c.lats),
-		Uptime:       c.clock.Now().Sub(c.start),
+		Admitted:  c.admitted.Value(),
+		Completed: c.completed.Value(),
+		Shed:      c.shed.Value(),
+		Expired:   c.expired.Value(),
+		Cancelled: c.cancelled.Value(),
+		Failed:    c.failed.Value(),
+		TokensOut: c.tokensOut.Value(),
+		TTFT:      summarize(c.ttfts),
+		Latency:   summarize(c.lats),
+		Uptime:    c.clock.Now().Sub(c.start),
 	}
+	c.mu.Lock()
+	st.MaxOccupancy = c.occMax
 	if c.occSamples > 0 {
 		st.MeanOccupancy = float64(c.occSum) / float64(c.occSamples)
 	}
+	c.mu.Unlock()
 	if up := st.Uptime.Seconds(); up > 0 {
-		st.TokensPerSec = float64(c.tokensOut) / up
+		st.TokensPerSec = float64(st.TokensOut) / up
 	}
 	return st
 }

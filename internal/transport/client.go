@@ -1,9 +1,11 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"genie/internal/obs"
 	"genie/internal/tensor"
 )
 
@@ -37,7 +39,19 @@ func (c *Client) Ping() (time.Duration, error) {
 
 // Upload stores a tensor remotely under key.
 func (c *Client) Upload(key string, data *tensor.Tensor) (*UploadOK, error) {
-	t, p, err := c.conn.Call(MsgUpload, EncodeUpload(&Upload{Key: key, Data: data}))
+	return c.UploadCtx(nil, key, data)
+}
+
+// UploadCtx is Upload carrying trace context: a "transport.upload"
+// span wraps the round trip and rides the wire envelope. A nil or
+// untraced ctx degrades to the plain path.
+func (c *Client) UploadCtx(ctx context.Context, key string, data *tensor.Tensor) (*UploadOK, error) {
+	payload := EncodeUpload(&Upload{Key: key, Data: data})
+	_, span := obs.StartSpan(ctx, "transport.upload")
+	span.SetAttrInt("send_bytes", int64(len(payload)))
+	t, p, err := c.conn.CallEnv(MsgUpload, Envelope{Trace: span.TraceID(), Span: span.SpanID()}, payload)
+	span.SetAttrInt("recv_bytes", int64(len(p)))
+	span.End()
 	if err != nil {
 		return nil, err
 	}
@@ -49,11 +63,22 @@ func (c *Client) Upload(key string, data *tensor.Tensor) (*UploadOK, error) {
 
 // Exec ships a subgraph for remote execution.
 func (c *Client) Exec(x *Exec) (*ExecOK, error) {
+	return c.ExecCtx(nil, x)
+}
+
+// ExecCtx is Exec carrying trace context: a "transport.exec" span
+// wraps the round trip, and the span IDs ride the wire envelope so the
+// server parents its execution span under this one.
+func (c *Client) ExecCtx(ctx context.Context, x *Exec) (*ExecOK, error) {
 	payload, err := EncodeExec(x)
 	if err != nil {
 		return nil, err
 	}
-	t, p, err := c.conn.Call(MsgExec, payload)
+	_, span := obs.StartSpan(ctx, "transport.exec")
+	span.SetAttrInt("send_bytes", int64(len(payload)))
+	t, p, err := c.conn.CallEnv(MsgExec, Envelope{Trace: span.TraceID(), Span: span.SpanID()}, payload)
+	span.SetAttrInt("recv_bytes", int64(len(p)))
+	span.End()
 	if err != nil {
 		return nil, err
 	}

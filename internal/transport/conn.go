@@ -84,6 +84,7 @@ type Conn struct {
 	bw   *bufio.Writer
 	ctr  *Counters
 	shp  *Shaper
+	tel  *Telemetry
 	dead atomic.Bool
 }
 
@@ -105,43 +106,72 @@ func NewConn(raw net.Conn, counters *Counters, shaper *Shaper) *Conn {
 // Counters returns the traffic counters for this conn.
 func (c *Conn) Counters() *Counters { return c.ctr }
 
+// SetTelemetry attaches per-kind byte/call accounting (may be shared
+// across conns; nil detaches).
+func (c *Conn) SetTelemetry(t *Telemetry) { c.tel = t }
+
+// Telemetry returns the attached per-kind accounting (nil when none).
+func (c *Conn) Telemetry() *Telemetry { return c.tel }
+
 // Close closes the underlying socket.
 func (c *Conn) Close() error {
 	c.dead.Store(true)
 	return c.raw.Close()
 }
 
-// Send writes one frame.
+// Send writes one untraced frame.
 func (c *Conn) Send(t MsgType, payload []byte) error {
+	return c.SendEnv(t, Envelope{}, payload)
+}
+
+// SendEnv writes one frame carrying env (untraced when env is zero).
+func (c *Conn) SendEnv(t MsgType, env Envelope, payload []byte) error {
 	c.shp.delaySend(len(payload))
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := WriteFrame(c.bw, t, payload); err != nil {
+	if err := WriteFrameEnv(c.bw, t, env, payload); err != nil {
 		return err
 	}
 	if err := c.bw.Flush(); err != nil {
 		return err
 	}
-	c.ctr.BytesSent.Add(int64(len(payload)) + 5)
+	n := env.wireSize(len(payload))
+	c.ctr.BytesSent.Add(n)
+	c.tel.onSend(t, n)
 	return nil
 }
 
-// Recv reads one frame.
+// Recv reads one frame, discarding any trace envelope.
 func (c *Conn) Recv() (MsgType, []byte, error) {
-	t, payload, err := ReadFrame(c.br)
+	t, _, payload, err := c.RecvEnv()
+	return t, payload, err
+}
+
+// RecvEnv reads one frame plus the peer's trace envelope.
+func (c *Conn) RecvEnv() (MsgType, Envelope, []byte, error) {
+	t, env, payload, err := ReadFrameEnv(c.br)
 	if err != nil {
-		return 0, nil, err
+		return 0, Envelope{}, nil, err
 	}
-	c.ctr.BytesRecv.Add(int64(len(payload)) + 5)
+	n := env.wireSize(len(payload))
+	c.ctr.BytesRecv.Add(n)
+	c.tel.onRecv(t, n)
 	c.shp.delayRecv(len(payload))
-	return t, payload, nil
+	return t, env, payload, nil
 }
 
 // Call performs one synchronous round trip and returns the response
 // frame. MsgErr responses decode to an error.
 func (c *Conn) Call(t MsgType, payload []byte) (MsgType, []byte, error) {
+	return c.CallEnv(t, Envelope{}, payload)
+}
+
+// CallEnv performs one round trip with trace context attached to the
+// request frame, so the server can parent its spans under the caller.
+func (c *Conn) CallEnv(t MsgType, env Envelope, payload []byte) (MsgType, []byte, error) {
 	c.ctr.Calls.Add(1)
-	if err := c.Send(t, payload); err != nil {
+	c.tel.onCall(t)
+	if err := c.SendEnv(t, env, payload); err != nil {
 		return 0, nil, fmt.Errorf("transport: send: %w", err)
 	}
 	rt, rp, err := c.Recv()

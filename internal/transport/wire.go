@@ -57,37 +57,150 @@ const (
 // maxFrame bounds a frame payload (1 GiB) against malformed peers.
 const maxFrame = 1 << 30
 
-// WriteFrame writes one length-prefixed frame: u32 len | u8 type |
-// payload.
+// envFlag marks a frame whose header carries a trace envelope. MsgType
+// values stay well below 0x80, so the bit is free in the type byte and
+// untraced frames keep the original 5-byte wire format — tracing
+// disabled costs zero bytes on the wire.
+const envFlag = 0x80
+
+// frameHeader is the untraced header size: u32 len | u8 type.
+const frameHeader = 5
+
+// envSize is the extra header carried by traced frames: u64 trace |
+// u64 span.
+const envSize = 16
+
+// Envelope carries trace context across the wire so a request's span
+// tree survives the process boundary: the server parents its spans
+// under the client-side span that issued the RPC. The zero Envelope
+// means "not traced" and adds no bytes to the frame.
+type Envelope struct {
+	Trace uint64
+	Span  uint64
+}
+
+// Zero reports whether the envelope carries no trace context.
+func (e Envelope) Zero() bool { return e.Trace == 0 }
+
+// wireSize returns the total frame size for a payload under env.
+func (e Envelope) wireSize(payload int) int64 {
+	if e.Zero() {
+		return int64(payload) + frameHeader
+	}
+	return int64(payload) + frameHeader + envSize
+}
+
+// WriteFrame writes one untraced length-prefixed frame: u32 len |
+// u8 type | payload.
 func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
+	return WriteFrameEnv(w, t, Envelope{}, payload)
+}
+
+// WriteFrameEnv writes one frame, attaching the trace envelope when it
+// is non-zero: u32 len | u8 type|envFlag | u64 trace | u64 span |
+// payload.
+func WriteFrameEnv(w io.Writer, t MsgType, env Envelope, payload []byte) error {
 	if len(payload) > maxFrame {
 		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(payload))
 	}
-	var hdr [5]byte
+	var hdr [frameHeader + envSize]byte
 	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
-	hdr[4] = byte(t)
-	if _, err := w.Write(hdr[:]); err != nil {
+	n := frameHeader
+	if env.Zero() {
+		hdr[4] = byte(t)
+	} else {
+		hdr[4] = byte(t) | envFlag
+		binary.LittleEndian.PutUint64(hdr[5:13], env.Trace)
+		binary.LittleEndian.PutUint64(hdr[13:21], env.Span)
+		n += envSize
+	}
+	if _, err := w.Write(hdr[:n]); err != nil {
 		return err
 	}
 	_, err := w.Write(payload)
 	return err
 }
 
-// ReadFrame reads one frame.
+// ReadFrame reads one frame, discarding any trace envelope.
 func ReadFrame(r io.Reader) (MsgType, []byte, error) {
-	var hdr [5]byte
+	t, _, payload, err := ReadFrameEnv(r)
+	return t, payload, err
+}
+
+// ReadFrameEnv reads one frame plus its trace envelope (zero when the
+// peer sent an untraced frame).
+func ReadFrameEnv(r io.Reader) (MsgType, Envelope, []byte, error) {
+	var hdr [frameHeader]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
+		return 0, Envelope{}, nil, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[:4])
 	if n > maxFrame {
-		return 0, nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+		return 0, Envelope{}, nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	var env Envelope
+	t := hdr[4]
+	// The envelope bit is only meaningful on frames this protocol emits,
+	// which always carry a valid message type under it. A stripped type
+	// outside the protocol (e.g. a peer probing with 0xfa) is NOT a
+	// traced frame: pass the byte through untouched — no envelope read —
+	// so the dispatch layer rejects it instead of the reader stalling on
+	// 16 bytes that were never sent.
+	if t&envFlag != 0 && validType(MsgType(t&^envFlag)) {
+		t &^= envFlag
+		var eb [envSize]byte
+		if _, err := io.ReadFull(r, eb[:]); err != nil {
+			return 0, Envelope{}, nil, err
+		}
+		env.Trace = binary.LittleEndian.Uint64(eb[:8])
+		env.Span = binary.LittleEndian.Uint64(eb[8:])
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, err
+		return 0, Envelope{}, nil, err
 	}
-	return MsgType(hdr[4]), payload, nil
+	return MsgType(t), env, payload, nil
+}
+
+// validType reports whether t is a message this protocol defines.
+func validType(t MsgType) bool { return t >= MsgPing && t <= MsgStatsOK }
+
+// KindName returns the stable lowercase label for a message type, used
+// for per-kind telemetry series.
+func KindName(t MsgType) string {
+	switch t {
+	case MsgPing:
+		return "ping"
+	case MsgPong:
+		return "pong"
+	case MsgUpload:
+		return "upload"
+	case MsgUploadOK:
+		return "upload_ok"
+	case MsgExec:
+		return "exec"
+	case MsgExecOK:
+		return "exec_ok"
+	case MsgFetch:
+		return "fetch"
+	case MsgTensor:
+		return "tensor"
+	case MsgFree:
+		return "free"
+	case MsgFreeOK:
+		return "free_ok"
+	case MsgErr:
+		return "err"
+	case MsgCrash:
+		return "crash"
+	case MsgCrashOK:
+		return "crash_ok"
+	case MsgStats:
+		return "stats"
+	case MsgStatsOK:
+		return "stats_ok"
+	}
+	return "unknown"
 }
 
 // --- primitive codec helpers ---
