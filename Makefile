@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race check bench bench-kernels parity
+.PHONY: all build vet lint test test-short race check bench bench-kernels parity chaos
 
 all: check
 
@@ -44,3 +44,13 @@ bench-kernels:
 # reference at every worker count, under the race detector.
 parity:
 	$(GO) test -race -run 'Parity|GrainInvariance' ./internal/tensor/ops -count=1
+
+# Fault-tolerance suite under the race detector: deterministic chaos
+# injection, hung-peer deadlines, breaker trips, lineage failover, and
+# the kill-backend-mid-decode soak (bit-identical tokens after
+# recovery). GENIE_CHAOS_SEED pins the fault schedule when reproducing.
+chaos:
+	$(GO) test -race -count=1 ./internal/chaos/ -run .
+	$(GO) test -race -count=1 ./internal/transport/ -run 'Retry|Breaker|Chaos|Deadline|Dropped|Corrupt|Stall|Kill|Frame'
+	$(GO) test -race -count=1 ./internal/lineage/ -run 'Failover|KillBackend|Recover|Lost'
+	$(GO) test -race -count=1 ./internal/serve/ -run 'Crash|Failover|HungPeer|RetryBudget|Breaker'

@@ -54,6 +54,16 @@ func main() {
 	batch := flag.Int("batch", 8, "max requests per continuous decode batch, per backend")
 	maxTokens := flag.Int("max-tokens", 32, "default generation cap per request")
 	deadline := flag.Duration("deadline", 0, "default per-request deadline (0 = none)")
+	retryBudget := flag.Int("retry-budget", 1,
+		"re-queues per request after backend loss before shedding 503 (0 = fail fast)")
+	retryAfter := flag.Duration("retry-after", time.Second,
+		"Retry-After hint sent with 503 responses")
+	opTimeout := flag.Duration("op-timeout", 2*time.Second,
+		"per-RPC deadline on prefill/decode ops (0 = none; bounds hung-peer stalls)")
+	breakerThreshold := flag.Int("breaker-threshold", 3,
+		"consecutive backend failures that open a lane's circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", time.Second,
+		"open-breaker cooldown before a half-open probe")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
 	kernelWorkers := flag.Int("kernel-workers", 0,
 		"CPU kernel worker-pool width (0 = GOMAXPROCS or GENIE_KERNEL_WORKERS, 1 = serial)")
@@ -104,6 +114,13 @@ func main() {
 		log.Fatal("genie-gateway: no backends")
 	}
 
+	// The engine reads RetryBudget 0 as "use the default"; the flag's 0
+	// means fail fast, which the config spells as negative.
+	budget := *retryBudget
+	if budget <= 0 {
+		budget = -1
+	}
+
 	engine, err := serve.NewEngine(serve.Config{
 		Mode:             mode,
 		MaxQueue:         *queue,
@@ -111,6 +128,11 @@ func main() {
 		DefaultMaxTokens: *maxTokens,
 		DefaultDeadline:  *deadline,
 		KernelWorkers:    *kernelWorkers,
+		RetryBudget:      budget,
+		RetryAfter:       *retryAfter,
+		OpTimeout:        *opTimeout,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
 		Tracer:           tracer,
 		Metrics:          reg,
 	}, pool)

@@ -90,6 +90,7 @@ func Analyzers() []*Analyzer {
 		GoleakAnalyzer,
 		ErrcheckAnalyzer,
 		TensormutAnalyzer,
+		RetrynakedAnalyzer,
 	}
 }
 

@@ -25,6 +25,10 @@ func TestTensormutFixture(t *testing.T) {
 	runWantTest(t, "tensormut", fixtureDir("internal", "tmut"))
 }
 
+func TestRetrynakedFixture(t *testing.T) {
+	runWantTest(t, "retrynaked", fixtureDir("internal", "retrynaked"))
+}
+
 // TestFixtureScopeMapping pins the testdata/src path translation that
 // makes fixture packages land inside each analyzer's scope.
 func TestFixtureScopeMapping(t *testing.T) {
@@ -59,5 +63,17 @@ func TestScopeGates(t *testing.T) {
 	}
 	if !TensormutAnalyzer.AppliesTo("genie/internal/serve") {
 		t.Error("tensormut must apply outside the kernel packages")
+	}
+	if !GoleakAnalyzer.AppliesTo("genie/internal/chaos") {
+		t.Error("goleak must apply to the fault injector")
+	}
+	if !CtxflowAnalyzer.AppliesTo("genie/internal/chaos") {
+		t.Error("ctxflow must apply to the fault injector")
+	}
+	if !RetrynakedAnalyzer.AppliesTo("genie/internal/lineage") {
+		t.Error("retrynaked must apply to internal packages")
+	}
+	if RetrynakedAnalyzer.AppliesTo("genie/cmd/genie-bench") {
+		t.Error("retrynaked must not apply to binaries")
 	}
 }

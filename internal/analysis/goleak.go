@@ -36,7 +36,8 @@ var GoleakAnalyzer = &Analyzer{
 			hasPrefixPath(scope, "genie/internal/backend") ||
 			hasPrefixPath(scope, "genie/internal/runtime") ||
 			hasPrefixPath(scope, "genie/internal/compute") ||
-			hasPrefixPath(scope, "genie/internal/obs")
+			hasPrefixPath(scope, "genie/internal/obs") ||
+			hasPrefixPath(scope, "genie/internal/chaos")
 	},
 	Run: runGoleak,
 }

@@ -1,0 +1,119 @@
+// Package retrynaked is genie-lint test fixture data for the naked
+// retry-loop analyzer. The package pretends to live at
+// genie/internal/retrynaked, inside retrynaked's internal scope.
+package retrynaked
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"genie/internal/runtime"
+	"genie/internal/transport"
+)
+
+// nakedContinue hammers the endpoint: continue-on-error with nothing
+// between attempts.
+func nakedContinue(c *transport.Conn) {
+	for i := 0; i < 5; i++ {
+		_, _, err := c.Call(transport.MsgPing, nil) // want "retry loop re-issues transport.Call with no backoff"
+		if err != nil {
+			continue
+		}
+		break
+	}
+}
+
+// nakedUntilSuccess exits only on success; every failure spins straight
+// into the next attempt.
+func nakedUntilSuccess(c *transport.Conn) {
+	for {
+		_, _, err := c.Call(transport.MsgPing, nil) // want "retry loop re-issues transport.Call with no backoff"
+		if err == nil {
+			break
+		}
+	}
+}
+
+// nakedCondLoop drives the loop off the error value itself.
+func nakedCondLoop(ep runtime.Endpoint) {
+	err := errors.New("seed")
+	for err != nil {
+		err = ep.Free("scratch") // want "retry loop re-issues Endpoint.Free with no backoff"
+	}
+}
+
+// backedOff sleeps between attempts; pacing makes the retry polite.
+func backedOff(c *transport.Conn) {
+	for i := 0; i < 5; i++ {
+		_, _, err := c.Call(transport.MsgPing, nil)
+		if err == nil {
+			break
+		}
+		time.Sleep(time.Duration(i+1) * time.Millisecond)
+	}
+}
+
+// ctxAware consults the context each attempt; cancellation-awareness
+// counts as a bounded retry.
+func ctxAware(ctx context.Context, c *transport.Conn) error {
+	for {
+		_, _, err := c.Call(transport.MsgPing, nil)
+		if err == nil {
+			return nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+	}
+}
+
+// selectPaced gates each attempt on a timer channel via select.
+func selectPaced(ctx context.Context, c *transport.Conn, tick <-chan time.Time) error {
+	for {
+		_, _, err := c.Call(transport.MsgPing, nil)
+		if err == nil {
+			return nil
+		}
+		select {
+		case <-tick:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// propagates is not a retry at all: the loop gives up on first error.
+func propagates(c *transport.Conn, n int) error {
+	for i := 0; i < n; i++ {
+		if _, _, err := c.Call(transport.MsgPing, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// viaRetrier delegates pacing and cancellation to the retry helper.
+func viaRetrier(ctx context.Context, r *transport.Retrier, c *transport.Conn) {
+	for i := 0; i < 3; i++ {
+		err := r.Do(ctx, func(ctx context.Context) error {
+			_, _, cerr := c.Call(transport.MsgPing, nil)
+			return cerr
+		})
+		if err != nil {
+			continue
+		}
+		break
+	}
+}
+
+// suppressed carries a justified ignore; the driver honors it.
+func suppressed(c *transport.Conn) {
+	for {
+		//lint:ignore retrynaked fixture for the directive; the loop is the point
+		_, _, err := c.Call(transport.MsgPing, nil)
+		if err == nil {
+			break
+		}
+	}
+}

@@ -39,6 +39,9 @@ type Server struct {
 	// failNextExecs makes the next n Exec calls fail (fault injection for
 	// tests beyond full crashes).
 	failNextExecs int
+	// execHook, when set, observes every Exec with its 1-based call
+	// number before execution and may veto it (see SetExecHook).
+	execHook func(call int64) error
 
 	// Connection tracking for graceful drain (see serve.go). Guarded by
 	// its own mutex so RPC handling never contends with store access.
@@ -190,6 +193,18 @@ func (s *Server) FailNextExecs(n int) {
 	s.failNextExecs = n
 }
 
+// SetExecHook installs fn to run at the top of every Exec with the
+// 1-based call number; a non-nil return fails the call without
+// executing. The hook runs outside the server's mutex, so it may call
+// back into the server (chaos plans use this to Crash at exactly call
+// N, reproducing a mid-decode backend loss deterministically). Nil
+// removes the hook.
+func (s *Server) SetExecHook(fn func(call int64) error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.execHook = fn
+}
+
 // Stats snapshots server counters.
 func (s *Server) Stats() *transport.Stats {
 	s.mu.Lock()
@@ -228,10 +243,17 @@ func (s *Server) Exec(x *transport.Exec) (*transport.ExecOK, error) {
 		return nil, fmt.Errorf("backend: injected exec failure")
 	}
 	s.execCalls++
+	call := s.execCalls
+	hook := s.execHook
 	if s.inst != nil {
 		s.inst.execs.Inc()
 	}
 	s.mu.Unlock()
+	if hook != nil {
+		if err := hook(call); err != nil {
+			return nil, fmt.Errorf("backend: %w", err)
+		}
+	}
 
 	if err := x.Graph.Validate(); err != nil {
 		return nil, fmt.Errorf("backend: invalid graph: %w", err)

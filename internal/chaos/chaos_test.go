@@ -1,0 +1,205 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"genie/internal/backend"
+	"genie/internal/device"
+	"genie/internal/srg"
+	"genie/internal/tensor"
+	"genie/internal/transport"
+)
+
+// execPayload builds a minimal one-op subgraph execution request.
+func execPayload(t *testing.T) *transport.Exec {
+	t.Helper()
+	g := srg.New("chaos-test")
+	in := g.MustAdd(&srg.Node{Op: "input", Ref: "x",
+		Output: srg.TensorMeta{Shape: []int{2}}})
+	out := g.MustAdd(&srg.Node{Op: "relu", Inputs: []srg.NodeID{in},
+		Output: srg.TensorMeta{Shape: []int{2}}})
+	return &transport.Exec{
+		Graph: g,
+		Binds: []transport.Binding{
+			{Ref: "x", Inline: tensor.FromF32(tensor.Shape{2}, []float32{-1, 2})},
+		},
+		Want: []srg.NodeID{out},
+	}
+}
+
+// TestPlanDeterministic: identical seeds and operation orders must
+// yield identical fault sequences — the reproducibility contract every
+// chaos test and bench run depends on.
+func TestPlanDeterministic(t *testing.T) {
+	run := func(seed int64) []writeFault {
+		p := NewPlan(seed, Config{
+			DropWriteProb:    0.2,
+			CorruptWriteProb: 0.2,
+			DelayProb:        0.1,
+			StallProb:        0.1,
+			KillProb:         0.1,
+		})
+		var seq []writeFault
+		for i := 0; i < 200; i++ {
+			seq = append(seq, p.decideWrite())
+		}
+		return seq
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed 7 diverged at draw %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical 200-draw sequences")
+	}
+}
+
+func TestFromEnvSeed(t *testing.T) {
+	t.Setenv(EnvSeed, "1234")
+	if p := FromEnv(Config{}); p.Seed() != 1234 {
+		t.Fatalf("seed = %d, want 1234", p.Seed())
+	}
+	t.Setenv(EnvSeed, "not-a-number")
+	if p := FromEnv(Config{}); p.Seed() != 1 {
+		t.Fatalf("seed = %d, want default 1", p.Seed())
+	}
+}
+
+// TestDroppedWriteUnwedgedByDeadline: a plan that swallows every write
+// silently partitions the peer; the per-call deadline must rescue the
+// caller within its budget.
+func TestDroppedWriteUnwedgedByDeadline(t *testing.T) {
+	p := NewPlan(3, Config{DropWriteProb: 1})
+	rawA, rawB := net.Pipe()
+	client := transport.NewConn(p.WrapConn(rawA), nil, nil)
+	server := transport.NewConn(rawB, nil, nil)
+	defer client.Close()
+	defer server.Close()
+	go func() {
+		// The peer is healthy and waiting — it just never gets the frame.
+		if mt, _, err := server.Recv(); err == nil && mt == transport.MsgPing {
+			_ = server.Send(transport.MsgPong, nil)
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := client.CallCtx(ctx, transport.MsgPing, nil)
+	if err == nil {
+		t.Fatal("call over a dropping link succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("dropped write wedged the caller for %v", elapsed)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if got := p.Injected()["drop_write"]; got == 0 {
+		t.Fatal("plan recorded no dropped writes")
+	}
+}
+
+// TestCorruptWriteSurfacesAsFrameError: a flipped byte on the frame
+// header must decode as a typed FrameError at the receiver and close
+// its conn.
+func TestCorruptWriteSurfacesAsFrameError(t *testing.T) {
+	p := NewPlan(5, Config{CorruptWriteProb: 1})
+	rawA, rawB := net.Pipe()
+	client := transport.NewConn(p.WrapConn(rawA), nil, nil)
+	server := transport.NewConn(rawB, nil, nil)
+	defer client.Close()
+	defer server.Close()
+
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := server.Recv()
+		errc <- err
+	}()
+	// Payload sized so the corrupted length prefix (low byte | 0x80)
+	// exceeds maxFrame's tail and desyncs framing.
+	_ = client.Send(transport.MsgPing, make([]byte, 64))
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("server decoded a corrupted frame without error")
+		}
+		if !transport.IsFrameError(err) && !transport.IsClosed(err) {
+			t.Fatalf("err = %T %v, want FrameError or closed-conn", err, err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("server hung on corrupted frame")
+	}
+	if got := p.Injected()["corrupt_write"]; got == 0 {
+		t.Fatal("plan recorded no corrupted writes")
+	}
+}
+
+// TestKilledConn: a kill fault closes the conn and errors the call.
+func TestKilledConn(t *testing.T) {
+	p := NewPlan(9, Config{KillProb: 1})
+	rawA, rawB := net.Pipe()
+	client := transport.NewConn(p.WrapConn(rawA), nil, nil)
+	defer client.Close()
+	defer rawB.Close()
+	_, _, err := client.Call(transport.MsgPing, nil)
+	if err == nil {
+		t.Fatal("call over a killed conn succeeded")
+	}
+	if !client.Dead() {
+		t.Fatal("killed conn not poisoned")
+	}
+	if transport.Classify(err) != transport.ClassRetryable {
+		t.Fatalf("Classify(%v) = %v, want retryable", err, transport.Classify(err))
+	}
+}
+
+// TestExecHookCrashesAtN: the backend crashes at exactly the configured
+// exec call — state dropped, epoch advanced, that call failed with a
+// state-loss error — and not before.
+func TestExecHookCrashesAtN(t *testing.T) {
+	p := NewPlan(1, Config{CrashExecAt: 2})
+	srv := backend.NewServer(device.A100)
+	srv.SetExecHook(p.ExecHook(srv.Crash))
+
+	epoch0 := srv.Epoch()
+	x := execPayload(t)
+	if _, err := srv.Exec(x); err != nil {
+		t.Fatalf("exec 1 failed early: %v", err)
+	}
+	_, err := srv.Exec(x)
+	if err == nil {
+		t.Fatal("exec 2 survived the scheduled crash")
+	}
+	if !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("err = %v, want ErrInjectedCrash", err)
+	}
+	if srv.Epoch() != epoch0+1 {
+		t.Fatalf("epoch = %d, want %d (crash advances it)", srv.Epoch(), epoch0+1)
+	}
+	// Over the wire this must read as state loss so clients fail over.
+	if !transport.IsStateLoss(&transport.RemoteError{Msg: err.Error()}) {
+		t.Fatalf("crash error %q not classified as state loss", err)
+	}
+	// Later execs run normally on the post-crash epoch.
+	if _, err := srv.Exec(x); err != nil {
+		t.Fatalf("exec 3 after crash: %v", err)
+	}
+	if got := p.Injected()["crash_exec"]; got != 1 {
+		t.Fatalf("crash_exec count = %d, want 1", got)
+	}
+}

@@ -81,6 +81,9 @@ type State struct {
 	// queueDepth tracks outstanding work per accelerator for queueing
 	// cost estimates and least-loaded placement.
 	queueDepth map[AcceleratorID]int
+	// failed marks accelerators currently considered down; replacement
+	// selection skips them until MarkHealthy.
+	failed map[AcceleratorID]bool
 }
 
 // NewState builds an empty pool.
@@ -90,6 +93,7 @@ func NewState() *State {
 		resident:      make(map[string]AcceleratorID),
 		residentBytes: make(map[AcceleratorID]int64),
 		queueDepth:    make(map[AcceleratorID]int),
+		failed:        make(map[AcceleratorID]bool),
 	}
 }
 
@@ -219,13 +223,57 @@ func (s *State) QueueDepth(acc AcceleratorID) int {
 	return s.queueDepth[acc]
 }
 
-// LeastLoaded returns the remote accelerator with the smallest queue
-// depth (ties broken by registration order), or nil if the pool has no
-// remote devices.
+// LeastLoaded returns the healthy remote accelerator with the smallest
+// queue depth (ties broken by registration order), or nil if the pool
+// has no healthy remote devices.
 func (s *State) LeastLoaded() *Accelerator {
 	var best *Accelerator
 	bestDepth := 0
 	for _, a := range s.Remote() {
+		if !s.Healthy(a.ID) {
+			continue
+		}
+		d := s.QueueDepth(a.ID)
+		if best == nil || d < bestDepth {
+			best, bestDepth = a, d
+		}
+	}
+	return best
+}
+
+// MarkFailed records that acc is down (§3.5 failure detection): it is
+// excluded from Replacement and LeastLoaded until MarkHealthy.
+func (s *State) MarkFailed(acc AcceleratorID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failed[acc] = true
+}
+
+// MarkHealthy clears a failure mark (a probe succeeded; the backend
+// rejoined the pool).
+func (s *State) MarkHealthy(acc AcceleratorID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.failed, acc)
+}
+
+// Healthy reports whether acc carries no failure mark.
+func (s *State) Healthy(acc AcceleratorID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return !s.failed[acc]
+}
+
+// Replacement picks the least-loaded healthy remote accelerator other
+// than failed — the endpoint a recovering session rebinds to. Returns
+// nil when no healthy candidate exists (the caller sheds or waits).
+func (s *State) Replacement(failed AcceleratorID) *Accelerator {
+	var best *Accelerator
+	bestDepth := 0
+	for _, a := range s.Remote() {
+		if a.ID == failed || !s.Healthy(a.ID) {
+			continue
+		}
 		d := s.QueueDepth(a.ID)
 		if best == nil || d < bestDepth {
 			best, bestDepth = a, d

@@ -167,6 +167,16 @@ func (m *Manager) Tracked() []string {
 	return keys
 }
 
+// Forget drops a key's lineage (after the object is freed remotely).
+// Without this, recovery would replay per-session state the session
+// already released, and the version chain would pin its tensors
+// forever.
+func (m *Manager) Forget(key string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.latest, key)
+}
+
 // EpochOf returns the tracked epoch for a key's latest version.
 func (m *Manager) EpochOf(key string) (uint32, bool) {
 	m.mu.Lock()

@@ -1,0 +1,71 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+
+	"genie/internal/transport"
+)
+
+// Failover configures endpoint-loss recovery for a runner's sessions.
+// When an execution fails with a rebindable error — the conn died, the
+// call timed out, or the server reports lost state — the runner invokes
+// Rebind, which must repair or replace the runner's endpoint (typically
+// a lineage.TrackedEndpoint failing over to a replacement from the
+// cluster pool, replaying exactly the lost KV chains), and then
+// reissues the failed call. Deterministic replay makes the reissued
+// call bind bit-identical state, so recovered sessions continue their
+// token sequences exactly.
+type Failover struct {
+	// Rebind repairs or replaces the runner's endpoint after err. A nil
+	// return means the failed call may be reissued. Called serially per
+	// execution attempt; implementations guard their own state.
+	Rebind func(err error) error
+	// MaxRebinds bounds rebind attempts per execution (default 1).
+	MaxRebinds int
+	// Rebindable classifies errors that justify a rebind. Default:
+	// transient availability failures (transport.Retryable) and
+	// server-alive state loss (transport.IsStateLoss). Application
+	// errors and protocol violations are final.
+	Rebindable func(error) bool
+	// OnRebind, when set, observes each successful rebind (metrics).
+	OnRebind func(cause error)
+}
+
+func (f *Failover) maxRebinds() int {
+	if f.MaxRebinds > 0 {
+		return f.MaxRebinds
+	}
+	return 1
+}
+
+func (f *Failover) rebindable(err error) bool {
+	if f.Rebindable != nil {
+		return f.Rebindable(err)
+	}
+	return transport.Retryable(err) || transport.IsStateLoss(err)
+}
+
+// execFT is execEP with failover: on a rebindable failure it asks the
+// configured Failover to repair the endpoint and reissues the call, up
+// to the rebind budget. Non-idempotent executions stay safe because
+// rebind replays state from lineage provenance — the reissued call
+// binds the recovered (pre-failure) versions, not a half-applied one.
+func (r *LLMRunner) execFT(ctx context.Context, x *transport.Exec) (*transport.ExecOK, error) {
+	ok, err := execEP(ctx, r.EP, x)
+	f := r.Failover
+	if f == nil || f.Rebind == nil {
+		return ok, err
+	}
+	for rebinds := 0; err != nil && rebinds < f.maxRebinds() && f.rebindable(err); {
+		rebinds++
+		if rerr := f.Rebind(err); rerr != nil {
+			return nil, fmt.Errorf("runtime: failover after %q: %w", err, rerr)
+		}
+		if f.OnRebind != nil {
+			f.OnRebind(err)
+		}
+		ok, err = execEP(ctx, r.EP, x)
+	}
+	return ok, err
+}

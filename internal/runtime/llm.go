@@ -40,6 +40,10 @@ type LLMRunner struct {
 	// per-call installation. The serving engine sets this once per
 	// backend so concurrent sessions don't re-upload weights.
 	WeightsResident bool
+	// Failover, when set, recovers sessions from endpoint loss: failed
+	// executions rebind (lineage replay onto a replacement) and reissue.
+	// Nil disables recovery — errors surface to the caller unchanged.
+	Failover *Failover
 }
 
 // Generate runs prompt prefill plus steps decode iterations. It is

@@ -313,7 +313,7 @@ func (ns *naiveSession) call(ctx context.Context) (int64, error) {
 	// A blind RPC library materializes all declared outputs back to
 	// the caller: the full logits matrix and the next token.
 	x.Want = []srg.NodeID{out.Logits, out.NextToken}
-	ok, err := execEP(ctx, ns.r.EP, x)
+	ok, err := ns.r.execFT(ctx, x)
 	if err != nil {
 		return 0, err
 	}
@@ -361,7 +361,7 @@ func (ds *deltaKVSession) embedCall(ctx context.Context, tokens []int64, startPo
 		}
 	}
 	ex.Want = append(ex.Want, embID)
-	ok, err := execEP(ctx, ds.r.EP, ex)
+	ok, err := ds.r.execFT(ctx, ex)
 	if err != nil {
 		return err
 	}
@@ -392,7 +392,7 @@ func (ds *deltaKVSession) layerCall(ctx context.Context, layer, hist int) error 
 		ex.Keep[lo.NewV] = vKey
 	}
 	ex.Want = append(ex.Want, lo.Out, lo.NewK, lo.NewV)
-	ok, err := execEP(ctx, ds.r.EP, ex)
+	ok, err := ds.r.execFT(ctx, ex)
 	if err != nil {
 		return err
 	}
@@ -409,7 +409,7 @@ func (ds *deltaKVSession) headCall(ctx context.Context) (int64, error) {
 	xt, _ := hb.InputData("gpt.x")
 	hx.Binds = append(hx.Binds, transport.Binding{Ref: "gpt.x", Inline: xt})
 	hx.Want = append(hx.Want, logitsID, nextID)
-	hok, err := execEP(ctx, ds.r.EP, hx)
+	hok, err := ds.r.execFT(ctx, hx)
 	if err != nil {
 		return 0, err
 	}
@@ -491,7 +491,7 @@ func (ss *semSession) prefill(ctx context.Context, prompt []int64) (int64, error
 		ex.Keep[out.CacheV[i]] = ss.scope + models.CacheRef(i, "v")
 	}
 	ex.Want = append(ex.Want, out.LastLogits, out.NextToken)
-	ok, err := execEP(ctx, ss.r.EP, ex)
+	ok, err := ss.r.execFT(ctx, ex)
 	if err != nil {
 		return 0, err
 	}
@@ -524,7 +524,7 @@ func (ss *semSession) step(ctx context.Context, tok int64) (int64, error) {
 		ex.Keep[out.CacheV[i]] = ss.scope + models.CacheRef(i, "v")
 	}
 	ex.Want = append(ex.Want, out.LastLogits, out.NextToken)
-	ok, err := execEP(ctx, ss.r.EP, ex)
+	ok, err := ss.r.execFT(ctx, ex)
 	if err != nil {
 		return 0, err
 	}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"genie/internal/global"
@@ -76,7 +77,7 @@ func NewHandler(e *Engine) http.Handler {
 		}
 		res, err := e.Submit(ctx, req)
 		if err != nil {
-			writeSubmitError(w, res, err)
+			writeSubmitError(w, e, res, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, toResponse(res, nil))
@@ -84,6 +85,11 @@ func NewHandler(e *Engine) http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if e.Draining() {
 			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		if !e.anyHealthyBackend() {
+			w.Header().Set("Retry-After", retryAfterSeconds(e))
+			http.Error(w, "no healthy backends", http.StatusServiceUnavailable)
 			return
 		}
 		w.WriteHeader(http.StatusOK)
@@ -137,14 +143,18 @@ func toResponse(res *Result, err error) GenerateResponse {
 }
 
 // writeSubmitError maps engine errors to status codes: queue-full load
-// shedding is 429, draining 503, deadline 504, the rest 500.
-func writeSubmitError(w http.ResponseWriter, res *Result, err error) {
+// shedding is 429, draining 503, backend loss 503 with a Retry-After
+// hint, deadline 504, the rest 500.
+func writeSubmitError(w http.ResponseWriter, e *Engine, res *Result, err error) {
 	status := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, ErrInvalidRequest):
 		status = http.StatusBadRequest
 	case errors.Is(err, ErrOverloaded):
 		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrBackendUnavailable):
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", retryAfterSeconds(e))
 	case errors.Is(err, ErrDraining):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, ErrDeadlineExceeded), errors.Is(err, context.DeadlineExceeded):
@@ -153,6 +163,16 @@ func writeSubmitError(w http.ResponseWriter, res *Result, err error) {
 		status = 499 // client closed request (nginx convention)
 	}
 	writeJSON(w, status, toResponse(res, err))
+}
+
+// retryAfterSeconds renders the engine's RetryAfter hint as whole
+// seconds, rounded up, at least 1 (Retry-After has no finer unit).
+func retryAfterSeconds(e *Engine) string {
+	secs := int64((e.cfg.RetryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 // streamGenerate writes token events as NDJSON while the request runs,

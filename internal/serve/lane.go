@@ -1,12 +1,16 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	goruntime "runtime"
 	"sync/atomic"
+	"time"
 
 	"genie/internal/obs"
 	"genie/internal/runtime"
+	"genie/internal/transport"
 )
 
 // lane is one backend's dispatch loop. A lane owns its runner's
@@ -16,17 +20,46 @@ import (
 // the loop structure itself: each iterate() is one step boundary where
 // finished requests leave, queued requests join (prefill), and every
 // active request advances exactly one decode step.
+//
+// Every lane carries a circuit breaker for its endpoint: consecutive
+// transport-level failures open it, an open lane stops pulling from the
+// queue (its requests re-queue to healthy lanes), and after the
+// cooldown a single probe request decides whether it rejoins.
 type lane struct {
 	e       *Engine
 	name    string
 	runner  *runtime.LLMRunner
+	breaker *transport.Breaker
 	active  []*activeReq
 	activeN atomic.Int32
 	wake    chan struct{}
+
+	// failures counts backend-loss errors observed on this lane;
+	// requeues counts requests this lane handed back to the queue. Both
+	// surface per-backend in /stats.
+	failures atomic.Int64
+	requeues atomic.Int64
 }
 
 func newLane(e *Engine, name string, r *runtime.LLMRunner) *lane {
-	return &lane{e: e, name: name, runner: r, wake: make(chan struct{}, 1)}
+	l := &lane{e: e, name: name, runner: r, wake: make(chan struct{}, 1)}
+	l.breaker = transport.NewBreaker(transport.BreakerConfig{
+		Threshold: e.cfg.BreakerThreshold,
+		Cooldown:  e.cfg.BreakerCooldown,
+		Now:       e.clock.Now,
+		// The default classifier ignores remote errors (an application
+		// error doesn't mean the backend is down), but serving lanes must
+		// also trip on server-side state loss — a crashed backend answers
+		// politely while having lost every resident object.
+		IsFailure: func(err error) bool {
+			if err == nil || errors.Is(err, context.Canceled) {
+				return false
+			}
+			return lostBackend(err) || transport.IsFrameError(err)
+		},
+	})
+	l.breaker.Instrument(e.cfg.Metrics, name)
+	return l
 }
 
 // run is the production loop: iterate while there is work, sleep until
@@ -41,12 +74,46 @@ func (l *lane) run() {
 			goruntime.Gosched()
 			continue
 		}
+		if wait := l.idleWait(); wait > 0 {
+			// Suspect endpoint with work still queued: wake up to probe
+			// when the breaker's cooldown lapses even if nobody nudges.
+			t := time.NewTimer(wait)
+			select {
+			case <-l.wake:
+				t.Stop()
+			case <-t.C:
+			case <-l.e.stop:
+				t.Stop()
+				return
+			}
+			continue
+		}
 		select {
 		case <-l.wake:
 		case <-l.e.stop:
 			return
 		}
 	}
+}
+
+// idleWait returns how long an idle lane should sleep before rechecking
+// the queue on its own; 0 means sleep until nudged. Nonzero only while
+// this lane's breaker blocks admission and work is waiting — the one
+// state where no future nudge is guaranteed to arrive.
+func (l *lane) idleWait() time.Duration {
+	if l.breaker.State() == transport.BreakerClosed {
+		return 0
+	}
+	l.e.mu.Lock()
+	queued := l.e.queues.depth() > 0
+	l.e.mu.Unlock()
+	if !queued {
+		return 0
+	}
+	if ra := l.breaker.RetryAfter(); ra > 0 {
+		return ra
+	}
+	return 10 * time.Millisecond
 }
 
 // iterate executes one step boundary; it reports whether any work was
@@ -78,18 +145,35 @@ func (l *lane) iterate() bool {
 }
 
 // admit moves queued requests into the running batch until it is full,
-// running each newcomer's prefill. Reports whether anything was
-// admitted or retired.
+// running each newcomer's prefill. An open breaker stops admission cold
+// (queued work stays for healthy lanes); once the cooldown lapses the
+// first dequeued request doubles as the half-open probe. Reports
+// whether anything was admitted or retired.
 func (l *lane) admit() bool {
 	worked := false
 	for len(l.active) < l.e.cfg.MaxBatch {
+		if l.breaker.State() == transport.BreakerOpen && l.breaker.RetryAfter() > 0 {
+			break // cooling down; don't touch the queue
+		}
 		ar := l.e.dequeue()
 		if ar == nil {
 			break
 		}
 		worked = true
+		// Queue wait ends the moment a lane picks the request up.
+		ar.qspan.End()
+		ar.qspan = nil
+		if l.retireIfDone(ar) {
+			continue
+		}
+		if err := l.breaker.Allow(); err != nil {
+			// Lost the probe-slot race; hand the request back untouched.
+			_, ar.qspan = obs.StartSpan(ar.tctx, "serve.queue")
+			l.e.requeue(l, ar)
+			break
+		}
 		if !l.prefill(ar) {
-			continue // retired at admission (cancelled/expired/failed)
+			continue // retired at admission (cancelled/expired/failed/re-queued)
 		}
 		l.active = append(l.active, ar)
 		l.e.noteJoin(ar)
@@ -98,33 +182,49 @@ func (l *lane) admit() bool {
 	return worked
 }
 
+// opCtx bounds one remote operation with the engine's per-op timeout.
+func (l *lane) opCtx(parent context.Context) (context.Context, context.CancelFunc) {
+	if parent == nil {
+		// Submit tolerates a nil caller context (retireIfDone guards for
+		// it); WithTimeout does not, so mint the root here.
+		//lint:ignore ctxflow nil-context fallback, not a propagation hole
+		parent = context.Background()
+	}
+	if l.e.cfg.OpTimeout <= 0 {
+		return parent, func() {}
+	}
+	return context.WithTimeout(parent, l.e.cfg.OpTimeout)
+}
+
 // prefill runs a newcomer's prompt phase; it reports whether the
 // request joined the batch (false = already completed or retired).
 func (l *lane) prefill(ar *activeReq) bool {
-	// Queue wait ends the moment a lane picks the request up.
-	ar.qspan.End()
-	ar.qspan = nil
-	if l.retireIfDone(ar) {
-		return false
-	}
 	// The session carries the request span: decode-step spans parent
 	// under serve.request; the prefill itself nests under serve.prefill.
 	sess, err := l.runner.NewScopedSessionCtx(ar.tctx, l.e.cfg.Mode, fmt.Sprintf("req%d/", ar.id))
 	if err != nil {
-		l.finish(ar, err, outcomeFailed)
+		l.breaker.Record(err)
+		l.fail(ar, err)
 		return false
 	}
 	ar.sess = sess
 	pctx, pspan := obs.StartSpan(ar.tctx, "serve.prefill")
 	pspan.SetAttr("backend", l.name)
-	first, err := sess.PrefillCtx(pctx, ar.prompt)
+	opctx, cancel := l.opCtx(pctx)
+	first, err := sess.PrefillCtx(opctx, ar.prompt)
+	cancel()
 	pspan.End()
+	l.breaker.Record(err)
 	if err != nil {
-		l.finish(ar, err, outcomeFailed)
+		l.fail(ar, err)
 		return false
 	}
-	ar.ttft = l.e.clock.Now().Sub(ar.arrival)
-	l.e.stats.recordTTFT(ar.ttft)
+	if ar.ttft == 0 {
+		// Only the first attempt defines TTFT; a re-queued request's
+		// client saw its first token before the failover.
+		ar.ttft = l.e.clock.Now().Sub(ar.arrival)
+		l.e.stats.recordTTFT(ar.ttft)
+	}
 	l.emit(ar, first)
 	if len(ar.tokens) >= ar.maxTokens {
 		l.finish(ar, nil, outcomeCompleted)
@@ -141,10 +241,13 @@ func (l *lane) advance(ar *activeReq) (didStep, stay bool) {
 		return false, false
 	}
 	t0 := l.e.clock.Now()
-	tok, err := ar.sess.Step()
+	opctx, cancel := l.opCtx(ar.tctx)
+	tok, err := ar.sess.StepCtx(opctx)
+	cancel()
 	l.e.stats.recordStep(l.e.clock.Now().Sub(t0))
+	l.breaker.Record(err)
 	if err != nil {
-		l.finish(ar, err, outcomeFailed)
+		l.fail(ar, err)
 		return false, false
 	}
 	l.emit(ar, tok)
@@ -153,6 +256,56 @@ func (l *lane) advance(ar *activeReq) (didStep, stay bool) {
 		return true, false
 	}
 	return true, true
+}
+
+// lostBackend classifies errors that mean the backend (not the request)
+// is at fault: transient transport failures, per-op timeouts, and
+// server-side state loss. These justify a re-queue; anything else fails
+// the request.
+func lostBackend(err error) bool {
+	return transport.Retryable(err) || transport.IsStateLoss(err) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+// fail routes an execution error: the request's own expiry/cancel wins,
+// backend loss re-queues within budget (then sheds 503), anything else
+// fails the request outright.
+func (l *lane) fail(ar *activeReq, err error) {
+	if l.retireIfDone(ar) {
+		return
+	}
+	if !lostBackend(err) {
+		l.finish(ar, err, outcomeFailed)
+		return
+	}
+	l.failures.Add(1)
+	if ar.retries >= l.e.cfg.RetryBudget {
+		l.finish(ar, fmt.Errorf("%w: %d attempt(s) exhausted on %s: %v",
+			ErrBackendUnavailable, ar.retries+1, l.name, err), outcomeUnavailable)
+		return
+	}
+	ar.retries++
+	l.requeue(ar)
+}
+
+// requeue hands a backend-loss victim back to the admission queue. Its
+// session restarts from scratch on whichever lane picks it up; the
+// deterministic decode regenerates the same prefix, and emit suppresses
+// tokens the client already received.
+func (l *lane) requeue(ar *activeReq) {
+	if ar.sess != nil {
+		_ = ar.sess.Close()
+		ar.sess = nil
+	}
+	l.e.noteLeave(ar)
+	if len(ar.tokens) > ar.replayed {
+		ar.replayed = len(ar.tokens)
+	}
+	ar.tokens = nil
+	l.requeues.Add(1)
+	l.e.stats.requeued.Inc()
+	_, ar.qspan = obs.StartSpan(ar.tctx, "serve.queue")
+	l.e.requeue(l, ar)
 }
 
 // retireIfDone retires a cancelled or deadline-expired request at this
@@ -169,10 +322,15 @@ func (l *lane) retireIfDone(ar *activeReq) bool {
 	return false
 }
 
-// emit records a generated token and invokes the streaming hook.
+// emit records a generated token and invokes the streaming hook —
+// except for the replayed prefix of a re-queued request, whose client
+// already holds those tokens.
 func (l *lane) emit(ar *activeReq, tok int64) {
 	idx := len(ar.tokens)
 	ar.tokens = append(ar.tokens, tok)
+	if idx < ar.replayed {
+		return
+	}
 	l.e.stats.tokensOut.Inc()
 	if ar.onToken != nil {
 		ar.onToken(Token{Index: idx, ID: tok})

@@ -22,6 +22,7 @@ import (
 	"genie/internal/global"
 	"genie/internal/obs"
 	"genie/internal/runtime"
+	"genie/internal/transport"
 )
 
 // Engine lifecycle errors.
@@ -38,6 +39,10 @@ var (
 	// 400): empty prompt, out-of-vocab token, or a prompt that already
 	// fills the model's context.
 	ErrInvalidRequest = errors.New("serve: invalid request")
+	// ErrBackendUnavailable sheds a request whose backend died and whose
+	// re-queue budget is spent (HTTP 503 with Retry-After): the engine
+	// retried on other lanes as far as policy allows before giving up.
+	ErrBackendUnavailable = errors.New("serve: backend unavailable")
 )
 
 // Config parameterizes the engine.
@@ -73,6 +78,23 @@ type Config struct {
 	// /metrics). Nil gets the engine a private registry, keeping
 	// concurrently-running engines (tests) isolated.
 	Metrics *obs.Registry
+	// RetryBudget bounds how many times one request may be re-queued
+	// after backend loss before it sheds with ErrBackendUnavailable
+	// (default 1; negative disables re-queueing entirely).
+	RetryBudget int
+	// RetryAfter is the hint clients receive (Retry-After header) when a
+	// request sheds with ErrBackendUnavailable (default 1s).
+	RetryAfter time.Duration
+	// OpTimeout bounds each remote operation (prefill, decode step) a
+	// lane issues, so a hung peer surfaces as a retryable timeout at the
+	// next step boundary instead of wedging the lane forever. 0 = no
+	// per-op bound (the request deadline still applies).
+	OpTimeout time.Duration
+	// BreakerThreshold and BreakerCooldown parameterize each lane's
+	// circuit breaker (zero values take transport's defaults: 3
+	// consecutive failures, 1s cooldown).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
 }
 
 func (c *Config) fillDefaults() {
@@ -90,6 +112,15 @@ func (c *Config) fillDefaults() {
 	}
 	if c.Metrics == nil {
 		c.Metrics = obs.NewRegistry()
+	}
+	if c.RetryBudget == 0 {
+		c.RetryBudget = 1
+	}
+	if c.RetryBudget < 0 {
+		c.RetryBudget = 0
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
 	}
 }
 
@@ -164,6 +195,13 @@ type activeReq struct {
 	// joined marks a request that holds a decode-batch slot (drives the
 	// per-tenant active accounting).
 	joined bool
+	// retries counts backend-loss re-queues consumed against the engine's
+	// RetryBudget.
+	retries int
+	// replayed is how many leading tokens were already delivered before a
+	// re-queue; the deterministic regeneration on the new lane re-emits
+	// nothing below this index.
+	replayed int
 
 	// Completion.
 	res  *Result
@@ -418,6 +456,38 @@ func (e *Engine) nudge() {
 	}
 }
 
+// requeue returns a request to the admission queue after its lane lost
+// the backend (or refused it at the breaker). Re-queued work bypasses
+// the MaxQueue bound — it was already admitted once — and wakes every
+// lane except the one that failed it, so a healthy lane picks it up
+// without the failed lane spinning on its own rejection.
+func (e *Engine) requeue(from *lane, ar *activeReq) {
+	e.mu.Lock()
+	e.queues.push(ar)
+	e.stats.queueDepth.Set(int64(e.queues.depth()))
+	e.mu.Unlock()
+	for _, l := range e.lanes {
+		if l == from {
+			continue
+		}
+		select {
+		case l.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// anyHealthyBackend reports whether at least one lane's breaker is
+// closed (the /healthz degraded signal).
+func (e *Engine) anyHealthyBackend() bool {
+	for _, l := range e.lanes {
+		if l.breaker.State() == transport.BreakerClosed {
+			return true
+		}
+	}
+	return false
+}
+
 // Drain stops admission (Submit fails with ErrDraining), lets every
 // already-admitted request run to completion, and returns when the
 // engine is empty or ctx expires. Lanes keep running; call Stop after.
@@ -482,8 +552,16 @@ func (e *Engine) Stats() Stats {
 		}
 	}
 	e.mu.Unlock()
+	st.Backends = make(map[string]BackendHealth, len(e.lanes))
 	for _, l := range e.lanes {
 		st.Active += int(l.activeN.Load())
+		state := l.breaker.State()
+		st.Backends[l.name] = BackendHealth{
+			Healthy:  state == transport.BreakerClosed,
+			Breaker:  state.String(),
+			Failures: l.failures.Load(),
+			Requeued: l.requeues.Load(),
+		}
 	}
 	return st
 }

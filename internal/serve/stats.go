@@ -13,10 +13,11 @@ const sampleCap = 8192
 
 // Request outcome labels (span attrs and collector counters).
 const (
-	outcomeCompleted = "completed"
-	outcomeFailed    = "failed"
-	outcomeCancelled = "cancelled"
-	outcomeExpired   = "expired"
+	outcomeCompleted   = "completed"
+	outcomeFailed      = "failed"
+	outcomeCancelled   = "cancelled"
+	outcomeExpired     = "expired"
+	outcomeUnavailable = "unavailable"
 )
 
 // LatencySummary is a percentile digest of one duration population.
@@ -36,6 +37,17 @@ type TenantLoad struct {
 	Active int `json:"active"`
 }
 
+// BackendHealth is one backend lane's availability view: whether its
+// breaker is closed, the breaker state by name, and how much trouble
+// the lane has seen (backend-loss errors observed, requests it handed
+// back to the queue).
+type BackendHealth struct {
+	Healthy  bool   `json:"healthy"`
+	Breaker  string `json:"breaker"`
+	Failures int64  `json:"failures"`
+	Requeued int64  `json:"requeued"`
+}
+
 // Stats is the engine's observable state — the /stats payload.
 type Stats struct {
 	// Queued is the current admission-queue depth; Active the number of
@@ -49,7 +61,11 @@ type Stats struct {
 	Expired   int64 `json:"expired"`
 	Cancelled int64 `json:"cancelled"`
 	Failed    int64 `json:"failed"`
-	TokensOut int64 `json:"tokens_out"`
+	// Requeued counts backend-loss re-queues; Unavailable counts
+	// requests shed after their re-queue budget ran out.
+	Requeued    int64 `json:"requeued"`
+	Unavailable int64 `json:"unavailable"`
+	TokensOut   int64 `json:"tokens_out"`
 	// Continuous-batching occupancy: how many requests shared a decode
 	// iteration. Mean > 1 means the engine actually merged requests.
 	MaxOccupancy  int     `json:"max_occupancy"`
@@ -62,6 +78,9 @@ type Stats struct {
 	Uptime       time.Duration  `json:"uptime_ns"`
 	// Tenants breaks Queued/Active down per tenant (omitted when idle).
 	Tenants map[string]TenantLoad `json:"tenants,omitempty"`
+	// Backends maps backend name to its lane's health view — the /stats
+	// surface for breaker transitions and failover activity.
+	Backends map[string]BackendHealth `json:"backends,omitempty"`
 }
 
 // collector is the engine's telemetry surface, backed by the process
@@ -73,13 +92,15 @@ type collector struct {
 	clock Clock
 	start time.Time
 
-	admitted  *obs.Counter
-	completed *obs.Counter
-	shed      *obs.Counter
-	expired   *obs.Counter
-	cancelled *obs.Counter
-	failed    *obs.Counter
-	tokensOut *obs.Counter
+	admitted    *obs.Counter
+	completed   *obs.Counter
+	shed        *obs.Counter
+	expired     *obs.Counter
+	cancelled   *obs.Counter
+	failed      *obs.Counter
+	requeued    *obs.Counter
+	unavailable *obs.Counter
+	tokensOut   *obs.Counter
 
 	queueDepth *obs.Gauge
 	activeReqs *obs.Gauge
@@ -113,6 +134,10 @@ func newCollector(clock Clock, reg *obs.Registry) *collector {
 			"requests retired on caller cancellation"),
 		failed: reg.Counter("genie_serve_failed_total",
 			"requests retired on execution error"),
+		requeued: reg.Counter("genie_serve_requeued_total",
+			"requests re-queued after backend loss"),
+		unavailable: reg.Counter("genie_serve_unavailable_total",
+			"requests shed after exhausting their backend-loss retry budget"),
 		tokensOut: reg.Counter("genie_serve_tokens_total",
 			"tokens generated across all requests"),
 		queueDepth: reg.Gauge("genie_serve_queue_depth",
@@ -141,6 +166,8 @@ func (c *collector) countOutcome(outcome string) {
 		c.cancelled.Inc()
 	case outcomeExpired:
 		c.expired.Inc()
+	case outcomeUnavailable:
+		c.unavailable.Inc()
 	}
 }
 
@@ -185,9 +212,11 @@ func (c *collector) snapshot() Stats {
 		Completed: c.completed.Value(),
 		Shed:      c.shed.Value(),
 		Expired:   c.expired.Value(),
-		Cancelled: c.cancelled.Value(),
-		Failed:    c.failed.Value(),
-		TokensOut: c.tokensOut.Value(),
+		Cancelled:   c.cancelled.Value(),
+		Failed:      c.failed.Value(),
+		Requeued:    c.requeued.Value(),
+		Unavailable: c.unavailable.Value(),
+		TokensOut:   c.tokensOut.Value(),
 		TTFT:      summarize(c.ttfts),
 		Latency:   summarize(c.lats),
 		Uptime:    c.clock.Now().Sub(c.start),

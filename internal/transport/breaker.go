@@ -1,0 +1,219 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"genie/internal/obs"
+)
+
+// ErrBreakerOpen is returned by Breaker.Allow while the endpoint is
+// quarantined: recent calls failed and the cooldown has not elapsed.
+var ErrBreakerOpen = errors.New("transport: circuit breaker open")
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: calls flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: calls are rejected until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: one probe call is in flight; its outcome decides
+	// between reopening and closing.
+	BreakerHalfOpen
+)
+
+// String returns the state label used in /stats and metrics.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half_open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig parameterizes a Breaker.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that trips the breaker
+	// open (default 3).
+	Threshold int
+	// Cooldown is how long the breaker stays open before admitting a
+	// half-open probe (default 1s).
+	Cooldown time.Duration
+	// Now overrides the clock (tests); default time.Now.
+	Now func() time.Time
+	// IsFailure decides which errors count against the endpoint. The
+	// default counts availability failures (ClassRetryable) and protocol
+	// violations (ClassFatal, excluding caller-side cancellation);
+	// application-level RemoteErrors prove the server is alive and reset
+	// the streak.
+	IsFailure func(error) bool
+}
+
+// Breaker is a per-endpoint circuit breaker: after Threshold
+// consecutive failures it fails fast (Allow returns ErrBreakerOpen)
+// instead of burning a timeout per call on a dead backend, then probes
+// with a single call per cooldown until one succeeds.
+//
+// Usage: gate each call with Allow, then report its outcome to Record.
+// Every Allow that returns nil must be paired with exactly one Record,
+// otherwise a half-open probe slot leaks and the breaker sticks open.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu      sync.Mutex
+	state   BreakerState
+	fails   int
+	until   time.Time // earliest instant an open breaker admits a probe
+	probing bool      // half-open probe currently in flight
+
+	// Optional obs instrumentation (nil without Instrument).
+	transitions [3]*obs.Counter // indexed by destination state
+	rejected    *obs.Counter
+	stateGauge  *obs.Gauge
+}
+
+// NewBreaker builds a breaker; the zero config gives threshold 3,
+// cooldown 1s, wall clock.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 3
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.IsFailure == nil {
+		cfg.IsFailure = func(err error) bool {
+			switch Classify(err) {
+			case ClassRetryable:
+				return true
+			case ClassFatal:
+				return !errors.Is(err, context.Canceled)
+			}
+			return false
+		}
+	}
+	return &Breaker{cfg: cfg}
+}
+
+// Instrument registers this breaker's counters and state gauge on reg,
+// labeled by endpoint, so trips and rejections show up in /metrics.
+func (b *Breaker) Instrument(reg *obs.Registry, endpoint string) {
+	if reg == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for st := BreakerClosed; st <= BreakerHalfOpen; st++ {
+		b.transitions[st] = reg.Counter("genie_breaker_transitions_total",
+			"circuit breaker state transitions", "endpoint", endpoint, "to", st.String())
+	}
+	b.rejected = reg.Counter("genie_breaker_rejected_total",
+		"calls rejected while the breaker was open", "endpoint", endpoint)
+	b.stateGauge = reg.Gauge("genie_breaker_state",
+		"breaker position (0 closed, 1 open, 2 half-open)", "endpoint", endpoint)
+	b.stateGauge.Set(int64(b.state))
+}
+
+// Allow reports whether a call may proceed. nil admits the call (and,
+// in half-open, claims the probe slot); ErrBreakerOpen rejects it.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		if b.cfg.Now().Before(b.until) {
+			b.reject()
+			return ErrBreakerOpen
+		}
+		b.setState(BreakerHalfOpen)
+		b.probing = true
+		return nil
+	default: // BreakerHalfOpen
+		if b.probing {
+			b.reject()
+			return ErrBreakerOpen
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// Record reports the outcome of an admitted call. Success (or an error
+// the breaker doesn't count) closes the breaker and clears the failure
+// streak; a counted failure extends it and trips the breaker at the
+// threshold, or immediately when a half-open probe fails.
+func (b *Breaker) Record(err error) {
+	failure := err != nil && b.cfg.IsFailure(err)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	wasProbe := b.state == BreakerHalfOpen
+	if wasProbe {
+		b.probing = false
+	}
+	if !failure {
+		b.fails = 0
+		if b.state != BreakerClosed {
+			b.setState(BreakerClosed)
+		}
+		return
+	}
+	b.fails++
+	if wasProbe || (b.state == BreakerClosed && b.fails >= b.cfg.Threshold) {
+		b.setState(BreakerOpen)
+		b.until = b.cfg.Now().Add(b.cfg.Cooldown)
+	}
+}
+
+// State returns the current position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// RetryAfter returns how long until an open breaker admits its next
+// probe — the value served in 503 Retry-After headers. Zero when the
+// breaker is not open.
+func (b *Breaker) RetryAfter() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerOpen {
+		return 0
+	}
+	d := b.until.Sub(b.cfg.Now())
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// setState transitions and updates instrumentation; callers hold b.mu.
+func (b *Breaker) setState(s BreakerState) {
+	b.state = s
+	if c := b.transitions[s]; c != nil {
+		c.Inc()
+	}
+	if b.stateGauge != nil {
+		b.stateGauge.Set(int64(s))
+	}
+}
+
+// reject counts a fast-failed call; callers hold b.mu.
+func (b *Breaker) reject() {
+	if b.rejected != nil {
+		b.rejected.Inc()
+	}
+}

@@ -26,8 +26,14 @@ func (c *Client) Close() error { return c.conn.Close() }
 
 // Ping measures a protocol round trip.
 func (c *Client) Ping() (time.Duration, error) {
+	return c.PingCtx(nil)
+}
+
+// PingCtx is Ping with the context's deadline applied — the liveness
+// probe used to confirm a backend recovered before routing work back.
+func (c *Client) PingCtx(ctx context.Context) (time.Duration, error) {
 	start := time.Now()
-	t, _, err := c.conn.Call(MsgPing, nil)
+	t, _, err := c.conn.CallCtx(ctx, MsgPing, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -49,7 +55,7 @@ func (c *Client) UploadCtx(ctx context.Context, key string, data *tensor.Tensor)
 	payload := EncodeUpload(&Upload{Key: key, Data: data})
 	_, span := obs.StartSpan(ctx, "transport.upload")
 	span.SetAttrInt("send_bytes", int64(len(payload)))
-	t, p, err := c.conn.CallEnv(MsgUpload, Envelope{Trace: span.TraceID(), Span: span.SpanID()}, payload)
+	t, p, err := c.conn.CallEnvCtx(ctx, MsgUpload, Envelope{Trace: span.TraceID(), Span: span.SpanID()}, payload)
 	span.SetAttrInt("recv_bytes", int64(len(p)))
 	span.End()
 	if err != nil {
@@ -76,7 +82,7 @@ func (c *Client) ExecCtx(ctx context.Context, x *Exec) (*ExecOK, error) {
 	}
 	_, span := obs.StartSpan(ctx, "transport.exec")
 	span.SetAttrInt("send_bytes", int64(len(payload)))
-	t, p, err := c.conn.CallEnv(MsgExec, Envelope{Trace: span.TraceID(), Span: span.SpanID()}, payload)
+	t, p, err := c.conn.CallEnvCtx(ctx, MsgExec, Envelope{Trace: span.TraceID(), Span: span.SpanID()}, payload)
 	span.SetAttrInt("recv_bytes", int64(len(p)))
 	span.End()
 	if err != nil {
@@ -108,7 +114,13 @@ func (c *Client) ExecVerified(x *Exec) (*ExecOK, error) {
 
 // Fetch retrieves a resident object; epoch 0 skips staleness checking.
 func (c *Client) Fetch(key string, epoch uint32) (*tensor.Tensor, error) {
-	t, p, err := c.conn.Call(MsgFetch, EncodeFetch(&Fetch{Key: key, Epoch: epoch}))
+	return c.FetchCtx(nil, key, epoch)
+}
+
+// FetchCtx is Fetch with the context's deadline applied to the round
+// trip.
+func (c *Client) FetchCtx(ctx context.Context, key string, epoch uint32) (*tensor.Tensor, error) {
+	t, p, err := c.conn.CallCtx(ctx, MsgFetch, EncodeFetch(&Fetch{Key: key, Epoch: epoch}))
 	if err != nil {
 		return nil, err
 	}

@@ -2,10 +2,12 @@ package transport
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -119,6 +121,10 @@ func (c *Conn) Close() error {
 	return c.raw.Close()
 }
 
+// Dead reports whether the conn has been closed or poisoned by a failed
+// round trip. A dead conn cannot be revived; callers should redial.
+func (c *Conn) Dead() bool { return c.dead.Load() }
+
 // Send writes one untraced frame.
 func (c *Conn) Send(t MsgType, payload []byte) error {
 	return c.SendEnv(t, Envelope{}, payload)
@@ -147,10 +153,16 @@ func (c *Conn) Recv() (MsgType, []byte, error) {
 	return t, payload, err
 }
 
-// RecvEnv reads one frame plus the peer's trace envelope.
+// RecvEnv reads one frame plus the peer's trace envelope. A malformed
+// frame (oversize length prefix, corrupt header) poisons and closes the
+// conn: after one bad frame the stream's boundaries can no longer be
+// trusted, so continuing to read would desynchronize every later call.
 func (c *Conn) RecvEnv() (MsgType, Envelope, []byte, error) {
 	t, env, payload, err := ReadFrameEnv(c.br)
 	if err != nil {
+		if IsFrameError(err) {
+			_ = c.Close()
+		}
 		return 0, Envelope{}, nil, err
 	}
 	n := env.wireSize(len(payload))
@@ -168,20 +180,117 @@ func (c *Conn) Call(t MsgType, payload []byte) (MsgType, []byte, error) {
 
 // CallEnv performs one round trip with trace context attached to the
 // request frame, so the server can parent its spans under the caller.
+//
+// A failed send or receive poisons the conn (Dead reports true and the
+// socket is closed): the synchronous protocol cannot tell whether the
+// peer consumed the request, so a response may still be in flight and
+// would desynchronize the next call. RemoteError responses (MsgErr) are
+// application-level and leave the conn healthy.
 func (c *Conn) CallEnv(t MsgType, env Envelope, payload []byte) (MsgType, []byte, error) {
 	c.ctr.Calls.Add(1)
 	c.tel.onCall(t)
 	if err := c.SendEnv(t, env, payload); err != nil {
+		_ = c.Close()
 		return 0, nil, fmt.Errorf("transport: send: %w", err)
 	}
 	rt, rp, err := c.Recv()
 	if err != nil {
+		_ = c.Close()
 		return 0, nil, fmt.Errorf("transport: recv: %w", err)
 	}
 	if rt == MsgErr {
 		return rt, nil, DecodeErr(rp)
 	}
 	return rt, rp, nil
+}
+
+// CallCtx is Call with the context's deadline and cancellation applied
+// to the round trip's socket I/O.
+func (c *Conn) CallCtx(ctx context.Context, t MsgType, payload []byte) (MsgType, []byte, error) {
+	return c.CallEnvCtx(ctx, t, Envelope{}, payload)
+}
+
+// CallEnvCtx is CallEnv with per-call deadlines: the context's deadline
+// is installed as the socket's read+write deadline for the duration of
+// the round trip, and cancellation mid-call forces the blocked I/O to
+// fail immediately. This is what keeps a hung or partitioned peer from
+// wedging the caller forever — the call returns once ctx expires, the
+// conn is poisoned (a late response can't be re-associated), and the
+// caller can redial or fail over.
+func (c *Conn) CallEnvCtx(ctx context.Context, t MsgType, env Envelope, payload []byte) (MsgType, []byte, error) {
+	release, err := c.armDeadline(ctx)
+	if err != nil {
+		return 0, nil, fmt.Errorf("transport: call: %w", err)
+	}
+	rt, rp, err := c.CallEnv(t, env, payload)
+	release()
+	if err != nil && ctx != nil && !IsRemote(err) {
+		if cerr := ctx.Err(); cerr != nil {
+			// The I/O error was induced by expiry/cancel; surface the cause.
+			return 0, nil, fmt.Errorf("transport: call: %w", cerr)
+		}
+		// The armed I/O deadline *is* the ctx deadline, so a raw timeout
+		// means the ctx expired even if its own timer hasn't fired yet.
+		if _, has := ctx.Deadline(); has && errors.Is(err, os.ErrDeadlineExceeded) {
+			return 0, nil, fmt.Errorf("transport: call: %w", context.DeadlineExceeded)
+		}
+	}
+	return rt, rp, err
+}
+
+// armDeadline applies ctx's deadline to the raw socket and spawns a
+// watcher that yanks the deadline on cancellation. The returned release
+// stops the watcher and clears the deadline; it must be called exactly
+// once, after the round trip.
+func (c *Conn) armDeadline(ctx context.Context) (release func(), err error) {
+	if ctx == nil {
+		return func() {}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	deadline, hasDeadline := ctx.Deadline()
+	if hasDeadline {
+		_ = c.raw.SetDeadline(deadline)
+	}
+	done := ctx.Done()
+	if done == nil {
+		if !hasDeadline {
+			return func() {}, nil
+		}
+		return func() { _ = c.raw.SetDeadline(time.Time{}) }, nil
+	}
+	stop := make(chan struct{})
+	var mu sync.Mutex
+	released := false
+	go func() {
+		select {
+		case <-done:
+			// Force any blocked read/write on this conn to fail now —
+			// unless release already ran. The guard matters: when the call
+			// completes and the caller cancels its ctx immediately after,
+			// this goroutine may not have been scheduled yet and sees both
+			// channels ready; picking done here would plant a poison
+			// deadline on the conn AFTER release cleared it, failing the
+			// next, innocent call on this conn.
+			mu.Lock()
+			if !released {
+				// SetDeadline never blocks; holding mu here is what makes
+				// the released-check and the poison atomic against release.
+				//lint:ignore lockscope SetDeadline is non-blocking
+				_ = c.raw.SetDeadline(time.Unix(1, 0))
+			}
+			mu.Unlock()
+		case <-stop:
+		}
+	}()
+	return func() {
+		mu.Lock()
+		released = true
+		mu.Unlock()
+		close(stop)
+		_ = c.raw.SetDeadline(time.Time{})
+	}, nil
 }
 
 // Dial connects to a Genie server.

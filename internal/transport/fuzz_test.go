@@ -91,9 +91,32 @@ func FuzzReadFrame(f *testing.F) {
 	_ = WriteFrame(&buf, MsgPing, []byte("hello"))
 	f.Add(buf.Bytes())
 	f.Add([]byte{5, 0, 0, 0, 1, 'a', 'b', 'c', 'd', 'e'})
+	// Oversize length prefixes: just past maxFrame, and the maximum u32.
+	f.Add([]byte{0x01, 0x00, 0x00, 0x40, byte(MsgExec)})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, byte(MsgExec), 0, 0})
+	// Traced frame with a corrupt (truncated) envelope: the type byte
+	// carries envFlag but fewer than 16 envelope bytes follow.
+	f.Add([]byte{0, 0, 0, 0, byte(MsgPing) | envFlag, 1, 2, 3})
+	// Traced frame whose envelope is intact but whose payload is short.
+	{
+		var env bytes.Buffer
+		_ = WriteFrameEnv(&env, MsgExec, Envelope{Trace: 7, Span: 9}, []byte("payload"))
+		full := env.Bytes()
+		f.Add(full)
+		f.Add(full[:len(full)-3])
+	}
+	// envFlag over an invalid base type: must pass through as an unknown
+	// type, not stall reading an envelope that was never sent.
+	f.Add([]byte{0, 0, 0, 0, 0xfa})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		mt, payload, err := ReadFrame(bytes.NewReader(data))
 		if err != nil {
+			// Errors are fine; what matters is that malformed frames are
+			// typed correctly so conns know to close. An oversize length
+			// prefix must be a FrameError, not a silent allocation.
+			if len(data) >= 4 && bytes.Equal(data[:4], []byte{0xff, 0xff, 0xff, 0xff}) && !IsFrameError(err) {
+				t.Fatalf("oversize frame returned untyped error %T: %v", err, err)
+			}
 			return
 		}
 		// A read frame re-serializes to a readable frame.

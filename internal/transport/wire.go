@@ -10,6 +10,7 @@ package transport
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
@@ -57,6 +58,28 @@ const (
 // maxFrame bounds a frame payload (1 GiB) against malformed peers.
 const maxFrame = 1 << 30
 
+// FrameError marks a malformed wire frame or payload: an oversize
+// length prefix, a truncated buffer, or a field that fails validation.
+// Frame errors are fatal for the stream — after one, the reader can no
+// longer trust frame boundaries — so Conn closes itself on receipt
+// (see Conn.RecvEnv) and Classify reports them as ClassFatal.
+type FrameError struct{ msg string }
+
+// Error implements the error interface.
+func (e *FrameError) Error() string { return e.msg }
+
+// frameErrorf builds a FrameError with fmt-style formatting.
+func frameErrorf(format string, args ...any) *FrameError {
+	return &FrameError{msg: fmt.Sprintf(format, args...)}
+}
+
+// IsFrameError reports whether err (or anything it wraps) is a
+// malformed-frame error.
+func IsFrameError(err error) bool {
+	var fe *FrameError
+	return errors.As(err, &fe)
+}
+
 // envFlag marks a frame whose header carries a trace envelope. MsgType
 // values stay well below 0x80, so the bit is free in the type byte and
 // untraced frames keep the original 5-byte wire format — tracing
@@ -101,7 +124,7 @@ func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
 // payload.
 func WriteFrameEnv(w io.Writer, t MsgType, env Envelope, payload []byte) error {
 	if len(payload) > maxFrame {
-		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(payload))
+		return frameErrorf("transport: frame of %d bytes exceeds limit", len(payload))
 	}
 	var hdr [frameHeader + envSize]byte
 	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
@@ -136,7 +159,7 @@ func ReadFrameEnv(r io.Reader) (MsgType, Envelope, []byte, error) {
 	}
 	n := binary.LittleEndian.Uint32(hdr[:4])
 	if n > maxFrame {
-		return 0, Envelope{}, nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+		return 0, Envelope{}, nil, frameErrorf("transport: frame of %d bytes exceeds limit", n)
 	}
 	var env Envelope
 	t := hdr[4]
@@ -244,7 +267,7 @@ type rdr struct {
 
 func (r *rdr) fail(msg string) {
 	if r.err == nil {
-		r.err = fmt.Errorf("transport: %s at offset %d", msg, r.off)
+		r.err = frameErrorf("transport: %s at offset %d", msg, r.off)
 	}
 }
 
@@ -467,7 +490,7 @@ func DecodeExec(b []byte) (*Exec, error) {
 	x := &Exec{Graph: g}
 	nBind := int(r.u32())
 	if r.err == nil && nBind > 1<<20 {
-		return nil, fmt.Errorf("transport: %d bindings", nBind)
+		return nil, frameErrorf("transport: %d bindings", nBind)
 	}
 	for i := 0; i < nBind && r.err == nil; i++ {
 		bd := Binding{Ref: r.str()}
@@ -481,7 +504,7 @@ func DecodeExec(b []byte) (*Exec, error) {
 	}
 	nKeep := int(r.u32())
 	if r.err == nil && nKeep > 1<<20 {
-		return nil, fmt.Errorf("transport: %d keeps", nKeep)
+		return nil, frameErrorf("transport: %d keeps", nKeep)
 	}
 	if nKeep > 0 {
 		x.Keep = make(map[srg.NodeID]string, nKeep)
@@ -492,7 +515,7 @@ func DecodeExec(b []byte) (*Exec, error) {
 	}
 	nWant := int(r.u32())
 	if r.err == nil && nWant > 1<<20 {
-		return nil, fmt.Errorf("transport: %d wants", nWant)
+		return nil, frameErrorf("transport: %d wants", nWant)
 	}
 	for i := 0; i < nWant && r.err == nil; i++ {
 		x.Want = append(x.Want, srg.NodeID(r.u32()))
@@ -577,7 +600,7 @@ func DecodeExecOK(b []byte) (*ExecOK, error) {
 	a := &ExecOK{}
 	nRes := int(r.u32())
 	if r.err == nil && nRes > 1<<20 {
-		return nil, fmt.Errorf("transport: %d results", nRes)
+		return nil, frameErrorf("transport: %d results", nRes)
 	}
 	if nRes > 0 {
 		a.Results = make(map[srg.NodeID]*tensor.Tensor, nRes)
@@ -588,7 +611,7 @@ func DecodeExecOK(b []byte) (*ExecOK, error) {
 	}
 	nKept := int(r.u32())
 	if r.err == nil && nKept > 1<<20 {
-		return nil, fmt.Errorf("transport: %d kepts", nKept)
+		return nil, frameErrorf("transport: %d kepts", nKept)
 	}
 	if nKept > 0 {
 		a.Kept = make(map[string]int64, nKept)
