@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race check bench bench-kernels parity chaos
+.PHONY: all build vet lint test test-short race check bench bench-kernels parity chaos pool
 
 all: check
 
@@ -49,6 +49,14 @@ parity:
 # injection, hung-peer deadlines, breaker trips, lineage failover, and
 # the kill-backend-mid-decode soak (bit-identical tokens after
 # recovery). GENIE_CHAOS_SEED pins the fault schedule when reproducing.
+# Sharded backend pool under the race detector: plan strategies, 2-way
+# parity vs local decode, voluntary leave and chaos crash mid-decode
+# (byte-identical completion), and the join/leave/join churn soak with
+# goroutine-leak checks.
+pool:
+	$(GO) test -race -count=1 ./internal/pool/ -run .
+	$(GO) test -race -count=1 ./internal/cluster/ -run 'Remove|Evict'
+
 chaos:
 	$(GO) test -race -count=1 ./internal/chaos/ -run .
 	$(GO) test -race -count=1 ./internal/transport/ -run 'Retry|Breaker|Chaos|Deadline|Dropped|Corrupt|Stall|Kill|Frame'

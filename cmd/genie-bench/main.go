@@ -17,19 +17,25 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
 	"os"
 	goruntime "runtime"
 	"strings"
 	"time"
 
+	"genie/internal/backend"
+	"genie/internal/cluster"
 	"genie/internal/compute"
+	"genie/internal/device"
 	"genie/internal/eval"
 	"genie/internal/models"
 	"genie/internal/obs"
+	"genie/internal/pool"
 	"genie/internal/runtime"
 	"genie/internal/scheduler"
 	"genie/internal/tensor"
 	"genie/internal/tensor/ops"
+	"genie/internal/transport"
 )
 
 func main() {
@@ -39,6 +45,8 @@ func main() {
 	obsSection := flag.Bool("obs", false, "print only the observability section (tracing cost, span + metrics demo)")
 	chaosSection := flag.Bool("chaos", false,
 		"print only the fault-tolerance section (goodput under a backend crash vs no-fault baseline; GENIE_CHAOS_SEED pins the schedule)")
+	shardSection := flag.Bool("shard-report", false,
+		"print only the sharded-placement section (per-op shard report + live pool sharding at 1/2/4 ways)")
 	rpc := flag.String("rpc", "tensorpipe", "transport profile: tensorpipe | rdma")
 	naiveReupload := flag.Float64("naive-reupload", 1,
 		"calls per weight re-upload in Naive mode (1 = paper's stated policy; ~6.5 matches its measured decode)")
@@ -56,7 +64,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	all := *table == 0 && !*ablations && !*kernels && !*obsSection && !*chaosSection
+	all := *table == 0 && !*ablations && !*kernels && !*obsSection && !*chaosSection && !*shardSection
 	if all || *kernels {
 		printKernels()
 	}
@@ -65,6 +73,9 @@ func main() {
 	}
 	if all || *chaosSection {
 		printChaos()
+	}
+	if all || *shardSection {
+		printShardReport()
 	}
 	if all || *table == 1 {
 		printTable1()
@@ -256,6 +267,155 @@ func printChaos() {
 	fmt.Println(" the survivor, so the crash costs duplicate compute, not correctness —")
 	fmt.Println(" CPU wall-clock numbers, not the paper's modeled GPU times)")
 	fmt.Println()
+}
+
+// printShardReport covers both sharding layers: the per-op scheduler
+// placement (seed policy, ShardReport's per-shard bytes and cut edges)
+// and the pool layer's live sharded serving at 1/2/4 ways — real
+// backends over net.Pipe, measured tokens/sec, cross-shard activation
+// traffic, and the wall-clock cost of re-placing shards when a member
+// leaves mid-service.
+func printShardReport() {
+	fmt.Println("== S: sharded placement (scheduler per-op report + live pool) ==")
+
+	// Per-op shard report: the prefill graph on a pool whose members
+	// each hold 2/3 of the model, forcing a memory-driven split.
+	rng := rand.New(rand.NewSource(5))
+	gpt := models.NewGPT(rng, models.TinyGPT)
+	b, _ := gpt.BuildPrefill([]int64{3, 14, 15, 9, 2, 6})
+	cs := cluster.NewState()
+	small := device.A100
+	small.MemBytes = gpt.Cfg.WeightBytes() * 2 / 3
+	for i := 0; i < 3; i++ {
+		if err := cs.AddAccelerator(&cluster.Accelerator{
+			ID:   cluster.AcceleratorID(fmt.Sprint("gpu", i)),
+			Spec: small,
+			Link: cluster.Link{Bandwidth: 25e9 / 8, RTT: 200 * time.Microsecond},
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	plan, err := scheduler.Schedule(b.Graph(), cs, scheduler.SemanticsAware{},
+		scheduler.NewCostModel(scheduler.RDMAProfile))
+	if err != nil {
+		log.Fatal(err)
+	}
+	report := scheduler.ShardReport(plan)
+	fmt.Printf("per-op placement (TinyGPT prefill, member cap %d B of %d B weights):\n",
+		small.MemBytes, gpt.Cfg.WeightBytes())
+	for i := 0; i < 3; i++ {
+		id := cluster.AcceleratorID(fmt.Sprint("gpu", i))
+		st := report.PerDevice[id]
+		fmt.Printf("  %-6s %3d compute nodes, %6d weight bytes\n", id, st.Ops, st.WeightBytes)
+	}
+	fmt.Printf("  cut: %d edges, %d activation bytes\n\n", report.CutEdges, report.CutBytes)
+
+	// Live pool: a 4-layer tiny model pipelined across 1, 2, and 4
+	// members, plus a hot spare that absorbs a mid-service departure.
+	cfg4 := models.GPTConfig{
+		Layers: 4, Dim: 32, Heads: 4, Hidden: 64,
+		Vocab: 96, MaxSeq: 64, WeightBytesPerParam: 4,
+	}
+	fmt.Printf("live pool (4-layer tiny GPT, %d B weights, pipeline strategy):\n", cfg4.WeightBytes())
+	fmt.Printf("%-6s %8s %10s %16s %16s\n", "ways", "tok/s", "shards", "cross-shard B", "leave rebuild")
+	for _, ways := range []int{1, 2, 4} {
+		row, err := livePoolRow(cfg4, ways)
+		if err != nil {
+			fmt.Printf("%-6d pool failed: %v\n", ways, err)
+			continue
+		}
+		fmt.Printf("%-6d %8.0f %10d %16d %16v\n",
+			ways, row.tokensPerSec, row.shards, row.crossBytes, row.rebuild.Round(10*time.Microsecond))
+	}
+	fmt.Println("(host wall-clock over net.Pipe backends; cross-shard B is activation")
+	fmt.Println(" traffic for the whole run, leave rebuild is Leave() wall time incl.")
+	fmt.Println(" lineage replay of the departed member's weights and KV onto the spare)")
+	fmt.Println()
+}
+
+type poolRow struct {
+	tokensPerSec float64
+	shards       int
+	crossBytes   int64
+	rebuild      time.Duration
+}
+
+// livePoolRow serves one generation over a pool of `ways` members, then
+// times a member departure. Backends are real backend.Servers reached
+// through transport over net.Pipe.
+func livePoolRow(cfg models.GPTConfig, ways int) (poolRow, error) {
+	gpt := models.NewGPT(rand.New(rand.NewSource(5)), cfg)
+	// RebalanceOnJoin spreads stages as members arrive (the members are
+	// not memory-constrained here); once the session below is live, its
+	// KV pins the plan, so the late "spare" join stays a spare.
+	mgr, err := pool.NewManager(pool.Config{
+		Model: gpt, Strategy: pool.StrategyPipeline, RebalanceOnJoin: true,
+	})
+	if err != nil {
+		return poolRow{}, err
+	}
+	link := cluster.Link{Bandwidth: 25e9 / 8}
+	var closers []func()
+	defer func() {
+		for _, c := range closers {
+			c()
+		}
+	}()
+	add := func(name string) error {
+		rawC, rawS := net.Pipe()
+		cconn := transport.NewConn(rawC, nil, nil)
+		sconn := transport.NewConn(rawS, nil, nil)
+		srv := backend.NewServer(device.A100)
+		go func() { _ = srv.Serve(sconn) }()
+		closers = append(closers, func() { _ = cconn.Close(); _ = sconn.Close() })
+		return mgr.Join(name, transport.NewClient(cconn), device.A100, link)
+	}
+	for i := 0; i < ways; i++ {
+		if err := add(fmt.Sprint("m", i)); err != nil {
+			return poolRow{}, err
+		}
+	}
+
+	const steps = 32
+	s, err := mgr.Runner().NewScopedSessionCtx(context.Background(), runtime.ModeSemAware, "bench/")
+	if err != nil {
+		return poolRow{}, err
+	}
+	start := time.Now()
+	if _, err := s.Prefill([]int64{3, 14, 15, 9, 2, 6}); err != nil {
+		return poolRow{}, err
+	}
+	for i := 0; i < steps; i++ {
+		if _, err := s.Step(); err != nil {
+			return poolRow{}, err
+		}
+	}
+	el := time.Since(start)
+
+	// A spare joins (plan unchanged), then a shard owner departs; the
+	// Leave call covers plan rebuild + lineage replay of the departed
+	// member's shard onto the spare, with the session's KV still live.
+	if err := add("spare"); err != nil {
+		return poolRow{}, err
+	}
+	victim := mgr.Plan().Owners[0]
+	rebuildStart := time.Now()
+	if err := mgr.Leave(victim); err != nil {
+		return poolRow{}, err
+	}
+	rebuild := time.Since(rebuildStart)
+	if _, err := s.Step(); err != nil {
+		return poolRow{}, fmt.Errorf("post-leave step: %w", err)
+	}
+	_ = s.Close()
+
+	st := mgr.Status()
+	return poolRow{
+		tokensPerSec: float64(steps+1) / el.Seconds(),
+		shards:       len(st.Shards),
+		crossBytes:   st.CrossShardBytes,
+		rebuild:      rebuild,
+	}, nil
 }
 
 func printTable1() {

@@ -20,6 +20,14 @@
 //	genie-gateway -addr :8080 -backends 127.0.0.1:7009,127.0.0.1:7010 \
 //	  -mode semantics_aware -seed 1 -queue 64 -batch 8
 //
+// With -pool-backends the listed servers instead form one sharded
+// backend pool: the model splits across members (pipeline/tensor/memory
+// placement via -shard-strategy), members may join or leave at runtime,
+// and /stats exposes the live shard plan under "pool".
+//
+//	genie-gateway -addr :8080 -pool-backends 127.0.0.1:7009,127.0.0.1:7010 \
+//	  -shard-strategy auto -pool-mem-bytes 70000
+//
 // SIGINT/SIGTERM drains gracefully: admission closes, queued and
 // running requests finish, then the process exits.
 package main
@@ -37,8 +45,11 @@ import (
 	"syscall"
 	"time"
 
+	"genie/internal/cluster"
+	"genie/internal/device"
 	"genie/internal/models"
 	"genie/internal/obs"
+	"genie/internal/pool"
 	"genie/internal/runtime"
 	"genie/internal/serve"
 	"genie/internal/transport"
@@ -70,6 +81,17 @@ func main() {
 	trace := flag.Bool("trace", true, "record request-scoped spans (GET /debug/trace)")
 	traceCap := flag.Int("trace-cap", 4096, "span ring-buffer capacity (oldest spans overwritten)")
 	traceDump := flag.String("trace-dump", "", "write Chrome trace JSON to this file at shutdown")
+	poolBackends := flag.String("pool-backends", "",
+		"comma-separated genie-server addresses forming ONE sharded backend pool "+
+			"(the model splits across them; mutually exclusive with -backends lanes)")
+	shardStrategy := flag.String("shard-strategy", "auto",
+		"pool shard placement: memory, tensor, pipeline, or auto (cheapest feasible)")
+	poolRebalance := flag.Bool("pool-rebalance-on-join", false,
+		"re-place shards when a member joins (only while no session KV is live); "+
+			"default keeps newcomers as hot spares")
+	poolMemBytes := flag.Int64("pool-mem-bytes", 0,
+		"per-member memory capacity the shard planner assumes, in bytes "+
+			"(0 = the modeled device default; small values force multi-member sharding)")
 	flag.Parse()
 
 	mode, err := runtime.ParseMode(*modeName)
@@ -89,28 +111,82 @@ func main() {
 	}
 	tel := transport.NewTelemetry(reg)
 
-	var pool []serve.Backend
-	for _, baddr := range strings.Split(*backends, ",") {
-		baddr = strings.TrimSpace(baddr)
-		if baddr == "" {
-			continue
+	// Two backend topologies: the default gives each -backends address its
+	// own lane with a full model replica; -pool-backends instead shards ONE
+	// model across every listed address behind a single pool.Manager lane,
+	// so models larger than any one member's memory still serve.
+	var lanes []serve.Backend
+	var poolStats func() any
+	if *poolBackends != "" {
+		if mode == runtime.ModeLocal {
+			log.Fatal("genie-gateway: -pool-backends needs a remote mode (the pool shards across backends)")
 		}
-		r := &runtime.LLMRunner{
-			Model: models.NewGPT(rand.New(rand.NewSource(*seed)), models.TinyGPT),
+		strat, err := pool.ParseStrategy(*shardStrategy)
+		if err != nil {
+			log.Fatalf("genie-gateway: %v", err)
 		}
-		if mode != runtime.ModeLocal {
+		mgr, err := pool.NewManager(pool.Config{
+			Model:           models.NewGPT(rand.New(rand.NewSource(*seed)), models.TinyGPT),
+			Strategy:        strat,
+			Metrics:         reg,
+			RebalanceOnJoin: *poolRebalance,
+		})
+		if err != nil {
+			log.Fatalf("genie-gateway: %v", err)
+		}
+		// The paper's 25 Gbps network path; member capacity defaults to the
+		// modeled A100 unless -pool-mem-bytes narrows it.
+		link := cluster.Link{Bandwidth: 3.125e9}
+		spec := device.A100
+		if *poolMemBytes > 0 {
+			spec.MemBytes = *poolMemBytes
+		}
+		for _, baddr := range strings.Split(*poolBackends, ",") {
+			baddr = strings.TrimSpace(baddr)
+			if baddr == "" {
+				continue
+			}
 			conn, err := transport.Dial(baddr, nil, nil)
 			if err != nil {
-				log.Fatalf("genie-gateway: backend %s: %v", baddr, err)
+				log.Fatalf("genie-gateway: pool member %s: %v", baddr, err)
 			}
 			defer conn.Close()
 			conn.SetTelemetry(tel)
-			r.EP = transport.NewClient(conn)
-			r.Counters = conn.Counters()
+			if err := mgr.Join(baddr, transport.NewClient(conn), spec, link); err != nil {
+				log.Fatalf("genie-gateway: pool member %s: %v", baddr, err)
+			}
 		}
-		pool = append(pool, serve.Backend{Name: baddr, Runner: r})
+		plan := mgr.Plan()
+		if plan == nil {
+			log.Fatal("genie-gateway: pool has no feasible shard plan (add members or raise -pool-mem-bytes)")
+		}
+		log.Printf("genie-gateway: pool sharded %s across %d member(s), %d cut edge(s)",
+			strat, len(plan.Members()), plan.CutEdges)
+		lanes = append(lanes, serve.Backend{Name: "pool", Runner: mgr.Runner()})
+		poolStats = func() any { return mgr.Status() }
+	} else {
+		for _, baddr := range strings.Split(*backends, ",") {
+			baddr = strings.TrimSpace(baddr)
+			if baddr == "" {
+				continue
+			}
+			r := &runtime.LLMRunner{
+				Model: models.NewGPT(rand.New(rand.NewSource(*seed)), models.TinyGPT),
+			}
+			if mode != runtime.ModeLocal {
+				conn, err := transport.Dial(baddr, nil, nil)
+				if err != nil {
+					log.Fatalf("genie-gateway: backend %s: %v", baddr, err)
+				}
+				defer conn.Close()
+				conn.SetTelemetry(tel)
+				r.EP = transport.NewClient(conn)
+				r.Counters = conn.Counters()
+			}
+			lanes = append(lanes, serve.Backend{Name: baddr, Runner: r})
+		}
 	}
-	if len(pool) == 0 {
+	if len(lanes) == 0 {
 		log.Fatal("genie-gateway: no backends")
 	}
 
@@ -135,7 +211,8 @@ func main() {
 		BreakerCooldown:  *breakerCooldown,
 		Tracer:           tracer,
 		Metrics:          reg,
-	}, pool)
+		PoolStats:        poolStats,
+	}, lanes)
 	if err != nil {
 		log.Fatalf("genie-gateway: %v", err)
 	}
@@ -145,7 +222,7 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("genie-gateway: serving %s on %s (%d backend(s), queue %d, batch %d)",
-		mode, *addr, len(pool), *queue, *batch)
+		mode, *addr, len(lanes), *queue, *batch)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)

@@ -42,12 +42,18 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "",
 		"HTTP address for GET /metrics and /debug/trace (empty = observability off)")
 	traceCap := flag.Int("trace-cap", 4096, "span ring-buffer capacity (oldest spans overwritten)")
+	memBytes := flag.Int64("mem-bytes", 0,
+		"override the modeled device memory capacity in bytes (0 = device default; "+
+			"small values force a pool gateway to shard the model across backends)")
 	flag.Parse()
 
 	spec, err := device.ByName(*dev)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *memBytes > 0 {
+		spec.MemBytes = *memBytes
 	}
 	if *kernelWorkers > 0 {
 		compute.Configure(*kernelWorkers)

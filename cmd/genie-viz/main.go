@@ -119,8 +119,10 @@ func printPlan(g *srg.Graph, devices int) error {
 	fmt.Println("placement:")
 	for i := 0; i < devices; i++ {
 		id := cluster.AcceleratorID(fmt.Sprint("gpu", i))
-		fmt.Printf("  %-6s %d compute nodes\n", id, report[id])
+		st := report.PerDevice[id]
+		fmt.Printf("  %-6s %d compute nodes, %d weight bytes\n", id, st.Ops, st.WeightBytes)
 	}
+	fmt.Printf("cut edges: %d (%d activation bytes)\n", report.CutEdges, report.CutBytes)
 	fmt.Printf("keep-remote: %d objects\n", len(plan.KeepRemote))
 	fmt.Printf("pipeline stages: %d\n", len(plan.PipelineStages))
 	fmt.Printf("cross-device transfers: %d edges\n", len(plan.CrossDeviceEdges()))

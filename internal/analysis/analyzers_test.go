@@ -67,6 +67,9 @@ func TestScopeGates(t *testing.T) {
 	if !GoleakAnalyzer.AppliesTo("genie/internal/chaos") {
 		t.Error("goleak must apply to the fault injector")
 	}
+	if !GoleakAnalyzer.AppliesTo("genie/internal/pool") {
+		t.Error("goleak must apply to the backend pool")
+	}
 	if !CtxflowAnalyzer.AppliesTo("genie/internal/chaos") {
 		t.Error("ctxflow must apply to the fault injector")
 	}

@@ -21,7 +21,9 @@ import (
 // every Configure call would strand a band of goroutines for the life of
 // the process), and genie/internal/obs (the trace recorder's drain
 // goroutine must observe Stop's done-channel close for the same
-// reason). A goroutine is flagged when its body (the
+// reason), plus genie/internal/chaos and genie/internal/pool (elastic
+// membership: rebuild and repair paths must not strand per-member
+// goroutines when a member leaves). A goroutine is flagged when its body (the
 // literal, or the same-package function/method it calls) contains an
 // unconditional `for { ... }` loop with no cancellation signal anywhere
 // in the body: no channel receive, no select, no ranging over a
@@ -37,7 +39,8 @@ var GoleakAnalyzer = &Analyzer{
 			hasPrefixPath(scope, "genie/internal/runtime") ||
 			hasPrefixPath(scope, "genie/internal/compute") ||
 			hasPrefixPath(scope, "genie/internal/obs") ||
-			hasPrefixPath(scope, "genie/internal/chaos")
+			hasPrefixPath(scope, "genie/internal/chaos") ||
+			hasPrefixPath(scope, "genie/internal/pool")
 	},
 	Run: runGoleak,
 }

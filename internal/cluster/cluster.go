@@ -176,10 +176,20 @@ func (s *State) EvictResident(key string, bytes int64) {
 }
 
 // EvictAccelerator drops every resident object on acc (a failure, §3.5)
-// and returns the evicted keys.
+// and returns the evicted keys. The accelerator's residency and
+// queue-depth accounting reset with it — a failed device holds no work
+// and no bytes, so stale entries must not skew Replacement/LeastLoaded.
 func (s *State) EvictAccelerator(acc AcceleratorID) []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	keys := s.evictLocked(acc)
+	sort.Strings(keys)
+	return keys
+}
+
+// evictLocked clears acc's residency and queue-depth entries; callers
+// hold s.mu.
+func (s *State) evictLocked(acc AcceleratorID) []string {
 	var keys []string
 	for k, a := range s.resident {
 		if a == acc {
@@ -187,7 +197,29 @@ func (s *State) EvictAccelerator(acc AcceleratorID) []string {
 			delete(s.resident, k)
 		}
 	}
-	s.residentBytes[acc] = 0
+	delete(s.residentBytes, acc)
+	delete(s.queueDepth, acc)
+	return keys
+}
+
+// Remove deregisters an accelerator entirely — elastic-membership
+// departure, voluntary or not. Every trace of the member goes with it:
+// registration, residency map entries, byte and queue-depth accounting,
+// and any failure mark, so the same ID can re-join later (AddAccelerator
+// rejects duplicates) and no stale entry leaks into placement decisions.
+// Returns the keys that were resident on the member.
+func (s *State) Remove(acc AcceleratorID) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := s.evictLocked(acc)
+	delete(s.accs, acc)
+	delete(s.failed, acc)
+	for i, id := range s.order {
+		if id == acc {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
 	sort.Strings(keys)
 	return keys
 }

@@ -156,3 +156,64 @@ func TestSetCongestion(t *testing.T) {
 		t.Error("unknown accelerator should fail")
 	}
 }
+
+// TestRemoveReleasesMembershipState: removing a member must release its
+// residency map and queue-depth entries (the membership-aware eviction
+// fix) so placement never consults stale state and the same ID can
+// re-join.
+func TestRemoveReleasesMembershipState(t *testing.T) {
+	s := newPool(t)
+	s.SetResident("gpt.blocks.0.wq", "gpu0", 1024)
+	s.SetResident("gpt.blocks.1.wq", "gpu0", 2048)
+	s.SetResident("gpt.blocks.2.wq", "gpu1", 512)
+	s.IncQueue("gpu0")
+	s.IncQueue("gpu0")
+	s.MarkFailed("gpu0")
+
+	keys := s.Remove("gpu0")
+	if len(keys) != 2 || keys[0] != "gpt.blocks.0.wq" || keys[1] != "gpt.blocks.1.wq" {
+		t.Fatalf("evicted keys %v", keys)
+	}
+	if s.Accelerator("gpu0") != nil {
+		t.Error("removed accelerator still registered")
+	}
+	if got := s.ResidentBytes("gpu0"); got != 0 {
+		t.Errorf("stale resident bytes %d after removal", got)
+	}
+	if got := s.QueueDepth("gpu0"); got != 0 {
+		t.Errorf("stale queue depth %d after removal", got)
+	}
+	if _, ok := s.ResidentOn("gpt.blocks.0.wq"); ok {
+		t.Error("removed member's objects still resident")
+	}
+	if on, _ := s.ResidentOn("gpt.blocks.2.wq"); on != "gpu1" {
+		t.Error("other members' residency disturbed by removal")
+	}
+
+	// The ID re-joins cleanly: no duplicate error, no failure mark.
+	if err := s.AddAccelerator(&Accelerator{ID: "gpu0", Spec: device.A100}); err != nil {
+		t.Fatalf("re-join after remove: %v", err)
+	}
+	if !s.Healthy("gpu0") {
+		t.Error("re-joined member inherits stale failure mark")
+	}
+}
+
+// TestEvictAcceleratorResetsAccounting: eviction (failure handling, not
+// removal) must also reset byte and queue accounting so Replacement and
+// LeastLoaded are not skewed by a dead member's ghost load.
+func TestEvictAcceleratorResetsAccounting(t *testing.T) {
+	s := newPool(t)
+	s.SetResident("w0", "gpu0", 4096)
+	s.IncQueue("gpu0")
+	s.EvictAccelerator("gpu0")
+	if got := s.ResidentBytes("gpu0"); got != 0 {
+		t.Errorf("evicted accelerator keeps %d resident bytes", got)
+	}
+	if got := s.QueueDepth("gpu0"); got != 0 {
+		t.Errorf("evicted accelerator keeps queue depth %d", got)
+	}
+	if s.Accelerator("gpu0") == nil {
+		t.Error("eviction must not deregister the accelerator")
+	}
+}

@@ -177,6 +177,18 @@ func (m *Manager) Forget(key string) {
 	delete(m.latest, key)
 }
 
+// HomeOf returns the endpoint currently holding key's latest version.
+// The pool layer routes Frees and targeted migrations with it.
+func (m *Manager) HomeOf(key string) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, ok := m.latest[key]
+	if !ok {
+		return "", false
+	}
+	return v.ep, true
+}
+
 // EpochOf returns the tracked epoch for a key's latest version.
 func (m *Manager) EpochOf(key string) (uint32, bool) {
 	m.mu.Lock()

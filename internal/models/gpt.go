@@ -349,6 +349,110 @@ func (m *GPT) BuildHeadStep(x *tensor.Tensor) (*lazy.Builder, srg.NodeID, srg.No
 	return b, logitsID, nextID
 }
 
+// SegmentSpec describes a contiguous slice of the forward pass — the
+// unit one pool shard executes as a single fused RPC. A segment covers
+// blocks [LoLayer, HiLayer); the first segment additionally runs the
+// embeddings (its input is then token ids, not an activation) and the
+// last one the final norm + lm head + argmax.
+type SegmentSpec struct {
+	// WithEmbed prepends token+position embedding; Tokens/StartPos feed
+	// it. Otherwise X is the incoming [t, dim] activation.
+	WithEmbed bool
+	Tokens    []int64
+	StartPos  int
+	X         *tensor.Tensor
+	// LoLayer..HiLayer-1 are the blocks captured.
+	LoLayer, HiLayer int
+	// WithHead appends ln_f + lm_head + argmax.
+	WithHead bool
+	// HistLen is the per-layer cache length (0 = prefill: blocks run
+	// cache-less and their fresh KV rows become the caches).
+	HistLen int
+}
+
+// SegmentOutputs indexes a captured segment graph.
+type SegmentOutputs struct {
+	// Out is the boundary activation shipped to the next shard; Invalid
+	// when WithHead (the segment ends in logits instead).
+	Out srg.NodeID
+	// LastLogits and NextToken are set when WithHead.
+	LastLogits, NextToken srg.NodeID
+	// CacheK/CacheV hold, per included layer (Layers[i] gives the
+	// absolute index), the node producing the layer's full cache after
+	// this call — fresh rows at prefill, the appended concat at decode.
+	CacheK, CacheV []srg.NodeID
+	Layers         []int
+}
+
+// BuildSegment captures one shard's slice of the forward pass. The
+// capture mirrors BuildPrefill/BuildDecodeStep exactly — same ops, same
+// module scopes, same cache annotations — so a pipeline of segments
+// produces bit-identical tokens to the monolithic graphs.
+func (m *GPT) BuildSegment(spec SegmentSpec) (*lazy.Builder, SegmentOutputs) {
+	if spec.LoLayer < 0 || spec.HiLayer > m.Cfg.Layers || spec.LoLayer > spec.HiLayer {
+		panic(fmt.Sprintf("models: segment layers [%d,%d) out of range", spec.LoLayer, spec.HiLayer))
+	}
+	b := lazy.NewBuilder(fmt.Sprintf("gpt.segment.%d-%d", spec.LoLayer, spec.HiLayer))
+	b.SetModality(srg.ModalityText)
+	var out SegmentOutputs
+	out.Out, out.LastLogits, out.NextToken = srg.Invalid, srg.Invalid, srg.Invalid
+	b.InModule("gpt", func() {
+		var x lazy.Value
+		var rows int
+		if spec.WithEmbed {
+			ids := b.Input("tokens", tensor.FromI64(tensor.Shape{len(spec.Tokens)}, spec.Tokens))
+			x = m.Embed.Lookup(b, "wte", ids)
+			posv := m.Pos.Lookup(b, "wpe",
+				b.Input("positions", positions(spec.StartPos, len(spec.Tokens))))
+			x = b.Add(x, posv)
+			rows = len(spec.Tokens)
+		} else {
+			x = b.Input("x", spec.X)
+			rows = spec.X.Shape()[0]
+		}
+		for i := spec.LoLayer; i < spec.HiLayer; i++ {
+			var cacheK, cacheV lazy.Value
+			if spec.HistLen > 0 {
+				cacheK = b.StatefulInput(cacheName(i, "k"),
+					cacheTensor(nil, spec.HistLen, m.Cfg.Dim))
+				cacheV = b.StatefulInput(cacheName(i, "v"),
+					cacheTensor(nil, spec.HistLen, m.Cfg.Dim))
+			}
+			var k, v lazy.Value
+			x, k, v = m.Blocks[i].ForwardKV(b, fmt.Sprintf("blocks.%d", i), x, cacheK, cacheV)
+			if spec.HistLen > 0 {
+				ak := appendedCache(b, cacheK.ID())
+				av := appendedCache(b, cacheV.ID())
+				b.AnnotateStatefulNode(ak, CacheRef(i, "k"))
+				b.AnnotateStatefulNode(av, CacheRef(i, "v"))
+				out.CacheK = append(out.CacheK, ak)
+				out.CacheV = append(out.CacheV, av)
+			} else {
+				b.AnnotateStateful(k, CacheRef(i, "k"))
+				b.AnnotateStateful(v, CacheRef(i, "v"))
+				out.CacheK = append(out.CacheK, k.ID())
+				out.CacheV = append(out.CacheV, v.ID())
+			}
+			out.Layers = append(out.Layers, i)
+		}
+		if spec.WithHead {
+			x = m.LNF.Forward(b, "ln_f", x)
+			logits := m.Head.Forward(b, "lm_head", x)
+			b.MarkOutput(logits)
+			last := b.SliceRows(logits, rows-1, rows)
+			b.MarkOutput(last)
+			next := b.ArgmaxLast(logits)
+			b.MarkOutput(next)
+			out.LastLogits = last.ID()
+			out.NextToken = next.ID()
+		} else {
+			b.MarkOutput(x)
+			out.Out = x.ID()
+		}
+	})
+	return b, out
+}
+
 func positions(start, n int) *tensor.Tensor {
 	ids := make([]int64, n)
 	for i := range ids {

@@ -1,0 +1,485 @@
+package pool
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"testing"
+
+	"genie/internal/backend"
+	"genie/internal/chaos"
+	"genie/internal/cluster"
+	"genie/internal/device"
+	"genie/internal/metrics"
+	"genie/internal/models"
+	"genie/internal/runtime"
+	"genie/internal/transport"
+)
+
+var testPrompt = []int64{3, 14, 15, 9, 2, 6}
+
+// testLink is cheap and symmetric; the cost model still sees real
+// transfer terms.
+var testLink = cluster.Link{Bandwidth: 3.125e9, RPCOverhead: 0}
+
+func testGPT() *models.GPT {
+	return models.NewGPT(rand.New(rand.NewSource(5)), models.TinyGPT)
+}
+
+// refTokens is the single-backend ModeLocal ground truth every sharded
+// run must match bit-for-bit.
+func refTokens(t *testing.T, steps int) []int64 {
+	t.Helper()
+	r := &runtime.LLMRunner{Model: testGPT()}
+	res, err := r.Generate(runtime.ModeLocal, testPrompt, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Tokens
+}
+
+// poolBackend is one in-process backend reachable over a net.Pipe,
+// optionally routed through a chaos plan.
+type poolBackend struct {
+	srv          *backend.Server
+	ep           runtime.Endpoint
+	cconn, sconn *transport.Conn
+}
+
+func newPoolBackend(plan *chaos.Plan) *poolBackend {
+	rawC, rawS := net.Pipe()
+	var clientSide net.Conn = rawC
+	if plan != nil {
+		clientSide = plan.WrapConn(rawC)
+	}
+	cconn := transport.NewConn(clientSide, nil, nil)
+	sconn := transport.NewConn(rawS, nil, nil)
+	srv := backend.NewServer(device.A100)
+	go func() { _ = srv.Serve(sconn) }()
+	return &poolBackend{srv: srv, ep: transport.NewClient(cconn), cconn: cconn, sconn: sconn}
+}
+
+func (pb *poolBackend) stop() {
+	_ = pb.cconn.Close()
+	_ = pb.sconn.Close()
+}
+
+// smallSpec gives a member num/den of the model's total weight bytes —
+// the lever that forces multi-member sharding.
+func smallSpec(m *models.GPT, num, den int64) device.Spec {
+	s := device.A100
+	s.MemBytes = m.Cfg.WeightBytes() * num / den
+	return s
+}
+
+func TestBuildPlanStrategies(t *testing.T) {
+	m := testGPT()
+	two := []Candidate{
+		{Name: "a", Spec: smallSpec(m, 2, 3), Link: testLink},
+		{Name: "b", Spec: smallSpec(m, 2, 3), Link: testLink},
+	}
+
+	t.Run("memory splits when nothing fits alone", func(t *testing.T) {
+		p, err := BuildPlan(m, two, StrategyMemory, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(p.Members()); got != 2 {
+			t.Fatalf("memory plan uses %d members, want 2", got)
+		}
+		for name, w := range p.Weights {
+			if lim := smallSpec(m, 2, 3).MemBytes; w > lim {
+				t.Errorf("member %s over budget: %d > %d", name, w, lim)
+			}
+		}
+		if p.CutEdges == 0 || p.CutBytes == 0 {
+			t.Errorf("2-way plan has no cut: edges=%d bytes=%d", p.CutEdges, p.CutBytes)
+		}
+	})
+
+	t.Run("memory packs onto one member when it fits", func(t *testing.T) {
+		big := []Candidate{
+			{Name: "a", Spec: device.A100, Link: testLink},
+			{Name: "b", Spec: device.A100, Link: testLink},
+		}
+		p, err := BuildPlan(m, big, StrategyMemory, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(p.Members()); got != 1 {
+			t.Fatalf("memory plan uses %d members, want 1 (model fits)", got)
+		}
+		if p.CutEdges != 0 {
+			t.Errorf("single-member plan has %d cut edges", p.CutEdges)
+		}
+	})
+
+	t.Run("pipeline spreads contiguous stages", func(t *testing.T) {
+		p, err := BuildPlan(m, two, StrategyPipeline, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards := p.Shards()
+		if len(shards) != 2 {
+			t.Fatalf("pipeline shards = %d, want 2", len(shards))
+		}
+		if shards[0].Member == shards[1].Member {
+			t.Error("pipeline stages share a member")
+		}
+	})
+
+	t.Run("tensor interleaves round-robin", func(t *testing.T) {
+		p, err := BuildPlan(m, two, StrategyTensor, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Owners[0] == p.Owners[1] {
+			t.Errorf("tensor owners = %v, want alternating", p.Owners)
+		}
+	})
+
+	t.Run("auto picks a feasible plan", func(t *testing.T) {
+		p, err := BuildPlan(m, two, StrategyAuto, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Strategy != StrategyAuto {
+			t.Errorf("auto plan stamped %v", p.Strategy)
+		}
+		if p.Estimate <= 0 {
+			t.Error("auto plan has no cost estimate")
+		}
+	})
+
+	t.Run("infeasible pool errors", func(t *testing.T) {
+		tiny := []Candidate{{Name: "a", Spec: smallSpec(m, 1, 10), Link: testLink}}
+		if _, err := BuildPlan(m, tiny, StrategyAuto, 1); err == nil {
+			t.Fatal("want error for pool smaller than the model")
+		}
+	})
+}
+
+// join builds a backend, joins it, and returns it for teardown.
+func join(t *testing.T, m *Manager, name string, spec device.Spec, plan *chaos.Plan) *poolBackend {
+	t.Helper()
+	pb := newPoolBackend(plan)
+	if err := m.Join(name, pb.ep, spec, testLink); err != nil {
+		t.Fatalf("join %s: %v", name, err)
+	}
+	return pb
+}
+
+// generate drives a scoped session through prefill + steps.
+func generate(t *testing.T, m *Manager, scope string, steps int) []int64 {
+	t.Helper()
+	s, err := m.Runner().NewScopedSessionCtx(context.Background(), runtime.ModeSemAware, scope)
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	defer func() { _ = s.Close() }()
+	var out []int64
+	tok, err := s.Prefill(testPrompt)
+	if err != nil {
+		t.Fatalf("prefill: %v", err)
+	}
+	out = append(out, tok)
+	for len(out) < steps {
+		if tok, err = s.Step(); err != nil {
+			t.Fatalf("step %d: %v", len(out), err)
+		}
+		out = append(out, tok)
+	}
+	return out
+}
+
+// TestShardedParityTwoMembers: a model too large for either member
+// serves across both with bit-identical output to the local reference —
+// the tentpole acceptance criterion.
+func TestShardedParityTwoMembers(t *testing.T) {
+	gpt := testGPT()
+	want := refTokens(t, 6)
+
+	mgr, err := NewManager(Config{Model: gpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := smallSpec(gpt, 2, 3)
+	b0 := join(t, mgr, "m0", spec, nil)
+	defer b0.stop()
+	b1 := join(t, mgr, "m1", spec, nil)
+	defer b1.stop()
+
+	plan := mgr.Plan()
+	if plan == nil {
+		t.Fatal("no plan after two joins")
+	}
+	if got := len(plan.Members()); got != 2 {
+		t.Fatalf("plan uses %d members, want 2 (weights %d B, member cap %d B)",
+			got, gpt.Cfg.WeightBytes(), spec.MemBytes)
+	}
+
+	got := generate(t, mgr, "req1/", 6)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("sharded tokens %v != local reference %v", got, want)
+	}
+	st := mgr.Status()
+	if st.CrossShardBytes == 0 {
+		t.Error("no cross-shard activation bytes counted")
+	}
+	if st.SegmentExecs == 0 {
+		t.Error("no segment execs counted")
+	}
+}
+
+// TestLeaveMidDecodeParity: a shard owner leaves voluntarily between
+// decode steps; the in-flight session finishes on the repaired plan
+// with byte-identical output.
+func TestLeaveMidDecodeParity(t *testing.T) {
+	gpt := testGPT()
+	want := refTokens(t, 6)
+
+	mgr, err := NewManager(Config{Model: gpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := smallSpec(gpt, 2, 3)
+	b0 := join(t, mgr, "m0", spec, nil)
+	defer b0.stop()
+	b1 := join(t, mgr, "m1", spec, nil)
+	defer b1.stop()
+	// Hot spare: big enough to absorb either member's whole shard.
+	b2 := join(t, mgr, "m2", spec, nil)
+	defer b2.stop()
+
+	s, err := mgr.Runner().NewScopedSessionCtx(context.Background(), runtime.ModeSemAware, "req1/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s.Close() }()
+	var got []int64
+	tok, err := s.Prefill(testPrompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, tok)
+	for i := 0; i < 2; i++ {
+		if tok, err = s.Step(); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, tok)
+	}
+
+	// A shard owner departs mid-decode.
+	victim := mgr.Plan().Owners[0]
+	verBefore := mgr.Plan().Version
+	if err := mgr.Leave(victim); err != nil {
+		t.Fatalf("leave %s: %v", victim, err)
+	}
+	plan := mgr.Plan()
+	if plan == nil {
+		t.Fatal("no plan after leave")
+	}
+	if plan.Version <= verBefore {
+		t.Errorf("plan version %d not bumped past %d", plan.Version, verBefore)
+	}
+	if ownerIn(plan.Owners, victim) {
+		t.Fatalf("departed %s still owns layers: %v", victim, plan.Owners)
+	}
+
+	for len(got) < 6 {
+		if tok, err = s.Step(); err != nil {
+			t.Fatalf("post-leave step: %v", err)
+		}
+		got = append(got, tok)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("tokens across migration %v != reference %v", got, want)
+	}
+	st := mgr.Status()
+	if st.MigratedKeys == 0 {
+		t.Error("leave migrated no keys (weights + KV should replay)")
+	}
+	if st.Rebuilds == 0 {
+		t.Error("no rebuild counted")
+	}
+}
+
+// TestCrashMidDecodeRepair: a chaos-injected backend crash surfaces as
+// a segment failure; the session reports it, the pool evicts and
+// re-places onto the spare, and the stream completes bit-identically.
+func TestCrashMidDecodeRepair(t *testing.T) {
+	gpt := testGPT()
+	want := refTokens(t, 6)
+
+	mgr, err := NewManager(Config{Model: gpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := smallSpec(gpt, 2, 3)
+	b0 := join(t, mgr, "m0", spec, nil)
+	defer b0.stop()
+	b1 := join(t, mgr, "m1", spec, nil)
+	defer b1.stop()
+	b2 := join(t, mgr, "m2", spec, nil)
+	defer b2.stop()
+
+	// m0 crashes on its 3rd exec: prefill segment, one decode segment,
+	// then loss mid-decode.
+	cp := chaos.NewPlan(7, chaos.Config{CrashExecAt: 3})
+	b0.srv.SetExecHook(cp.ExecHook(b0.srv.Crash))
+
+	got := generate(t, mgr, "req1/", 6)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("tokens across crash %v != reference %v", got, want)
+	}
+	if n := cp.Injected()["crash_exec"]; n != 1 {
+		t.Fatalf("chaos injected %d crashes, want 1", n)
+	}
+	st := mgr.Status()
+	if st.MemberFailures == 0 {
+		t.Error("no member failure counted")
+	}
+	if len(st.Members) != 2 {
+		t.Errorf("pool still lists %d members, want 2 after eviction", len(st.Members))
+	}
+}
+
+// TestMembershipChurnSoak: joins, leaves, chaos conn kills, and
+// re-joins interleaved with generations; the pool must never leak
+// goroutines and must serve correctly once membership stabilizes.
+func TestMembershipChurnSoak(t *testing.T) {
+	snap := metrics.SnapGoroutines()
+	gpt := testGPT()
+	want := refTokens(t, 4)
+
+	func() {
+		mgr, err := NewManager(Config{Model: gpt, Strategy: StrategyPipeline})
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := smallSpec(gpt, 2, 3)
+		var backends []*poolBackend
+		defer func() {
+			for _, pb := range backends {
+				pb.stop()
+			}
+		}()
+
+		cp := chaos.NewPlan(11, chaos.Config{KillProb: 0.05})
+		cp.SetActive(false)
+		add := func(name string, chaotic bool) {
+			var wrapped *chaos.Plan
+			if chaotic {
+				wrapped = cp
+			}
+			pb := newPoolBackend(wrapped)
+			backends = append(backends, pb)
+			if err := mgr.Join(name, pb.ep, spec, testLink); err != nil {
+				t.Fatalf("join %s: %v", name, err)
+			}
+		}
+
+		add("m0", true)
+		add("m1", true)
+		add("m2", false)
+
+		got := generate(t, mgr, "warm/", 4)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("pre-churn tokens %v != %v", got, want)
+		}
+
+		// Churn phase: conn kills active, members come and go.
+		// Generations here may fail (the pool can transiently lack
+		// capacity); what matters is that nothing wedges or leaks.
+		cp.SetActive(true)
+		for i := 0; i < 4; i++ {
+			name := fmt.Sprintf("churn%d", i)
+			add(name, true)
+			s, err := mgr.Runner().NewScopedSessionCtx(
+				context.Background(), runtime.ModeSemAware, fmt.Sprintf("soak%d/", i))
+			if err == nil {
+				if _, err := s.Prefill(testPrompt); err == nil {
+					_, _ = s.Step()
+				}
+				_ = s.Close()
+			}
+			_ = mgr.Leave(name)
+		}
+		cp.SetActive(false)
+
+		// Stabilize: fresh healthy members join; any chaos-killed member
+		// still in the pool is shed by the session-failure path during
+		// the final generations.
+		add("f0", false)
+		add("f1", false)
+		var final []int64
+		var ferr error
+		for attempt := 0; attempt < 6; attempt++ {
+			final, ferr = tryGenerate(mgr, fmt.Sprintf("final%d/", attempt), 4)
+			if ferr == nil {
+				break
+			}
+		}
+		if ferr != nil {
+			t.Fatalf("pool never recovered after churn: %v", ferr)
+		}
+		if fmt.Sprint(final) != fmt.Sprint(want) {
+			t.Fatalf("post-churn tokens %v != %v", final, want)
+		}
+	}()
+
+	snap.Check(t)
+}
+
+// tryGenerate is generate without the test fatality, for soak phases
+// where failures are expected.
+func tryGenerate(m *Manager, scope string, steps int) ([]int64, error) {
+	s, err := m.Runner().NewScopedSessionCtx(context.Background(), runtime.ModeSemAware, scope)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = s.Close() }()
+	var out []int64
+	tok, err := s.Prefill(testPrompt)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, tok)
+	for len(out) < steps {
+		if tok, err = s.Step(); err != nil {
+			return nil, err
+		}
+		out = append(out, tok)
+	}
+	return out, nil
+}
+
+// TestJoinAfterLeaveSameName: a departed name can re-join with a fresh
+// backend (regression for stale cluster/lineage residue).
+func TestJoinAfterLeaveSameName(t *testing.T) {
+	gpt := testGPT()
+	mgr, err := NewManager(Config{Model: gpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := smallSpec(gpt, 2, 3)
+	b0 := join(t, mgr, "m0", spec, nil)
+	defer b0.stop()
+	b1 := join(t, mgr, "m1", spec, nil)
+	defer b1.stop()
+	b2 := join(t, mgr, "m2", spec, nil)
+	defer b2.stop()
+
+	if err := mgr.Leave("m0"); err != nil {
+		t.Fatal(err)
+	}
+	b0b := join(t, mgr, "m0", spec, nil) // same name, new incarnation
+	defer b0b.stop()
+
+	want := refTokens(t, 4)
+	got := generate(t, mgr, "req1/", 4)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("tokens after re-join %v != %v", got, want)
+	}
+}

@@ -1,0 +1,137 @@
+package pool
+
+import (
+	"context"
+	"fmt"
+
+	"genie/internal/models"
+	"genie/internal/obs"
+	"genie/internal/runtime"
+	"genie/internal/srg"
+	"genie/internal/tensor"
+	"genie/internal/transport"
+)
+
+// session executes one generation across the pool's shards. It
+// implements runtime.Strategy, so the serving engine drives it through
+// the ordinary Session prefill/step API: each forward pass walks the
+// shard plan segment by segment, shipping the boundary activation to
+// the next member and keeping each layer's KV resident (and
+// lineage-tracked) on the layer's owner.
+type session struct {
+	mgr   *Manager
+	scope string
+	hist  int
+}
+
+// newStrategy is the runtime.LLMRunner.NewStrategy hook. It fails fast
+// when the pool has no feasible plan, so infeasibility surfaces at
+// session creation instead of mid-stream.
+func (m *Manager) newStrategy(_ context.Context, _ runtime.Mode, scope string) (runtime.Strategy, error) {
+	if _, err := m.planSnapshot(); err != nil {
+		return nil, err
+	}
+	return &session{mgr: m, scope: scope}, nil
+}
+
+func (s *session) Prefill(ctx context.Context, prompt []int64) (int64, error) {
+	tok, err := s.forward(ctx, prompt, 0)
+	if err != nil {
+		return 0, err
+	}
+	s.hist = len(prompt)
+	return tok, nil
+}
+
+func (s *session) Step(ctx context.Context, tok int64) (int64, error) {
+	next, err := s.forward(ctx, []int64{tok}, s.hist)
+	if err != nil {
+		return 0, err
+	}
+	s.hist++
+	return next, nil
+}
+
+func (s *session) Close() error { return s.mgr.freeScoped(s.scope) }
+
+// forward runs one full pass (prefill when histLen is 0, one decode
+// step otherwise) across the shard plan. On a member loss it reports
+// the failure — the pool evicts and re-places — and resumes from the
+// failed segment's first layer against the repaired plan: earlier
+// segments already appended this step's KV rows on their (surviving)
+// members, and the failed exec was never recorded, so lineage replay
+// re-homes exactly the pre-failure state.
+func (s *session) forward(ctx context.Context, tokens []int64, histLen int) (int64, error) {
+	m := s.mgr
+	model := m.cfg.Model
+	L := model.Cfg.Layers
+	layer := 0
+	var x *tensor.Tensor
+	retries := 0
+	for {
+		plan, err := m.planSnapshot()
+		if err != nil {
+			return 0, err
+		}
+		seg := plan.shardFrom(layer)
+		spec := models.SegmentSpec{
+			WithEmbed: layer == 0,
+			Tokens:    tokens,
+			StartPos:  histLen,
+			X:         x,
+			LoLayer:   seg.Lo,
+			HiLayer:   seg.Hi,
+			WithHead:  seg.Hi == L,
+			HistLen:   histLen,
+		}
+		b, so := model.BuildSegment(spec)
+		ex := &transport.Exec{Graph: b.Graph(), Keep: map[srg.NodeID]string{}}
+		for _, n := range b.Graph().Nodes() {
+			if n.Op != "input" {
+				continue
+			}
+			if n.Residency == srg.ResidencyStatefulKVCache {
+				// Resident KV by handle; ExecTracked fills the epoch from
+				// lineage, which is what lets a segment re-issue cleanly
+				// right after its cache migrated to a new owner.
+				ex.Binds = append(ex.Binds, transport.Binding{Ref: n.Ref, Key: s.scope + n.Ref})
+				continue
+			}
+			data, _ := b.InputData(n.Ref)
+			ex.Binds = append(ex.Binds, transport.Binding{Ref: n.Ref, Inline: data})
+		}
+		for i, l := range so.Layers {
+			ex.Keep[so.CacheK[i]] = s.scope + models.CacheRef(l, "k")
+			ex.Keep[so.CacheV[i]] = s.scope + models.CacheRef(l, "v")
+		}
+		if spec.WithHead {
+			ex.Want = []srg.NodeID{so.LastLogits, so.NextToken}
+		} else {
+			ex.Want = []srg.NodeID{so.Out}
+		}
+
+		_, span := obs.StartSpan(ctx, "pool.segment")
+		span.SetAttr("member", seg.Member)
+		span.SetAttrInt("lo", int64(seg.Lo))
+		span.SetAttrInt("hi", int64(seg.Hi))
+		ok, err := m.execOn(seg.Member, ex)
+		span.End()
+		if err != nil {
+			if retries >= m.cfg.SegmentRetries {
+				return 0, fmt.Errorf("pool: segment [%d,%d) on %q: %w", seg.Lo, seg.Hi, seg.Member, err)
+			}
+			retries++
+			if !m.reportExecFailure(seg.Member, plan.Version) {
+				return 0, fmt.Errorf("pool: segment [%d,%d) on %q failed and the pool could not repair: %w",
+					seg.Lo, seg.Hi, seg.Member, err)
+			}
+			continue // same layer, same x, repaired plan
+		}
+		if spec.WithHead {
+			return ok.Results[so.NextToken].I64()[0], nil
+		}
+		x = ok.Results[so.Out]
+		m.noteCrossShard(int64(x.NumBytes()))
+		layer = seg.Hi
+	}
+}

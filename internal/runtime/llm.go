@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -44,6 +45,12 @@ type LLMRunner struct {
 	// executions rebind (lineage replay onto a replacement) and reissue.
 	// Nil disables recovery — errors surface to the caller unchanged.
 	Failover *Failover
+	// NewStrategy, when set, overrides the built-in per-mode session
+	// strategies: NewScopedSessionCtx delegates prefill/step/close to
+	// the returned Strategy. The pool layer's sharded executor hooks in
+	// here; a runner carrying a strategy needs no EP (segments route to
+	// whichever endpoints the strategy owns).
+	NewStrategy func(ctx context.Context, mode Mode, scope string) (Strategy, error)
 }
 
 // Generate runs prompt prefill plus steps decode iterations. It is

@@ -265,7 +265,7 @@ func TestPlanExecutorShardedOversizedModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(scheduler.ShardReport(plan)) < 2 {
+	if len(scheduler.ShardReport(plan).PerDevice) < 2 {
 		t.Fatal("expected a sharded plan")
 	}
 	pe := &PlanExecutor{EPs: eps}

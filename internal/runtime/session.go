@@ -52,6 +52,38 @@ type sessionImpl interface {
 	residentKeys() []string
 }
 
+// Strategy is an externally supplied session executor: a package that
+// wants to drive generation its own way (the pool layer's sharded
+// executor) implements Strategy and installs a factory on
+// LLMRunner.NewStrategy. The runtime never learns who is on the other
+// side — dependencies keep pointing toward runtime, exactly as with
+// lineage's TrackedEndpoint.
+type Strategy interface {
+	// Prefill consumes the prompt and returns the first generated token.
+	Prefill(ctx context.Context, prompt []int64) (int64, error)
+	// Step runs one decode iteration on tok and returns the next token.
+	Step(ctx context.Context, tok int64) (int64, error)
+	// Close releases whatever per-session state the strategy holds
+	// (scoped remote KV caches, plan pins).
+	Close() error
+}
+
+// strategySession adapts an external Strategy to sessionImpl. It owns
+// its cleanup: Session.Close delegates instead of Freeing keys on the
+// runner's endpoint, because a strategy's state may be spread over
+// endpoints the runner has never seen.
+type strategySession struct{ s Strategy }
+
+func (ss *strategySession) prefill(ctx context.Context, prompt []int64) (int64, error) {
+	return ss.s.Prefill(ctx, prompt)
+}
+
+func (ss *strategySession) step(ctx context.Context, tok int64) (int64, error) {
+	return ss.s.Step(ctx, tok)
+}
+
+func (ss *strategySession) residentKeys() []string { return nil }
+
 // ctxEndpoint is the optional trace-aware surface of an Endpoint.
 // transport.Client implements it; fakes and local endpoints need not.
 type ctxEndpoint interface {
@@ -88,6 +120,14 @@ func (r *LLMRunner) NewScopedSession(mode Mode, scope string) (*Session, error) 
 // span active in ctx. A nil or untraced ctx costs nothing.
 func (r *LLMRunner) NewScopedSessionCtx(ctx context.Context, mode Mode, scope string) (*Session, error) {
 	s := &Session{r: r, mode: mode, scope: scope, ctx: ctx}
+	if r.NewStrategy != nil {
+		strat, err := r.NewStrategy(ctx, mode, scope)
+		if err != nil {
+			return nil, err
+		}
+		s.impl = &strategySession{s: strat}
+		return s, nil
+	}
 	switch mode {
 	case ModeLocal:
 		s.impl = &localSession{r: r, gpu: &s.gpu, caches: emptyCaches(r.Model)}
@@ -185,6 +225,9 @@ func (s *Session) Result() *GenResult { return &s.res }
 // caches). Weights and unscoped state are left resident. Safe to call
 // for any mode; local/naive sessions are no-ops.
 func (s *Session) Close() error {
+	if ss, ok := s.impl.(*strategySession); ok {
+		return ss.s.Close()
+	}
 	keys := s.impl.residentKeys()
 	if len(keys) == 0 || s.r.EP == nil {
 		return nil

@@ -383,8 +383,11 @@ func TestShardByMemorySplitsOversizedModel(t *testing.T) {
 		t.Fatal(err)
 	}
 	report := ShardReport(plan)
-	if len(report) < 2 {
-		t.Fatalf("oversized model placed on %d device(s): %v", len(report), report)
+	if len(report.PerDevice) < 2 {
+		t.Fatalf("oversized model placed on %d device(s): %v", len(report.PerDevice), report.PerDevice)
+	}
+	if report.CutEdges == 0 || report.CutBytes == 0 {
+		t.Fatalf("sharded plan reports no cut edges: %+v", report)
 	}
 	// Sharding follows topology: a block's nodes all share one device.
 	byGroup := map[string]map[cluster.AcceleratorID]bool{}
@@ -415,7 +418,7 @@ func TestShardByMemoryFitsStaysHome(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ShardReport(plan)) != 1 {
+	if len(ShardReport(plan).PerDevice) != 1 {
 		t.Error("fitting model should not shard")
 	}
 }

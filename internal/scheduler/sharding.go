@@ -144,14 +144,112 @@ func isDigits(s string) bool {
 	return true
 }
 
+// Unit is one module-level shard unit: a top-level repeating module
+// (transformer block, CNN stage) with the placement-relevant accounting
+// the pool layer's cost model consumes — weight footprint, roofline
+// inputs, and the boundary activation it ships when the next unit lands
+// on a different device.
+type Unit struct {
+	// Name is the module-group name ("gpt.blocks.3").
+	Name string
+	// Nodes are the group's compute nodes in topological order.
+	Nodes []srg.NodeID
+	// WeightBytes is the footprint of params first consumed here.
+	WeightBytes int64
+	// FLOPs and Bytes aggregate the group's kernel cost (roofline
+	// inputs for device.Spec.KernelTime).
+	FLOPs float64
+	Bytes int64
+	// OutBytes is the size of the group's final activation — the
+	// cross-shard transfer when a boundary is cut here.
+	OutBytes int64
+}
+
+// Units decomposes a graph into module-level shard units in topological
+// order — the generalization of shardByMemory's grouping that
+// pool.ShardPlan builds on.
+func Units(g *srg.Graph) []Unit {
+	groups, order := moduleGroups(g)
+	paramOwner := map[srg.NodeID]string{}
+	for _, gname := range order {
+		for _, id := range groups[gname] {
+			for _, in := range g.Node(id).Inputs {
+				if g.Node(in).Op == "param" {
+					if _, claimed := paramOwner[in]; !claimed {
+						paramOwner[in] = gname
+					}
+				}
+			}
+		}
+	}
+	weightOf := map[string]int64{}
+	for pid, gname := range paramOwner {
+		weightOf[gname] += g.Node(pid).Output.Bytes()
+	}
+	units := make([]Unit, 0, len(order))
+	for _, gname := range order {
+		u := Unit{Name: gname, Nodes: groups[gname], WeightBytes: weightOf[gname]}
+		for _, id := range u.Nodes {
+			n := g.Node(id)
+			u.FLOPs += n.Cost.FLOPs
+			u.Bytes += n.Cost.Bytes
+		}
+		if len(u.Nodes) > 0 {
+			u.OutBytes = g.Node(u.Nodes[len(u.Nodes)-1]).Output.Bytes()
+		}
+		units = append(units, u)
+	}
+	return units
+}
+
+// ShardStat is one device's share of a sharded placement.
+type ShardStat struct {
+	// Ops counts compute nodes placed on the device.
+	Ops int
+	// WeightBytes is the weight footprint placed on the device.
+	WeightBytes int64
+}
+
+// ShardSummary reports a sharded placement: the per-device footprint
+// plus the cut edges — compute→compute graph edges whose endpoints land
+// on different devices, each a cross-shard activation transfer.
+type ShardSummary struct {
+	PerDevice map[cluster.AcceleratorID]ShardStat
+	// CutEdges counts cross-device compute edges; CutBytes sums the
+	// activation bytes they move per evaluation.
+	CutEdges int
+	CutBytes int64
+}
+
 // ShardReport summarizes a sharded placement for logs and tests.
-func ShardReport(plan *Plan) map[cluster.AcceleratorID]int {
-	out := map[cluster.AcceleratorID]int{}
-	for _, n := range plan.Graph.Nodes() {
+func ShardReport(plan *Plan) ShardSummary {
+	sum := ShardSummary{PerDevice: map[cluster.AcceleratorID]ShardStat{}}
+	g := plan.Graph
+	seenParam := map[srg.NodeID]bool{}
+	for _, n := range g.Nodes() {
 		if n.Op == "param" || n.Op == "input" {
 			continue
 		}
-		out[plan.DeviceOf(n.ID)]++
+		dev := plan.DeviceOf(n.ID)
+		st := sum.PerDevice[dev]
+		st.Ops++
+		for _, in := range n.Inputs {
+			dep := g.Node(in)
+			switch dep.Op {
+			case "param":
+				if !seenParam[in] {
+					seenParam[in] = true
+					st.WeightBytes += dep.Output.Bytes()
+				}
+			case "input":
+			default:
+				if plan.DeviceOf(in) != dev {
+					sum.CutEdges++
+					sum.CutBytes += dep.Output.Bytes()
+				}
+			}
+		}
+		sum.PerDevice[dev] = st
 	}
-	return out
+	return sum
 }

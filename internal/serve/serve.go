@@ -95,6 +95,11 @@ type Config struct {
 	// consecutive failures, 1s cooldown).
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+	// PoolStats, when set, is snapshotted into Stats.Pool on every
+	// Stats() call — the hook a pool.Manager-backed gateway uses to
+	// surface shard membership and per-shard health in /stats without
+	// serve importing the pool layer.
+	PoolStats func() any
 }
 
 func (c *Config) fillDefaults() {
@@ -531,6 +536,9 @@ func (e *Engine) maybeDrained() {
 // Stats snapshots the engine's observable state.
 func (e *Engine) Stats() Stats {
 	st := e.stats.snapshot()
+	if e.cfg.PoolStats != nil {
+		st.Pool = e.cfg.PoolStats()
+	}
 	e.mu.Lock()
 	st.Queued = e.queues.depth()
 	// Per-tenant load: queued from the FIFOs, active from the in-flight

@@ -81,6 +81,9 @@ type Stats struct {
 	// Backends maps backend name to its lane's health view — the /stats
 	// surface for breaker transitions and failover activity.
 	Backends map[string]BackendHealth `json:"backends,omitempty"`
+	// Pool carries the backend pool's membership and shard view when the
+	// engine fronts a pool.Manager (Config.PoolStats); nil otherwise.
+	Pool any `json:"pool,omitempty"`
 }
 
 // collector is the engine's telemetry surface, backed by the process
