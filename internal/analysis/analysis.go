@@ -52,6 +52,11 @@ type Pass struct {
 	// internal/analysis/testdata/src it is the path the testdata package
 	// pretends to live at, so analyzers scope identically in tests.
 	ScopePath string
+	// Prog is the module-wide interprocedural index (call graph +
+	// fixpoint summaries), shared by every analyzer in a run. May be
+	// nil, in which case analyzers fall back to their intraprocedural
+	// rules.
+	Prog *Program
 
 	diags *[]Diagnostic
 }
@@ -91,12 +96,18 @@ func Analyzers() []*Analyzer {
 		ErrcheckAnalyzer,
 		TensormutAnalyzer,
 		RetrynakedAnalyzer,
+		KvscopeAnalyzer,
+		PlanverAnalyzer,
+		SpanbalanceAnalyzer,
+		AtomicmixAnalyzer,
+		TimerleakAnalyzer,
 	}
 }
 
 // RunAnalyzer applies one analyzer to a loaded package and returns its
-// raw diagnostics (ignore directives are applied by the driver).
-func RunAnalyzer(a *Analyzer, pkg *Package) []Diagnostic {
+// raw diagnostics (ignore directives are applied by the driver). prog
+// carries the shared interprocedural summaries and may be nil.
+func RunAnalyzer(a *Analyzer, pkg *Package, prog *Program) []Diagnostic {
 	if a.AppliesTo != nil && !a.AppliesTo(pkg.ScopePath()) {
 		return nil
 	}
@@ -108,6 +119,7 @@ func RunAnalyzer(a *Analyzer, pkg *Package) []Diagnostic {
 		Pkg:       pkg.Types,
 		Info:      pkg.Info,
 		ScopePath: pkg.ScopePath(),
+		Prog:      prog,
 		diags:     &diags,
 	})
 	return diags

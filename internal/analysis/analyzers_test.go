@@ -29,19 +29,50 @@ func TestRetrynakedFixture(t *testing.T) {
 	runWantTest(t, "retrynaked", fixtureDir("internal", "retrynaked"))
 }
 
+func TestKvscopeFixture(t *testing.T) {
+	runWantTest(t, "kvscope", fixtureDir("internal", "pool", "kvscopedata"))
+}
+
+func TestKvscopeOwnerFixture(t *testing.T) {
+	runWantTest(t, "kvscope", fixtureDir("internal", "serve", "kvownerdata"))
+}
+
+func TestPlanverFixture(t *testing.T) {
+	runWantTest(t, "planver", fixtureDir("internal", "pool", "planverdata"))
+}
+
+func TestSpanbalanceFixture(t *testing.T) {
+	runWantTest(t, "spanbalance", fixtureDir("internal", "serve", "spandata"))
+}
+
+func TestAtomicmixFixture(t *testing.T) {
+	runWantTest(t, "atomicmix", fixtureDir("internal", "serve", "atomicmixdata"))
+}
+
+func TestTimerleakFixture(t *testing.T) {
+	runWantTest(t, "timerleak", fixtureDir("internal", "serve", "timerleakdata"))
+}
+
 // TestFixtureScopeMapping pins the testdata/src path translation that
 // makes fixture packages land inside each analyzer's scope.
 func TestFixtureScopeMapping(t *testing.T) {
-	pkg := loadFixture(t, fixtureDir("internal", "serve", "goleakdata"))
+	pkg, _ := loadFixture(t, fixtureDir("internal", "serve", "goleakdata"))
 	assertFixtureScoped(t, pkg, "genie/internal/serve/goleakdata")
 }
 
 // TestScopeGates verifies analyzers skip out-of-scope packages: goleak
-// must not fire outside serve/backend/runtime even on code it would
-// otherwise flag.
+// covers the goroutine-spawning layers (including simnet and eval, whose
+// pumps must observe drain), and the plan/KV analyzers stay module-wide
+// with ownership enforced inside the analyzer, not the gate.
 func TestScopeGates(t *testing.T) {
-	if GoleakAnalyzer.AppliesTo("genie/internal/eval") {
-		t.Error("goleak should not apply to genie/internal/eval")
+	if !GoleakAnalyzer.AppliesTo("genie/internal/eval") {
+		t.Error("goleak must apply to the eval harness")
+	}
+	if !GoleakAnalyzer.AppliesTo("genie/internal/simnet") {
+		t.Error("goleak must apply to the simulator fabric")
+	}
+	if GoleakAnalyzer.AppliesTo("genie/internal/models") {
+		t.Error("goleak should not apply to genie/internal/models")
 	}
 	if !GoleakAnalyzer.AppliesTo("genie/internal/serve") {
 		t.Error("goleak must apply to genie/internal/serve")
@@ -78,5 +109,20 @@ func TestScopeGates(t *testing.T) {
 	}
 	if RetrynakedAnalyzer.AppliesTo("genie/cmd/genie-bench") {
 		t.Error("retrynaked must not apply to binaries")
+	}
+	if !KvscopeAnalyzer.AppliesTo("genie/internal/serve") {
+		t.Error("kvscope must apply everywhere internal — ownership is judged inside the analyzer")
+	}
+	if !PlanverAnalyzer.AppliesTo("genie/internal/pool") {
+		t.Error("planver must apply to the pool")
+	}
+	if !SpanbalanceAnalyzer.AppliesTo("genie/internal/runtime") {
+		t.Error("spanbalance must apply to the runtime")
+	}
+	if SpanbalanceAnalyzer.AppliesTo("genie/cmd/genie-lint") {
+		t.Error("spanbalance must not apply to binaries")
+	}
+	if !TimerleakAnalyzer.AppliesTo("genie/internal/transport") {
+		t.Error("timerleak must apply to the transport retry paths")
 	}
 }

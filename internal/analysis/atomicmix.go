@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicmixAnalyzer flags variables accessed both through sync/atomic
+// and with plain loads/stores. Mixing the two disciplines voids the
+// memory-model guarantees the atomic half was supposed to buy: the
+// plain access races with every atomic one, and the race detector only
+// catches it on the schedules it happens to see. The fix is one
+// discipline per word — usually the typed wrappers (atomic.Int64 and
+// friends), which make plain access unrepresentable.
+//
+// Detection is package-local and field-precise: pass one collects every
+// variable whose address is taken by a sync/atomic call
+// (atomic.AddInt64(&s.n, 1) records s.n's field object), pass two
+// reports every other use of those objects.
+var AtomicmixAnalyzer = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "no variable accessed both atomically and with plain loads/stores",
+	AppliesTo: func(scope string) bool {
+		return hasPrefixPath(scope, "genie/internal")
+	},
+	Run: runAtomicmix,
+}
+
+func runAtomicmix(pass *Pass) {
+	atomicObjs := make(map[types.Object]string) // object -> atomic func name
+	atomicSites := make(map[*ast.Ident]bool)    // idents inside &x of atomic calls
+	litKeys := make(map[*ast.Ident]bool)        // composite-literal field keys (initialization)
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(pass.Info, n)
+				if fn == nil || funcPkgPath(fn) != "sync/atomic" || recvTypeString(fn) != "" {
+					return true
+				}
+				if !isAtomicAccessor(fn.Name()) || len(n.Args) == 0 {
+					return true
+				}
+				u, ok := unparen(n.Args[0]).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					return true
+				}
+				id, obj := addressedVar(pass.Info, u.X)
+				if obj != nil {
+					atomicObjs[obj] = "atomic." + fn.Name()
+					atomicSites[id] = true
+				}
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						if key, ok := kv.Key.(*ast.Ident); ok {
+							litKeys[key] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || atomicSites[id] || litKeys[id] {
+				return true
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if via, ok := atomicObjs[obj]; ok {
+				pass.Reportf(id.Pos(),
+					"%s is accessed with %s elsewhere but plainly here; mixed atomic/plain access races — use one discipline (atomic.Int64-style typed atomics make this impossible)",
+					obj.Name(), via)
+			}
+			return true
+		})
+	}
+}
+
+// isAtomicAccessor matches the sync/atomic package-level functions that
+// take an address: Add*, Load*, Store*, Swap*, CompareAndSwap*, And*,
+// Or*.
+func isAtomicAccessor(name string) bool {
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// addressedVar resolves the operand of &x to its variable object:
+// a plain ident, or the field of a selector/index path.
+func addressedVar(info *types.Info, e ast.Expr) (*ast.Ident, types.Object) {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		return e, info.Uses[e]
+	case *ast.SelectorExpr:
+		return e.Sel, info.Uses[e.Sel]
+	case *ast.IndexExpr:
+		// &arr[i]: attribute the access to the array/slice variable.
+		return addressedVar(info, e.X)
+	}
+	return nil, nil
+}

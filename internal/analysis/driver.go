@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Exit codes of the driver (and of cmd/genie-lint).
@@ -60,7 +61,9 @@ func Run(patterns []string, opts Options) int {
 		return ExitError
 	}
 
-	var diags []Diagnostic
+	// Phase 1: load every requested package (the loader pulls in
+	// module-internal dependencies transitively, each type-checked once).
+	var pkgs []*Package
 	loadFailed := false
 	for _, dir := range dirs {
 		pkg, err := loader.Load(dir)
@@ -76,14 +79,37 @@ func Run(patterns []string, opts Options) int {
 			loadFailed = true
 			continue
 		}
-		var pkgDiags []Diagnostic
-		for _, a := range analyzers {
-			pkgDiags = append(pkgDiags, RunAnalyzer(a, pkg)...)
-		}
-		diags = append(diags, applyIgnores(pkgDiags, collectIgnores(pkg.Fset, pkg.Files))...)
+		pkgs = append(pkgs, pkg)
 	}
 	if loadFailed {
 		return ExitError
+	}
+
+	// Phase 2: build the interprocedural index over everything the
+	// loader saw — requested packages and their dependencies alike, so
+	// summaries cross package boundaries.
+	prog := BuildProgram(loader.Packages())
+
+	// Phase 3: analyze the requested packages in parallel. Results land
+	// in a per-package slot so the report order is deterministic
+	// regardless of scheduling.
+	perPkg := make([][]Diagnostic, len(pkgs))
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			var pkgDiags []Diagnostic
+			for _, a := range analyzers {
+				pkgDiags = append(pkgDiags, RunAnalyzer(a, pkg, prog)...)
+			}
+			perPkg[i] = applyIgnores(pkgDiags, collectIgnores(pkg.Fset, pkg.Files))
+		}(i, pkg)
+	}
+	wg.Wait()
+	var diags []Diagnostic
+	for _, pd := range perPkg {
+		diags = append(diags, pd...)
 	}
 
 	for i := range diags {

@@ -3,6 +3,8 @@ package analysis
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -91,5 +93,72 @@ func TestMalformedIgnoreDirective(t *testing.T) {
 	diags := applyIgnores(nil, []ignoreDirective{{file: "x.go", line: 3, broken: "missing reason"}})
 	if len(diags) != 1 || diags[0].Check != "lint" {
 		t.Fatalf("malformed directive not reported: %+v", diags)
+	}
+}
+
+// TestDriverJSONGolden pins the -json output byte-for-byte against
+// testdata/golden/errcheck.json: field names, ordering, relative
+// paths, and indentation are all part of the contract CI annotation
+// scripts parse.
+func TestDriverJSONGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("driver runs the full loader; skipped with -short")
+	}
+	modRoot, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "golden", "errcheck.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errout bytes.Buffer
+	code := Run([]string{fixtureDir("internal", "errcheckdata")}, Options{
+		Dir:    modRoot,
+		Checks: []string{"errcheck"},
+		JSON:   true,
+		Out:    &out,
+		Errout: &errout,
+	})
+	if code != ExitFindings {
+		t.Fatalf("exit = %d, want %d (stderr: %s)", code, ExitFindings, errout.String())
+	}
+	if got, want := out.String(), string(golden); got != want {
+		t.Errorf("-json output drifted from golden file\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestDriverExitCodeMatrix pins the full exit-code contract in one
+// table: 0 clean, 1 findings, 2 operational error.
+func TestDriverExitCodeMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("driver runs the full loader; skipped with -short")
+	}
+	modRoot, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		dirs   []string
+		checks []string
+		want   int
+	}{
+		{"clean tree is 0", []string{fixtureDir("internal", "clean")}, nil, ExitClean},
+		{"findings are 1", []string{fixtureDir("internal", "errcheckdata")}, []string{"errcheck"}, ExitFindings},
+		{"unknown check is 2", []string{fixtureDir("internal", "clean")}, []string{"nosuchcheck"}, ExitError},
+		{"unloadable package is 2", []string{filepath.Join("internal", "analysis", "testdata", "no-such-dir")}, nil, ExitError},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errout bytes.Buffer
+			code := Run(tc.dirs, Options{
+				Dir: modRoot, Checks: tc.checks, Out: &out, Errout: &errout,
+			})
+			if code != tc.want {
+				t.Fatalf("exit = %d, want %d\nstdout: %s\nstderr: %s",
+					code, tc.want, out.String(), errout.String())
+			}
+		})
 	}
 }

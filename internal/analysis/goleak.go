@@ -2,7 +2,6 @@ package analysis
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
 )
 
@@ -23,13 +22,19 @@ import (
 // goroutine must observe Stop's done-channel close for the same
 // reason), plus genie/internal/chaos and genie/internal/pool (elastic
 // membership: rebuild and repair paths must not strand per-member
-// goroutines when a member leaves). A goroutine is flagged when its body (the
-// literal, or the same-package function/method it calls) contains an
-// unconditional `for { ... }` loop with no cancellation signal anywhere
-// in the body: no channel receive, no select, no ranging over a
-// channel, and no context Done/Err check. Bounded goroutines (no
-// infinite loop) pass; dynamic leak detection is the job of
-// metrics.GoroutineSnapshot.
+// goroutines when a member leaves), plus genie/internal/simnet and
+// genie/internal/eval (the simulator fabric and the eval harness spawn
+// per-connection pumps of their own). A goroutine is flagged when its
+// body (the literal, or the function/method it calls — resolved
+// cross-package through the interprocedural Program when available)
+// contains an unconditional `for { ... }` loop with no cancellation
+// signal anywhere in the body: no channel receive, no select, no
+// ranging over a channel, and no context Done/Err check. The summaries
+// extend the reach one more hop: a goroutine whose body merely *calls*
+// a function that (transitively) loops forever without a cancel signal
+// or a return is flagged too — the case the old AST-local pass could
+// not see. Bounded goroutines (no infinite loop) pass; dynamic leak
+// detection is the job of metrics.GoroutineSnapshot.
 var GoleakAnalyzer = &Analyzer{
 	Name: "goleak",
 	Doc:  "goroutines in the serving layers need a visible cancellation path",
@@ -40,7 +45,9 @@ var GoleakAnalyzer = &Analyzer{
 			hasPrefixPath(scope, "genie/internal/compute") ||
 			hasPrefixPath(scope, "genie/internal/obs") ||
 			hasPrefixPath(scope, "genie/internal/chaos") ||
-			hasPrefixPath(scope, "genie/internal/pool")
+			hasPrefixPath(scope, "genie/internal/pool") ||
+			hasPrefixPath(scope, "genie/internal/simnet") ||
+			hasPrefixPath(scope, "genie/internal/eval")
 	},
 	Run: runGoleak,
 }
@@ -53,17 +60,44 @@ func runGoleak(pass *Pass) {
 			if !ok {
 				return true
 			}
-			body := goBody(pass, g, decls)
+			body, info := goBody(pass, g, decls)
 			if body == nil {
 				return true
 			}
-			if loop := endlessLoop(body); loop != nil && !hasCancelSignal(pass, body) {
+			if loop := endlessLoop(body); loop != nil && !hasCancelSignalIn(info, body) {
 				pass.Reportf(g.Pos(),
 					"goroutine runs an unconditional loop with no cancellation path: select on a ctx/done channel or bound the loop")
+				return true
+			}
+			if callee := loopingCallee(pass, body, info); callee != nil {
+				pass.Reportf(g.Pos(),
+					"goroutine calls %s, which loops forever with no cancellation path or return; plumb a ctx/done signal through it", callee.FullName())
 			}
 			return true
 		})
 	}
+}
+
+// loopingCallee finds a call in body to a module-local function whose
+// interprocedural summary loops forever.
+func loopingCallee(pass *Pass, body *ast.BlockStmt, info *types.Info) *types.Func {
+	if pass.Prog == nil {
+		return nil
+	}
+	var found *types.Func
+	walkIgnoringFuncLits(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(info, call); fn != nil {
+			if sum, ok := pass.Prog.Summary(fn); ok && sum.LoopsForever {
+				found = fn
+			}
+		}
+		return found == nil
+	})
+	return found
 }
 
 // declBodies indexes the package's function declarations by object so a
@@ -82,17 +116,26 @@ func declBodies(pass *Pass) map[types.Object]*ast.BlockStmt {
 	return out
 }
 
-// goBody resolves the body a go statement will execute: a literal's
-// body, or the body of a same-package function/method. Cross-package
-// and dynamic callees resolve to nil (not analyzable, not flagged).
-func goBody(pass *Pass, g *ast.GoStmt, decls map[types.Object]*ast.BlockStmt) *ast.BlockStmt {
+// goBody resolves the body a go statement will execute — a literal's
+// body, a same-package function/method, or (through the Program) a
+// module-local function in any package — together with the *types.Info
+// of the package that owns the body. Dynamic callees resolve to nil
+// (not analyzable, not flagged).
+func goBody(pass *Pass, g *ast.GoStmt, decls map[types.Object]*ast.BlockStmt) (*ast.BlockStmt, *types.Info) {
 	if lit, ok := unparen(g.Call.Fun).(*ast.FuncLit); ok {
-		return lit.Body
+		return lit.Body, pass.Info
 	}
-	if fn := calleeFunc(pass.Info, g.Call); fn != nil {
-		return decls[fn]
+	fn := calleeFunc(pass.Info, g.Call)
+	if fn == nil {
+		return nil, nil
 	}
-	return nil
+	if body := decls[fn]; body != nil {
+		return body, pass.Info
+	}
+	if decl, pkg := pass.Prog.Decl(fn); decl != nil {
+		return decl.Body, pkg.Info
+	}
+	return nil, nil
 }
 
 // endlessLoop finds an unconditional for-loop in body (not inside a
@@ -104,37 +147,6 @@ func endlessLoop(body *ast.BlockStmt) *ast.ForStmt {
 			found = f
 		}
 		return found == nil
-	})
-	return found
-}
-
-// hasCancelSignal reports whether body contains any construct through
-// which a stop can arrive: a channel receive (select case or direct), a
-// range over a channel, or a context Done/Err call.
-func hasCancelSignal(pass *Pass, body *ast.BlockStmt) bool {
-	found := false
-	walkIgnoringFuncLits(body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.SelectStmt:
-			found = true
-		case *ast.UnaryExpr:
-			if n.Op == token.ARROW {
-				found = true
-			}
-		case *ast.RangeStmt:
-			if t, ok := pass.Info.Types[n.X]; ok {
-				if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
-					found = true
-				}
-			}
-		case *ast.CallExpr:
-			if fn := calleeFunc(pass.Info, n); fn != nil {
-				if (fn.Name() == "Done" || fn.Name() == "Err") && funcPkgPath(fn) == "context" {
-					found = true
-				}
-			}
-		}
-		return !found
 	})
 	return found
 }

@@ -77,6 +77,20 @@ func NewLoader(modRoot string) (*Loader, error) {
 	}, nil
 }
 
+// Packages returns every package the loader has type-checked so far —
+// the requested ones plus all their module-internal dependencies —
+// sorted by import path. This is the input set for BuildProgram: one
+// shared type-checked load feeds both the per-package analyzers and the
+// module-wide interprocedural index.
+func (l *Loader) Packages() []*Package {
+	out := make([]*Package, 0, len(l.pkgs))
+	for _, p := range l.pkgs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
 // modulePath extracts the module path from a go.mod file.
 func modulePath(gomod string) (string, error) {
 	data, err := os.ReadFile(gomod)

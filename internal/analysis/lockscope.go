@@ -29,9 +29,13 @@ import (
 //     outside the current package (the transport package's own conn
 //     mutex IS the RPC serialization point and is exempt), except
 //     Close, which is a non-blocking teardown
+//   - any module-local call whose interprocedural summary (Pass.Prog)
+//     says it may block — the helper that parks on a channel or sleeps
+//     three calls down is the same head-of-line block, just hidden
 //
 // sync.Cond.Wait is exempt: it releases the associated lock while
-// waiting.
+// waiting. The transport self-exemption extends to the summary rule:
+// transport-internal calls analyzed inside transport stay exempt.
 var LockscopeAnalyzer = &Analyzer{
 	Name: "lockscope",
 	Doc:  "no mutex held across transport calls, channel operations, or sleeps",
@@ -206,6 +210,14 @@ func (ls *lockScanner) blockingCall(call *ast.CallExpr) (string, bool) {
 		return "WaitGroup.Wait", true
 	case blockingPkgs[pkg] && pkg != ls.pass.Pkg.Path() && fn.Name() != "Close":
 		return fn.FullName(), true
+	}
+	// Interprocedural: a module-local callee that may block transitively
+	// is the same hazard as a direct blocking op.
+	if ls.pass.Prog != nil && fn.Name() != "Close" &&
+		!(blockingPkgs[pkg] && pkg == ls.pass.Pkg.Path()) {
+		if sum, ok := ls.pass.Prog.Summary(fn); ok && sum.Blocks {
+			return fn.Name() + " (blocks transitively: " + sum.BlockReason + ")", true
+		}
 	}
 	return "", false
 }

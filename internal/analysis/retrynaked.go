@@ -37,7 +37,7 @@ func runRetrynaked(pass *Pass) {
 			if !ok {
 				return true
 			}
-			s := retryScan{info: pass.Info}
+			s := retryScan{info: pass.Info, prog: pass.Prog}
 			if loop.Cond != nil && s.errCompare(loop.Cond, token.NEQ) {
 				// `for err != nil { ... }` keeps looping until success.
 				s.retries = true
@@ -57,6 +57,7 @@ func runRetrynaked(pass *Pass) {
 // cancellation signal that would make the retry polite.
 type retryScan struct {
 	info       *types.Info
+	prog       *Program // interprocedural summaries (may be nil)
 	remote     ast.Node // first remote call found in the body
 	remoteName string
 	retries    bool // error-driven control flow (continue-on-error / exit-on-success)
@@ -115,6 +116,17 @@ func (s *retryScan) classifyCall(call *ast.CallExpr) {
 		// definition — every implementation crosses the wire.
 		if strings.HasSuffix(recvTypeString(fn), "runtime.Endpoint") {
 			s.noteRemote(call, "Endpoint."+name)
+		}
+	default:
+		// Interprocedural: a module-local helper whose summary says it
+		// reaches a remote operation is a retry target the AST-local
+		// pass cannot see. Pacing stays a loop-body-local judgment —
+		// a sleep buried inside the callee is not backoff between
+		// *these* attempts.
+		if s.prog != nil {
+			if sum, ok := s.prog.Summary(fn); ok && sum.Remote {
+				s.noteRemote(call, sum.RemoteName+" (via "+name+")")
+			}
 		}
 	}
 }

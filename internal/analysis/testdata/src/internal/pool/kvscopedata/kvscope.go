@@ -1,0 +1,61 @@
+// Package kvscopedata is genie-lint test fixture data for the KV
+// key-discipline analyzer. Its pretend path (genie/internal/pool/...)
+// puts it inside the plan-owner scope, so the cross-shard rule is
+// silent here and the scope-prefix rule does the talking.
+package kvscopedata
+
+import (
+	"genie/internal/models"
+	"genie/internal/srg"
+	"genie/internal/transport"
+)
+
+// scopedKeep binds a session-scoped key: the owner doing it right.
+func scopedKeep(ex *transport.Exec, scope string) {
+	ex.Keep[srg.NodeID(1)] = scope + models.CacheRef(0, "k")
+}
+
+// bareKeep drops the scope prefix; two sessions sharing a backend
+// would collide on the same key.
+func bareKeep(ex *transport.Exec) {
+	ex.Keep[srg.NodeID(1)] = models.CacheRef(0, "k") // want "bare models.CacheRef with no session-scope prefix"
+}
+
+// bareViaLocal hides the bare ref behind one local binding.
+func bareViaLocal(ex *transport.Exec) {
+	key := models.CacheRef(1, "v")
+	ex.Keep[srg.NodeID(2)] = key // want "bare models.CacheRef with no session-scope prefix"
+}
+
+// bindKey is the one-level helper: its key parameter flows into a
+// Binding sink, so callers are judged at their call sites.
+func bindKey(ex *transport.Exec, key string) {
+	ex.Binds = append(ex.Binds, transport.Binding{Ref: "kv", Key: key})
+}
+
+// helperBare hands a bare CacheRef to the helper — the case the
+// AST-local pass could not see.
+func helperBare(ex *transport.Exec) {
+	bindKey(ex, models.CacheRef(2, "k")) // want "bare models.CacheRef .* through bindKey"
+}
+
+// helperScoped hands a scoped key through the same helper; fine.
+func helperScoped(ex *transport.Exec, scope string) {
+	bindKey(ex, scope+models.CacheRef(2, "k"))
+}
+
+// scopedBinding builds the composite directly with a scoped key.
+func scopedBinding(scope string) transport.Binding {
+	return transport.Binding{Ref: "kv", Key: scope + models.CacheRef(3, "v")}
+}
+
+// bareBinding builds it with a naked ref.
+func bareBinding() transport.Binding {
+	return transport.Binding{Ref: "kv", Key: models.CacheRef(3, "v")} // want "bare models.CacheRef with no session-scope prefix"
+}
+
+// weightKey is not a CacheRef at all; weights are shared, not
+// per-session, and kvscope has nothing to say.
+func weightKey(ex *transport.Exec) {
+	ex.Keep[srg.NodeID(4)] = "weights.wte"
+}

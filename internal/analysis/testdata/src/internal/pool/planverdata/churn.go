@@ -1,0 +1,44 @@
+// churn.go is everything plan.go is not allowed to be: in-place plan
+// mutation and stale snapshot reads across a rebuild section.
+package planverdata
+
+import "genie/internal/pool"
+
+type mgr struct {
+	plan *pool.ShardPlan
+}
+
+// swapPlan replaces the active plan — the rebuild section planver's
+// staleness rule keys off (its summary says RebuildsPlan).
+func (m *mgr) swapPlan(pl *pool.ShardPlan) {
+	m.plan = pl
+}
+
+// mutateInPlace edits a live plan outside the constructor file.
+func (m *mgr) mutateInPlace() {
+	m.plan.Version++    // want "ShardPlan field Version assigned outside the plan constructors"
+	m.plan.CutEdges = 0 // want "ShardPlan field CutEdges assigned outside the plan constructors"
+}
+
+// staleRead keeps using a snapshot captured before the rebuild: the
+// membership epoch it describes may be gone.
+func (m *mgr) staleRead(owners []string) string {
+	snap := m.plan
+	m.swapPlan(build(snap.Version+1, owners))
+	return snap.Owners[0] // want "plan snapshot \"snap\" read after swapPlan rebuilt the plan"
+}
+
+// freshReread re-captures after the rebuild; no finding.
+func (m *mgr) freshReread(owners []string) string {
+	snap := m.plan
+	m.swapPlan(build(snap.Version+1, owners))
+	snap = m.plan
+	return snap.Owners[0]
+}
+
+// argsBeforeEffect: the rebuild call's own arguments are read before
+// the swap happens — evaluation order says they are not stale reads.
+func (m *mgr) argsBeforeEffect(owners []string) {
+	snap := m.plan
+	m.swapPlan(build(snap.Version+1, owners))
+}

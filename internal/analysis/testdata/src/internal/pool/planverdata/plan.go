@@ -1,0 +1,16 @@
+// Package planverdata is genie-lint test fixture data for the
+// ShardPlan version-discipline analyzer. Its pretend path
+// (genie/internal/pool/...) is inside the pool scope, so this file —
+// named plan.go — is a legitimate plan constructor.
+package planverdata
+
+import "genie/internal/pool"
+
+// build constructs a fresh plan the legitimate way: field writes are
+// allowed here because plan.go holds the version-bumping constructors.
+func build(version int64, owners []string) *pool.ShardPlan {
+	pl := &pool.ShardPlan{}
+	pl.Version = version
+	pl.Owners = owners
+	return pl
+}

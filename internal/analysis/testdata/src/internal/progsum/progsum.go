@@ -1,0 +1,109 @@
+// Package progsum is genie-lint test fixture data for the
+// interprocedural summary engine itself: each group below pins one
+// Summary fact and its propagation through the call graph.
+package progsum
+
+import (
+	"sync"
+	"time"
+
+	"genie/internal/obs"
+	"genie/internal/pool"
+	"genie/internal/srg"
+	"genie/internal/transport"
+)
+
+type hub struct {
+	wg   sync.WaitGroup
+	plan *pool.ShardPlan
+	ch   chan int
+}
+
+// --- Blocks: two-hop propagation ---
+
+func parkDirect(h *hub) { h.wg.Wait() }
+func parkOnce(h *hub)   { parkDirect(h) }
+func parkTwice(h *hub)  { parkOnce(h) }
+
+// pollOnly uses a default case; a poll is not a park.
+func pollOnly(h *hub) int {
+	select {
+	case v := <-h.ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+// --- Remote ---
+
+func callWire(c *transport.Conn) error {
+	_, _, err := c.Call(transport.MsgPing, nil)
+	return err
+}
+func callWireDeep(c *transport.Conn) error { return callWire(c) }
+
+// --- LoopsForever ---
+
+func spinForever(h *hub) {
+	n := 0
+	for {
+		n++
+		h.work(n)
+	}
+}
+func (h *hub) work(n int) { _ = n }
+func spinWrapped(h *hub)  { spinForever(h) }
+
+// loopWithExit returns from inside the loop; not forever.
+func loopWithExit(n int) int {
+	i := 0
+	for {
+		i++
+		if i > n {
+			return i
+		}
+	}
+}
+
+// --- TimerLeak ---
+
+func leakTimer(ch chan int) {
+	t := time.NewTimer(time.Millisecond)
+	select {
+	case <-ch:
+	case <-t.C:
+	}
+}
+
+func stopTimer(ch chan int) {
+	t := time.NewTimer(time.Millisecond)
+	defer t.Stop()
+	select {
+	case <-ch:
+	case <-t.C:
+	}
+}
+
+// --- RebuildsPlan ---
+
+func swap(h *hub, pl *pool.ShardPlan)     { h.plan = pl }
+func swapDeep(h *hub, pl *pool.ShardPlan) { swap(h, pl) }
+
+// --- KV sink parameter flow ---
+
+func bindKey(ex *transport.Exec, key string) {
+	ex.Binds = append(ex.Binds, transport.Binding{Ref: "kv", Key: key})
+}
+func keepKey(ex *transport.Exec, id srg.NodeID, key string) {
+	ex.Keep[id] = key
+}
+func bindViaHelper(ex *transport.Exec, key string) {
+	bindKey(ex, key)
+}
+
+// --- EndsSpan parameter flow ---
+
+func endIt(sp *obs.Span)        { sp.End() }
+func endViaHelper(sp *obs.Span) { endIt(sp) }
+func keepsOpen(sp *obs.Span)    { sp.SetAttr("k", "v") }

@@ -1,0 +1,42 @@
+// Package atomicmixdata is genie-lint test fixture data for the
+// mixed atomic/plain access analyzer.
+package atomicmixdata
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64
+	skips int64
+}
+
+// bump is the atomic half of the race.
+func (c *counters) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// read is the plain half: it races with every bump.
+func (c *counters) read() int64 {
+	return c.hits // want "hits is accessed with atomic.AddInt64 elsewhere but plainly here"
+}
+
+// reset is a plain store over the same word.
+func (c *counters) reset() {
+	c.hits = 0 // want "hits is accessed with atomic.AddInt64 elsewhere but plainly here"
+}
+
+// skips is only ever touched plainly; one discipline, no finding.
+func (c *counters) skip() {
+	c.skips++
+}
+
+// gauge keeps a single discipline — all atomic; no finding.
+type gauge struct{ v int64 }
+
+func (g *gauge) get() int64  { return atomic.LoadInt64(&g.v) }
+func (g *gauge) add(d int64) { atomic.AddInt64(&g.v, d) }
+
+// fresh initializes through a composite literal: field keys are
+// initialization, not access, and must not be flagged.
+func fresh() *counters {
+	return &counters{hits: 0, skips: 0}
+}

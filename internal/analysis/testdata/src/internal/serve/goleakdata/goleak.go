@@ -101,3 +101,41 @@ func (w *worker) loop() {
 func (w *worker) startLoop() {
 	go w.loop()
 }
+
+// spinner loops forever with no way out; its summary says so.
+func spinner(w *worker) {
+	for {
+		w.tick()
+	}
+}
+
+// wrapper hides the spin one call down: its own body has no loop.
+func wrapper(w *worker) {
+	w.tick()
+	spinner(w)
+}
+
+// startWrapped is the case the AST-local pass missed: the go'd body
+// contains no loop, but what it calls never comes back.
+func (w *worker) startWrapped() {
+	go wrapper(w) // want "goroutine calls .*spinner, which loops forever"
+}
+
+// politeSpinner consults the context inside its loop; callers that
+// go it are fine even through the same one-call indirection.
+func politeSpinner(ctx context.Context, w *worker) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		w.tick()
+	}
+}
+
+func politeWrapper(ctx context.Context, w *worker) {
+	politeSpinner(ctx, w)
+}
+
+func (w *worker) startPolite(ctx context.Context) {
+	go politeWrapper(ctx, w)
+}

@@ -1,0 +1,44 @@
+// Package kvownerdata is genie-lint test fixture data for kvscope's
+// ownership rule. Its pretend path (genie/internal/serve/...) is
+// outside the plan-owner packages, so binding any CacheRef-derived key
+// here — scoped or not — is cross-shard KV access behind the plan's
+// back.
+package kvownerdata
+
+import (
+	"genie/internal/models"
+	"genie/internal/srg"
+	"genie/internal/transport"
+)
+
+// crossShardKeep decides KV residency from the serving layer: even a
+// properly scoped key is the plan owner's call, not serve's.
+func crossShardKeep(ex *transport.Exec, scope string) {
+	ex.Keep[srg.NodeID(1)] = scope + models.CacheRef(0, "k") // want "outside the plan-owner packages"
+}
+
+// crossShardBinding does the same through a Binding composite.
+func crossShardBinding() transport.Binding {
+	return transport.Binding{Ref: "kv", Key: models.CacheRef(1, "k")} // want "outside the plan-owner packages"
+}
+
+// plainKey is not session KV; weights and scratch keys are free.
+func plainKey(ex *transport.Exec) {
+	ex.Keep[srg.NodeID(2)] = "weights.head"
+}
+
+// inlineBinding carries data, not a key; none of kvscope's business.
+func inlineBinding() transport.Binding {
+	return transport.Binding{Ref: "x"}
+}
+
+// sendKey is the helper whose parameter reaches the sink.
+func sendKey(ex *transport.Exec, key string) {
+	ex.Binds = append(ex.Binds, transport.Binding{Ref: "kv", Key: key})
+}
+
+// crossShardViaHelper is the interprocedural form: the sink is one
+// call away, the violation is at this call site.
+func crossShardViaHelper(ex *transport.Exec, scope string) {
+	sendKey(ex, scope+models.CacheRef(2, "v")) // want "outside the plan-owner packages.*through sendKey"
+}

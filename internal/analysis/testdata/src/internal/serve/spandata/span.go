@@ -1,0 +1,122 @@
+// Package spandata is genie-lint test fixture data for the
+// span-balance analyzer: every obs span started must be ended on every
+// path out of the function, with the interprocedural summaries
+// extending End through helpers.
+package spandata
+
+import (
+	"context"
+	"errors"
+
+	"genie/internal/obs"
+)
+
+var errBoom = errors.New("boom")
+
+// leakOnEarlyReturn skips End on the error path.
+func leakOnEarlyReturn(ctx context.Context, fail bool) error {
+	_, span := obs.StartSpan(ctx, "serve.step") // want "span \"span\" is not ended on every path"
+	if fail {
+		return errBoom
+	}
+	span.End()
+	return nil
+}
+
+// deferEnd is the canonical shape; no finding.
+func deferEnd(ctx context.Context, fail bool) error {
+	_, span := obs.StartSpan(ctx, "serve.ok")
+	defer span.End()
+	if fail {
+		return errBoom
+	}
+	return nil
+}
+
+// deferClosureEnd ends inside a deferred closure; still balanced.
+func deferClosureEnd(ctx context.Context) {
+	_, span := obs.StartSpan(ctx, "serve.closure")
+	defer func() {
+		span.SetAttr("done", "true")
+		span.End()
+	}()
+}
+
+// endSpan is the helper whose summary says it ends its parameter.
+func endSpan(sp *obs.Span, err error) {
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.End()
+}
+
+// helperEndsIt hands the span to endSpan on every path; no finding —
+// only the summaries know endSpan closes it.
+func helperEndsIt(ctx context.Context, err error) {
+	_, span := obs.StartSpan(ctx, "serve.helper")
+	endSpan(span, err)
+}
+
+// leakThroughHelper ends through the helper on one path only: the
+// early return leaks. The old AST-local view had no idea whether
+// endSpan closes the span; the summary makes the leak precise.
+func leakThroughHelper(ctx context.Context, fail bool) error {
+	_, span := obs.StartSpan(ctx, "serve.partial") // want "span \"span\" is not ended on every path"
+	if fail {
+		return errBoom
+	}
+	endSpan(span, nil)
+	return nil
+}
+
+// discarded drops the span on the floor.
+func discarded(ctx context.Context) {
+	_, _ = obs.StartSpan(ctx, "serve.discard") // want "discarded without End"
+}
+
+// loopLeak starts a span every iteration and never ends it: one leak
+// per pass, reported at the start site.
+func loopLeak(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		_, span := obs.StartSpan(ctx, "serve.iter") // want "span \"span\" is not ended on every path"
+		span.SetAttr("step", "decode")
+	}
+}
+
+// loopBalanced ends each iteration's span; no finding.
+func loopBalanced(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		_, span := obs.StartSpan(ctx, "serve.iter")
+		span.End()
+	}
+}
+
+// continueLeak leaves the iteration early with the span still open.
+func continueLeak(ctx context.Context, vals []int) {
+	for _, v := range vals {
+		_, span := obs.StartSpan(ctx, "serve.val") // want "span \"span\" is not ended on every path"
+		if v < 0 {
+			continue
+		}
+		span.End()
+	}
+}
+
+// holder takes ownership of stored spans.
+type holder struct{ sp *obs.Span }
+
+// handedOff stores the span in a field: ownership moves, tracking
+// stops, nothing is reported.
+func handedOff(ctx context.Context, h *holder) {
+	_, span := obs.StartSpan(ctx, "serve.field")
+	h.sp = span
+}
+
+// goHandoff gives the span to a goroutine; same ownership transfer.
+func goHandoff(ctx context.Context, done chan struct{}) {
+	_, span := obs.StartSpan(ctx, "serve.bg")
+	go func() {
+		<-done
+		span.End()
+	}()
+}

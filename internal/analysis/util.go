@@ -76,6 +76,49 @@ func isErrorType(t types.Type) bool {
 	return types.Identical(t, types.Universe.Lookup("error").Type())
 }
 
+// typeOfExpr returns the type of e, or nil when the checker has none.
+func typeOfExpr(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// isScopedNamed reports whether t (after pointer deref) is the named
+// type `name` declared in a package whose scope path is `scope` or
+// below it. Matching by scope path rather than type identity lets
+// testdata fixtures declare stand-in types under the path they pretend
+// to live at.
+func isScopedNamed(t types.Type, scope, name string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	return hasPrefixPath(scopePath(obj.Pkg().Path()), scope)
+}
+
+// isSpanType reports whether t is (a pointer to) obs.Span.
+func isSpanType(t types.Type) bool {
+	return isScopedNamed(t, "genie/internal/obs", "Span")
+}
+
+// isScopedFunc reports whether call invokes function `name` of a
+// package whose scope path is `scope`, with testdata translation.
+func isScopedFunc(info *types.Info, call *ast.CallExpr, scope, name string) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Name() == name && scopePath(funcPkgPath(fn)) == scope
+}
+
 // hasPrefixPath reports whether scope path p is pkg or below it.
 func hasPrefixPath(p, pkg string) bool {
 	return p == pkg || strings.HasPrefix(p, pkg+"/")

@@ -25,8 +25,11 @@ type wantExpectation struct {
 	matched bool
 }
 
-// loadFixture loads one testdata package through the real loader.
-func loadFixture(t *testing.T, relDir string) *Package {
+// loadFixture loads one testdata package through the real loader and
+// returns it with the loader, so callers can build a Program over
+// everything the load pulled in (the fixture plus its stand-in
+// dependency packages).
+func loadFixture(t *testing.T, relDir string) (*Package, *Loader) {
 	t.Helper()
 	if testing.Short() {
 		t.Skip("fixture loading type-checks the stdlib from source; skipped with -short")
@@ -49,14 +52,15 @@ func loadFixture(t *testing.T, relDir string) *Package {
 	if t.Failed() {
 		t.FailNow()
 	}
-	return pkg
+	return pkg, loader
 }
 
-// runWantTest applies one analyzer (with ignore directives, as the
-// driver would) and diffs the diagnostics against the want comments.
+// runWantTest applies one analyzer (with ignore directives and the
+// interprocedural Program, as the driver would) and diffs the
+// diagnostics against the want comments.
 func runWantTest(t *testing.T, analyzerName, relDir string) {
 	t.Helper()
-	pkg := loadFixture(t, relDir)
+	pkg, loader := loadFixture(t, relDir)
 	var analyzer *Analyzer
 	for _, a := range Analyzers() {
 		if a.Name == analyzerName {
@@ -66,7 +70,8 @@ func runWantTest(t *testing.T, analyzerName, relDir string) {
 	if analyzer == nil {
 		t.Fatalf("no analyzer %q", analyzerName)
 	}
-	diags := applyIgnores(RunAnalyzer(analyzer, pkg), collectIgnores(pkg.Fset, pkg.Files))
+	prog := BuildProgram(loader.Packages())
+	diags := applyIgnores(RunAnalyzer(analyzer, pkg, prog), collectIgnores(pkg.Fset, pkg.Files))
 	wants := parseWants(t, pkg)
 
 	for _, d := range diags {

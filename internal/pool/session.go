@@ -69,6 +69,11 @@ func (s *session) forward(ctx context.Context, tokens []int64, histLen int) (int
 	var x *tensor.Tensor
 	retries := 0
 	for {
+		// A repaired-plan retry must not outlive the request: the caller's
+		// deadline/cancel is the only thing bounding a churn storm.
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		plan, err := m.planSnapshot()
 		if err != nil {
 			return 0, err
