@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race check bench bench-kernels parity chaos pool
+.PHONY: all build vet lint test test-short race check bench bench-kernels parity chaos pool wire
 
 all: check
 
@@ -56,6 +56,16 @@ parity:
 pool:
 	$(GO) test -race -count=1 ./internal/pool/ -run .
 	$(GO) test -race -count=1 ./internal/cluster/ -run 'Remove|Evict'
+
+# Negotiated wire tier (DESIGN.md §11) under the race detector: codec
+# round trips for the ref/delta/compressed frames (go test runs each
+# Fuzz* seed corpus as unit cases), pooled-encoder equivalence, and the
+# end-to-end contracts — feature negotiation, content-hash dedup,
+# legacy byte-identity with features off, and the quantize-on-upload
+# policy.
+wire:
+	$(GO) test -race -count=1 ./internal/transport/ -run 'Fuzz|Pooled|Hello|Ref|Delta|Compress'
+	$(GO) test -race -count=1 ./internal/backend/ -run 'Wire|Negotiate|Dedup|Delta|Compress|Legacy|QuantPolicy'
 
 chaos:
 	$(GO) test -race -count=1 ./internal/chaos/ -run .

@@ -47,6 +47,9 @@ func main() {
 		"print only the fault-tolerance section (goodput under a backend crash vs no-fault baseline; GENIE_CHAOS_SEED pins the schedule)")
 	shardSection := flag.Bool("shard-report", false,
 		"print only the sharded-placement section (per-op shard report + live pool sharding at 1/2/4 ways)")
+	wireSection := flag.Bool("wire", false,
+		"print only the raw-speed tier section (int8/f16 decode kernels vs f32; "+
+			"bytes-on-wire with and without negotiated dedup+delta+compression)")
 	rpc := flag.String("rpc", "tensorpipe", "transport profile: tensorpipe | rdma")
 	naiveReupload := flag.Float64("naive-reupload", 1,
 		"calls per weight re-upload in Naive mode (1 = paper's stated policy; ~6.5 matches its measured decode)")
@@ -64,9 +67,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	all := *table == 0 && !*ablations && !*kernels && !*obsSection && !*chaosSection && !*shardSection
+	all := *table == 0 && !*ablations && !*kernels && !*obsSection && !*chaosSection && !*shardSection && !*wireSection
 	if all || *kernels {
 		printKernels()
+	}
+	if all || *wireSection {
+		printWire()
 	}
 	if all || *obsSection {
 		printObs()

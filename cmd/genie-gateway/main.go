@@ -50,6 +50,7 @@ import (
 	"genie/internal/models"
 	"genie/internal/obs"
 	"genie/internal/pool"
+	"genie/internal/quant"
 	"genie/internal/runtime"
 	"genie/internal/serve"
 	"genie/internal/transport"
@@ -92,9 +93,19 @@ func main() {
 	poolMemBytes := flag.Int64("pool-mem-bytes", 0,
 		"per-member memory capacity the shard planner assumes, in bytes "+
 			"(0 = the modeled device default; small values force multi-member sharding)")
+	quantMode := flag.String("quant", "off",
+		"weight tier installed on backends: off (f32), int8 (per-column symmetric), f16")
+	wireCompress := flag.Bool("wire-compress", false,
+		"negotiate wire features (compression, dedup, delta uploads) with each backend; "+
+			"backends that refuse stay on the legacy protocol")
 	flag.Parse()
 
 	mode, err := runtime.ParseMode(*modeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	qm, err := quant.ParseMode(*quantMode)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -110,6 +121,22 @@ func main() {
 		defer tracer.Stop()
 	}
 	tel := transport.NewTelemetry(reg)
+
+	// With -wire-compress the gateway offers the full wire feature set to
+	// each backend right after dialing; whatever subset the server grants
+	// is installed on that connection (legacy servers grant nothing).
+	negotiate := func(c *transport.Client, baddr string) {
+		if !*wireCompress {
+			return
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		granted, err := c.Negotiate(ctx, transport.FeatAll)
+		if err != nil {
+			log.Fatalf("genie-gateway: negotiate with %s: %v", baddr, err)
+		}
+		log.Printf("genie-gateway: %s granted wire features %#x", baddr, granted)
+	}
 
 	// Two backend topologies: the default gives each -backends address its
 	// own lane with a full model replica; -pool-backends instead shards ONE
@@ -152,7 +179,9 @@ func main() {
 			}
 			defer conn.Close()
 			conn.SetTelemetry(tel)
-			if err := mgr.Join(baddr, transport.NewClient(conn), spec, link); err != nil {
+			member := transport.NewClient(conn)
+			negotiate(member, baddr)
+			if err := mgr.Join(baddr, member, spec, link); err != nil {
 				log.Fatalf("genie-gateway: pool member %s: %v", baddr, err)
 			}
 		}
@@ -180,7 +209,9 @@ func main() {
 				}
 				defer conn.Close()
 				conn.SetTelemetry(tel)
-				r.EP = transport.NewClient(conn)
+				lc := transport.NewClient(conn)
+				negotiate(lc, baddr)
+				r.EP = lc
 				r.Counters = conn.Counters()
 			}
 			lanes = append(lanes, serve.Backend{Name: baddr, Runner: r})
@@ -212,6 +243,7 @@ func main() {
 		Tracer:           tracer,
 		Metrics:          reg,
 		PoolStats:        poolStats,
+		Quant:            qm,
 	}, lanes)
 	if err != nil {
 		log.Fatalf("genie-gateway: %v", err)

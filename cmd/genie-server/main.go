@@ -32,6 +32,7 @@ import (
 	"genie/internal/compute"
 	"genie/internal/device"
 	"genie/internal/obs"
+	"genie/internal/quant"
 )
 
 func main() {
@@ -45,7 +46,19 @@ func main() {
 	memBytes := flag.Int64("mem-bytes", 0,
 		"override the modeled device memory capacity in bytes (0 = device default; "+
 			"small values force a pool gateway to shard the model across backends)")
+	quantMode := flag.String("quant", "off",
+		"weight quantization policy applied at upload admission: off, int8, f16 "+
+			"(rank-2 f32 tensors under *.w keys are stored in the cheap dtype)")
+	wireCompress := flag.Bool("wire-compress", true,
+		"offer wire features (compression, dedup, delta uploads) to clients that negotiate; "+
+			"false pins every connection to the legacy byte-identical protocol")
 	flag.Parse()
+
+	qm, err := quant.ParseMode(*quantMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	spec, err := device.ByName(*dev)
 	if err != nil {
@@ -65,6 +78,10 @@ func main() {
 	log.Printf("genie-server: %s backend listening on %s (%d kernel workers)",
 		spec.Name, l.Addr(), compute.Workers())
 	srv := backend.NewServer(spec)
+	srv.SetQuantPolicy(qm)
+	if !*wireCompress {
+		srv.SetWireFeatures(0)
+	}
 
 	if *metricsAddr != "" {
 		reg := obs.NewRegistry()

@@ -47,7 +47,8 @@ var GoleakAnalyzer = &Analyzer{
 			hasPrefixPath(scope, "genie/internal/chaos") ||
 			hasPrefixPath(scope, "genie/internal/pool") ||
 			hasPrefixPath(scope, "genie/internal/simnet") ||
-			hasPrefixPath(scope, "genie/internal/eval")
+			hasPrefixPath(scope, "genie/internal/eval") ||
+			hasPrefixPath(scope, "genie/internal/quant")
 	},
 	Run: runGoleak,
 }

@@ -16,8 +16,11 @@ import (
 // captured the old value.
 //
 // Scope: everywhere in the module except genie/internal/tensor (the
-// owner of the representation) and genie/internal/nn (the kernels,
-// which write into freshly allocated outputs). Flagged:
+// owner of the representation), genie/internal/nn (the kernels, which
+// write into freshly allocated outputs), and genie/internal/quant (the
+// raw-speed tier's quantizers, which fill the int8/f16 tensors they
+// just created — the same freshly-allocated-output discipline as nn).
+// Flagged:
 //
 //   - element stores through a raw view: t.F32()[i] = v, and the same
 //     through a local bound to a view (d := t.F32(); d[i] = v)
@@ -33,14 +36,19 @@ var TensormutAnalyzer = &Analyzer{
 	Doc:  "materialized tensors are immutable outside the tensor/nn kernel packages",
 	AppliesTo: func(scope string) bool {
 		return !hasPrefixPath(scope, "genie/internal/tensor") &&
-			!hasPrefixPath(scope, "genie/internal/nn")
+			!hasPrefixPath(scope, "genie/internal/nn") &&
+			!hasPrefixPath(scope, "genie/internal/quant")
 	},
 	Run: runTensormut,
 }
 
-// viewMethods are the accessors exposing the raw backing store.
+// viewMethods are the accessors exposing the raw backing store. I8 and
+// Scales joined with the raw-speed tier: a write through either
+// desynchronizes a quantized weight from its content hash and remote
+// replica just like an F32 store.
 var viewMethods = map[string]bool{
 	"F32": true, "F16": true, "I64": true, "I32": true, "U8": true, "Bytes": true,
+	"I8": true, "Scales": true,
 }
 
 // mutMethods are the mutating halves of the tensor API.

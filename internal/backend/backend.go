@@ -10,11 +10,13 @@ package backend
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"genie/internal/device"
 	"genie/internal/exec"
 	"genie/internal/obs"
+	"genie/internal/quant"
 	"genie/internal/srg"
 	"genie/internal/tensor"
 	"genie/internal/transport"
@@ -42,6 +44,20 @@ type Server struct {
 	// execHook, when set, observes every Exec with its 1-based call
 	// number before execution and may veto it (see SetExecHook).
 	execHook func(call int64) error
+
+	// Wire features this server grants (wirefeat.go); content is the
+	// upload dedup cache: content hash -> resident tensor. Both are
+	// epoch-scoped like the store — Crash wipes the cache so a hash ref
+	// can never resurrect pre-crash bytes. Entries alias store tensors
+	// (uploads are immutable once resident) so the cache costs no data
+	// memory.
+	wireFeat uint32
+	content  map[[transport.HashSize]byte]*tensor.Tensor
+
+	// quantPolicy lowers rank-2 f32 weight uploads (keys ending ".w")
+	// to the configured precision tier at admission (-quant on
+	// genie-server).
+	quantPolicy quant.Mode
 
 	// Connection tracking for graceful drain (see serve.go). Guarded by
 	// its own mutex so RPC handling never contends with store access.
@@ -101,9 +117,80 @@ func (s *Server) syncResidentLocked() {
 	s.inst.epoch.Set(int64(s.epoch))
 }
 
-// NewServer creates a backend modeling the given device.
+// NewServer creates a backend modeling the given device. All wire
+// features are supported by default; they still cost nothing until a
+// client negotiates them.
 func NewServer(spec device.Spec) *Server {
-	return &Server{spec: spec, store: make(map[string]Object), epoch: 1}
+	return &Server{spec: spec, store: make(map[string]Object), epoch: 1, wireFeat: transport.FeatAll}
+}
+
+// SetWireFeatures restricts which wire features MsgHello may grant
+// (0 forces every connection to the legacy protocol).
+func (s *Server) SetWireFeatures(mask uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wireFeat = mask
+}
+
+// WireFeatures returns the grantable feature mask.
+func (s *Server) WireFeatures() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wireFeat
+}
+
+// SetQuantPolicy lowers future rank-2 f32 weight uploads (keys ending
+// ".w") to the given precision tier as they are stored. Off restores
+// full-precision admission; already-resident objects are untouched.
+func (s *Server) SetQuantPolicy(m quant.Mode) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.quantPolicy = m
+}
+
+// maxContentCache bounds dedup-cache entries; a full reset past the
+// cap keeps the map bounded without eviction bookkeeping (misses just
+// re-upload).
+const maxContentCache = 4096
+
+// rememberContent records a resident tensor's bytes in the dedup cache.
+func (s *Server) rememberContent(t *tensor.Tensor) {
+	h := transport.ContentHash(t)
+	s.mu.Lock()
+	if s.content == nil || len(s.content) >= maxContentCache {
+		s.content = make(map[[transport.HashSize]byte]*tensor.Tensor)
+	}
+	s.content[h] = t
+	s.mu.Unlock()
+}
+
+// contentFor resolves a content hash to the tensor the server already
+// holds (nil on miss). The hash was computed server-side at remember
+// time, so a client can never alias a key onto bytes it did not send.
+func (s *Server) contentFor(h [transport.HashSize]byte) *tensor.Tensor {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.content[h]
+}
+
+// maybeQuantize applies the admission quant policy to weight uploads.
+func (s *Server) maybeQuantize(key string, t *tensor.Tensor) *tensor.Tensor {
+	s.mu.Lock()
+	mode := s.quantPolicy
+	s.mu.Unlock()
+	if mode == quant.Off || t.DType() != tensor.F32 || t.Shape().Rank() != 2 ||
+		!strings.HasSuffix(key, ".w") {
+		return t
+	}
+	switch mode {
+	case quant.Int8:
+		if q, err := quant.QuantizeLinear(t, 1); err == nil {
+			return q
+		}
+	case quant.F16:
+		return t.ToF16()
+	}
+	return t
 }
 
 // Spec returns the modeled device.
@@ -177,6 +264,7 @@ func (s *Server) Crash() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.store = make(map[string]Object)
+	s.content = nil
 	s.resident = 0
 	s.epoch++
 	if s.inst != nil {

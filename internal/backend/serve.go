@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 
+	"genie/internal/tensor"
 	"genie/internal/transport"
 )
 
@@ -36,7 +37,7 @@ func (s *Server) Serve(conn *transport.Conn) error {
 		// stitching one tree across the process boundary.
 		span := s.tracer.RemoteSpan(env.Trace, env.Span, "backend."+transport.KindName(t))
 		span.SetAttrInt("payload_bytes", int64(len(payload)))
-		rt, rp := s.handle(t, payload)
+		rt, rp := s.handle(conn, t, payload)
 		span.SetAttrInt("reply_bytes", int64(len(rp)))
 		span.End()
 		err = conn.SendEnv(rt, env, rp)
@@ -101,19 +102,81 @@ func (s *Server) Drain() {
 	s.connMu.Unlock()
 }
 
-func (s *Server) handle(t transport.MsgType, payload []byte) (transport.MsgType, []byte) {
+func (s *Server) handle(conn *transport.Conn, t transport.MsgType, payload []byte) (transport.MsgType, []byte) {
 	fail := func(err error) (transport.MsgType, []byte) {
 		return transport.MsgErr, transport.EncodeErr(err)
 	}
 	switch t {
 	case transport.MsgPing:
 		return transport.MsgPong, nil
+	case transport.MsgHello:
+		req, err := transport.DecodeHello(payload)
+		if err != nil {
+			return fail(err)
+		}
+		granted := req & s.WireFeatures()
+		conn.SetFeatures(granted)
+		return transport.MsgHelloOK, transport.EncodeHello(granted)
 	case transport.MsgUpload:
 		u, err := transport.DecodeUpload(payload)
 		if err != nil {
 			return fail(err)
 		}
-		ack, err := s.Upload(u.Key, u.Data)
+		// Dedup remembers the bytes as received (pre-quantization), so
+		// the server-side hash always matches what the client hashed.
+		if conn.Features()&transport.FeatDedup != 0 {
+			s.rememberContent(u.Data)
+		}
+		ack, err := s.Upload(u.Key, s.maybeQuantize(u.Key, u.Data))
+		if err != nil {
+			return fail(err)
+		}
+		return transport.MsgUploadOK, transport.EncodeUploadOK(ack)
+	case transport.MsgUploadRef:
+		u, err := transport.DecodeUploadRef(payload)
+		if err != nil {
+			return fail(err)
+		}
+		data := s.contentFor(u.Hash)
+		if data == nil {
+			return fail(fmt.Errorf("backend: unknown content hash %x", u.Hash[:8]))
+		}
+		ack, err := s.Upload(u.Key, s.maybeQuantize(u.Key, data))
+		if err != nil {
+			return fail(err)
+		}
+		return transport.MsgUploadOK, transport.EncodeUploadOK(ack)
+	case transport.MsgUploadDelta:
+		u, err := transport.DecodeUploadDelta(payload)
+		if err != nil {
+			return fail(err)
+		}
+		base, err := s.Lookup(u.Key, 0)
+		if err != nil {
+			return fail(fmt.Errorf("backend: delta base missing: %w", err))
+		}
+		// A quantization policy rewrites resident bytes, so the client's
+		// f32 base no longer exists server-side; the meta check catches
+		// that (and any shape change) and forces a full re-upload.
+		if base.DType() != u.DType || !base.Shape().Equal(u.Shape) {
+			return fail(fmt.Errorf("backend: delta base mismatch: resident %s%v, delta %s%v",
+				base.DType(), base.Shape(), u.DType, u.Shape))
+		}
+		raw, err := transport.ApplyDelta(base.Bytes(), u.Delta)
+		if err != nil {
+			return fail(err)
+		}
+		data, err := tensor.FromBytes(u.DType, u.Shape, raw)
+		if err != nil {
+			return fail(err)
+		}
+		if transport.ContentHash(data) != u.Hash {
+			return fail(fmt.Errorf("backend: delta base mismatch: reconstruction hash differs"))
+		}
+		if conn.Features()&transport.FeatDedup != 0 {
+			s.rememberContent(data)
+		}
+		ack, err := s.Upload(u.Key, data)
 		if err != nil {
 			return fail(err)
 		}
@@ -123,9 +186,29 @@ func (s *Server) handle(t transport.MsgType, payload []byte) (transport.MsgType,
 		if err != nil {
 			return fail(err)
 		}
+		// Resolve dedup bindings: hash refs inflate from the content
+		// cache; fresh cache-hinted tensors are remembered after a
+		// successful run (the client only counts them as server-known
+		// once the exec succeeds).
+		var cacheable []*tensor.Tensor
+		for i := range x.Binds {
+			b := &x.Binds[i]
+			if b.Hash != ([transport.HashSize]byte{}) {
+				data := s.contentFor(b.Hash)
+				if data == nil {
+					return fail(fmt.Errorf("backend: unknown content hash %x", b.Hash[:8]))
+				}
+				b.Inline = data
+			} else if b.Cache && b.Inline != nil {
+				cacheable = append(cacheable, b.Inline)
+			}
+		}
 		ok, err := s.Exec(x)
 		if err != nil {
 			return fail(err)
+		}
+		for _, data := range cacheable {
+			s.rememberContent(data)
 		}
 		return transport.MsgExecOK, transport.EncodeExecOK(ok)
 	case transport.MsgFetch:

@@ -1,0 +1,53 @@
+package models
+
+import (
+	"fmt"
+
+	"genie/internal/nn"
+	"genie/internal/quant"
+	"genie/internal/tensor"
+)
+
+// Quantize rewrites the model's matmul weights for the raw-speed tier
+// (ROADMAP item 2, DESIGN.md §11): int8 mode replaces each Linear's W
+// with a per-column symmetric-quantized tensor (axis 1, matching the
+// kernel contract in ops.MatMul), f16 mode with a half-precision copy.
+//
+// Embeddings, layernorms, and biases stay f32 — they are gather/axpy
+// operands, not GEMM panels, and carry a negligible share of the bytes.
+// Already-converted weights are skipped, so Quantize is idempotent and
+// safe to call on a model that is partially quantized after a prior
+// failed pass.
+func Quantize(m *GPT, mode quant.Mode) error {
+	if mode == quant.Off {
+		return nil
+	}
+	for i, bl := range m.Blocks {
+		for _, l := range []*nn.Linear{bl.Attn.WQ, bl.Attn.WK, bl.Attn.WV, bl.Attn.WO, bl.MLP.FC, bl.MLP.Proj} {
+			if err := quantizeLinear(l, mode); err != nil {
+				return fmt.Errorf("models: quantize block %d: %w", i, err)
+			}
+		}
+	}
+	if err := quantizeLinear(m.Head, mode); err != nil {
+		return fmt.Errorf("models: quantize head: %w", err)
+	}
+	return nil
+}
+
+func quantizeLinear(l *nn.Linear, mode quant.Mode) error {
+	if l.W.DType() != tensor.F32 {
+		return nil
+	}
+	switch mode {
+	case quant.Int8:
+		q, err := quant.QuantizeLinear(l.W, 1)
+		if err != nil {
+			return err
+		}
+		l.W = q
+	case quant.F16:
+		l.W = l.W.ToF16()
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package models
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"genie/internal/exec"
+	"genie/internal/quant"
+	"genie/internal/tensor"
+)
+
+// runPrefillLogits executes a prefill graph end-to-end and returns the
+// final-position logits row.
+func runPrefillLogits(t *testing.T, m *GPT, prompt []int64) []float32 {
+	t.Helper()
+	b, out := m.BuildPrefill(prompt)
+	vals, err := exec.Graph(b.Graph(), bindAll(b))
+	if err != nil {
+		t.Fatalf("exec: %v", err)
+	}
+	logits := vals[out.LastLogits]
+	got := make([]float32, logits.NumElements())
+	copy(got, logits.F32())
+	return got
+}
+
+func TestQuantizeInt8EndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ref := NewGPT(rng, TinyGPT)
+	rng = rand.New(rand.NewSource(7))
+	q := NewGPT(rng, TinyGPT)
+	if err := Quantize(q, quant.Int8); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Head.W.DType(); got != tensor.I8 {
+		t.Fatalf("head weight dtype = %v, want i8", got)
+	}
+	if got := q.Blocks[0].MLP.FC.W.DType(); got != tensor.I8 {
+		t.Fatalf("mlp fc weight dtype = %v, want i8", got)
+	}
+	prompt := []int64{1, 2, 3}
+	want := runPrefillLogits(t, ref, prompt)
+	got := runPrefillLogits(t, q, prompt)
+	// Quantization error compounds through layers; the tiny model's
+	// logits should still track f32 closely in an RMS sense.
+	var num, den float64
+	for i := range want {
+		d := float64(got[i] - want[i])
+		num += d * d
+		den += float64(want[i]) * float64(want[i])
+	}
+	if rel := math.Sqrt(num) / (math.Sqrt(den) + 1e-12); rel > 0.15 {
+		t.Fatalf("relative logits error %.4f too large for int8", rel)
+	}
+}
+
+func TestQuantizeF16EndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ref := NewGPT(rng, TinyGPT)
+	rng = rand.New(rand.NewSource(7))
+	h := NewGPT(rng, TinyGPT)
+	if err := Quantize(h, quant.F16); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Blocks[0].Attn.WQ.W.DType(); got != tensor.F16 {
+		t.Fatalf("attn wq weight dtype = %v, want f16", got)
+	}
+	prompt := []int64{4, 5}
+	want := runPrefillLogits(t, ref, prompt)
+	got := runPrefillLogits(t, h, prompt)
+	for i := range want {
+		if d := math.Abs(float64(got[i] - want[i])); d > 0.05 {
+			t.Fatalf("logit %d: f16 drift %.5f", i, d)
+		}
+	}
+}
+
+func TestQuantizeIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewGPT(rng, TinyGPT)
+	if err := Quantize(m, quant.Int8); err != nil {
+		t.Fatal(err)
+	}
+	w := m.Head.W
+	if err := Quantize(m, quant.Int8); err != nil {
+		t.Fatal(err)
+	}
+	if m.Head.W != w {
+		t.Fatal("second Quantize pass should leave converted weights untouched")
+	}
+	if err := Quantize(m, quant.Off); err != nil {
+		t.Fatal(err)
+	}
+	if m.Head.W != w {
+		t.Fatal("Off mode must be a no-op")
+	}
+}

@@ -342,12 +342,16 @@ type naiveSession struct {
 func (ns *naiveSession) call(ctx context.Context) (int64, error) {
 	b, out := ns.r.Model.BuildPrefill(ns.history)
 	x := &transport.Exec{Graph: b.Graph()}
-	// Blind mode: every leaf inline, weights included.
+	// Blind mode: every leaf inline, weights included. Params carry the
+	// dedup cache hint — on feature-negotiated transports a repeated
+	// weight collapses to a 32-byte hash ref after its first trip; on
+	// legacy connections the hint is stripped client-side and the frame
+	// stays byte-identical to the blind encoding.
 	for _, n := range b.Graph().Nodes() {
 		switch n.Op {
 		case "param":
 			data, _ := b.ParamData(n.Ref)
-			x.Binds = append(x.Binds, transport.Binding{Ref: n.Ref, Inline: data})
+			x.Binds = append(x.Binds, transport.Binding{Ref: n.Ref, Inline: data, Cache: true})
 		case "input":
 			data, _ := b.InputData(n.Ref)
 			x.Binds = append(x.Binds, transport.Binding{Ref: n.Ref, Inline: data})

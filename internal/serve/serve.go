@@ -20,7 +20,9 @@ import (
 
 	"genie/internal/compute"
 	"genie/internal/global"
+	"genie/internal/models"
 	"genie/internal/obs"
+	"genie/internal/quant"
 	"genie/internal/runtime"
 	"genie/internal/transport"
 )
@@ -100,6 +102,10 @@ type Config struct {
 	// surface shard membership and per-shard health in /stats without
 	// serve importing the pool layer.
 	PoolStats func() any
+	// Quant selects the raw-speed weight tier (DESIGN.md §11): int8
+	// rewrites every Linear weight to per-column symmetric int8 before
+	// installation, f16 to half precision. The zero value keeps f32.
+	Quant quant.Mode
 }
 
 func (c *Config) fillDefaults() {
@@ -284,6 +290,13 @@ func NewEngine(cfg Config, backends []Backend) (*Engine, error) {
 		name := b.Name
 		if name == "" {
 			name = fmt.Sprintf("backend%d", i)
+		}
+		if cfg.Quant != quant.Off {
+			// Quantize before installation so the cheap weights are what
+			// cross the wire; idempotent, so shared models are safe.
+			if err := models.Quantize(b.Runner.Model, cfg.Quant); err != nil {
+				return nil, fmt.Errorf("serve: quantize weights for %s: %w", name, err)
+			}
 		}
 		if cfg.Mode != runtime.ModeLocal && !b.Runner.WeightsResident {
 			if _, err := b.Runner.InstallModelWeights(); err != nil {

@@ -22,6 +22,7 @@ const (
 	I64              // 64-bit signed integer (token ids, indices)
 	I32              // 32-bit signed integer
 	U8               // 8-bit unsigned integer (images, masks)
+	I8               // 8-bit signed integer (quantized weights; see AttachScales)
 )
 
 // Size returns the number of bytes per element.
@@ -33,7 +34,7 @@ func (d DType) Size() int {
 		return 2
 	case I64:
 		return 8
-	case U8:
+	case U8, I8:
 		return 1
 	}
 	panic(fmt.Sprintf("tensor: unknown dtype %d", d))
@@ -52,6 +53,8 @@ func (d DType) String() string {
 		return "i32"
 	case U8:
 		return "u8"
+	case I8:
+		return "i8"
 	}
 	return fmt.Sprintf("dtype(%d)", uint8(d))
 }
@@ -69,6 +72,8 @@ func ParseDType(s string) (DType, error) {
 		return I32, nil
 	case "u8":
 		return U8, nil
+	case "i8":
+		return I8, nil
 	}
 	return 0, fmt.Errorf("tensor: unknown dtype %q", s)
 }

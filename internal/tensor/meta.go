@@ -57,7 +57,7 @@ func ReadMeta(r io.Reader) (Meta, error) {
 		return Meta{}, err
 	}
 	dt := DType(hdr[0])
-	if dt > U8 {
+	if dt > I8 {
 		return Meta{}, fmt.Errorf("tensor: invalid dtype byte %d", hdr[0])
 	}
 	rank := int(hdr[1])
@@ -81,12 +81,28 @@ func ReadMeta(r io.Reader) (Meta, error) {
 // EncodedLen returns the number of bytes WriteTo will produce.
 func (m Meta) EncodedLen() int { return 2 + 4*len(m.Shape) }
 
-// Write serializes a full tensor (meta + payload) to w.
+// Write serializes a full tensor (meta + payload) to w. I8 tensors carry
+// a trailing scale section (u8 axis, u32 count, count×f32) so quantized
+// weights survive checkpointing; the count is 0 for unscaled int8 data.
+// Pre-I8 encodings are unchanged byte for byte.
 func Write(w io.Writer, t *Tensor) error {
 	if _, err := MetaOf(t).WriteTo(w); err != nil {
 		return err
 	}
-	_, err := w.Write(t.Bytes())
+	if _, err := w.Write(t.Bytes()); err != nil {
+		return err
+	}
+	if t.DType() != I8 {
+		return nil
+	}
+	sc := t.Scales()
+	buf := make([]byte, 5+4*len(sc))
+	buf[0] = byte(t.QuantAxis())
+	binary.LittleEndian.PutUint32(buf[1:], uint32(len(sc)))
+	for i, s := range sc {
+		binary.LittleEndian.PutUint32(buf[5+4*i:], f32bits(s))
+	}
+	_, err := w.Write(buf)
 	return err
 }
 
@@ -100,5 +116,32 @@ func Read(r io.Reader) (*Tensor, error) {
 	if _, err := io.ReadFull(r, data); err != nil {
 		return nil, err
 	}
-	return FromBytes(m.DType, m.Shape, data)
+	t, err := FromBytes(m.DType, m.Shape, data)
+	if err != nil || m.DType != I8 {
+		return t, err
+	}
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	axis := int(hdr[0])
+	n := int(binary.LittleEndian.Uint32(hdr[1:]))
+	if n == 0 {
+		return t, nil
+	}
+	if axis >= m.Shape.Rank() || n != m.Shape[axis] {
+		return nil, fmt.Errorf("tensor: %d scales for axis %d of %v", n, axis, m.Shape)
+	}
+	raw := make([]byte, 4*n)
+	if _, err := io.ReadFull(r, raw); err != nil {
+		return nil, err
+	}
+	scales := make([]float32, n)
+	for i := range scales {
+		scales[i] = f32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	if err := t.AttachScales(axis, scales); err != nil {
+		return nil, err
+	}
+	return t, nil
 }

@@ -1,0 +1,27 @@
+package ops
+
+import (
+	"sync"
+
+	"genie/internal/tensor"
+)
+
+// f16Table is a full 65536-entry half→single widening table. The scalar
+// tensor.F16ToF32 branches on subnormals/Inf/NaN per element, which
+// dominates the f16 kernels at decode shapes (the k·n widen pass is
+// amortized over a single output row at m=1). The table turns every
+// conversion into one L2-resident load; entries are computed with
+// F16ToF32 itself, so kernel results stay bit-identical.
+var (
+	f16TabOnce sync.Once
+	f16Tab     [1 << 16]float32
+)
+
+func f16Table() *[1 << 16]float32 {
+	f16TabOnce.Do(func() {
+		for i := range f16Tab {
+			f16Tab[i] = tensor.F16ToF32(uint16(i))
+		}
+	})
+	return &f16Tab
+}

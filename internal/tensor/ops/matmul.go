@@ -53,23 +53,40 @@ func MatMul(a, b *tensor.Tensor) (*tensor.Tensor, error) {
 	if bs.Rank() != 2 {
 		return nil, fmt.Errorf("ops: matmul rhs must be rank 2, got %v", bs)
 	}
+	var m, k int
 	switch as.Rank() {
 	case 2:
-		if as[1] != bs[0] {
-			return nil, fmt.Errorf("ops: matmul shape mismatch %v @ %v", as, bs)
-		}
-		out := tensor.NewScratch(tensor.F32, as[0], bs[1])
-		matmul2d(a.F32(), b.F32(), out.F32(), as[0], as[1], bs[1])
-		return out, nil
+		m, k = as[0], as[1]
 	case 3:
-		if as[2] != bs[0] {
-			return nil, fmt.Errorf("ops: matmul shape mismatch %v @ %v", as, bs)
-		}
-		out := tensor.NewScratch(tensor.F32, as[0], as[1], bs[1])
-		matmul2d(a.F32(), b.F32(), out.F32(), as[0]*as[1], as[2], bs[1])
-		return out, nil
+		m, k = as[0]*as[1], as[2]
+	default:
+		return nil, fmt.Errorf("ops: matmul lhs must be rank 2 or 3, got %v", as)
 	}
-	return nil, fmt.Errorf("ops: matmul lhs must be rank 2 or 3, got %v", as)
+	if k != bs[0] {
+		return nil, fmt.Errorf("ops: matmul shape mismatch %v @ %v", as, bs)
+	}
+	var out *tensor.Tensor
+	if as.Rank() == 3 {
+		out = tensor.NewScratch(tensor.F32, as[0], as[1], bs[1])
+	} else {
+		out = tensor.NewScratch(tensor.F32, as[0], bs[1])
+	}
+	switch b.DType() {
+	case tensor.F32:
+		matmul2d(a.F32(), b.F32(), out.F32(), m, k, bs[1])
+	case tensor.I8:
+		if b.Scales() == nil || b.QuantAxis() != 1 {
+			out.Release()
+			return nil, fmt.Errorf("ops: i8 matmul rhs needs per-column scales (axis 1)")
+		}
+		matmulQ8(a.F32(), b, out.F32(), m, k, bs[1])
+	case tensor.F16:
+		matmulF16(a.F32(), b.F16(), out.F32(), m, k, bs[1])
+	default:
+		out.Release()
+		return nil, fmt.Errorf("ops: matmul rhs dtype %s unsupported", b.DType())
+	}
+	return out, nil
 }
 
 // matmul2d accumulates a @ b into out, which MUST arrive zeroed (the
@@ -139,15 +156,38 @@ func MatMulT(a, b *tensor.Tensor) (*tensor.Tensor, error) {
 	}
 	m, k, n := as[0], as[1], bs[0]
 	out := tensor.NewScratch(tensor.F32, m, n)
-	av, bv, ov := a.F32(), b.F32(), out.F32()
-	if m >= n {
-		compute.ParallelFor(m, grainBy(2*k*n), func(i0, i1 int) {
-			matmulTBlock(av, bv, ov, i0, i1, 0, n, k, n)
-		})
-	} else {
-		compute.ParallelFor(n, grainBy(2*k*m), func(j0, j1 int) {
-			matmulTBlock(av, bv, ov, 0, m, j0, j1, k, n)
-		})
+	switch b.DType() {
+	case tensor.F32:
+		av, bv, ov := a.F32(), b.F32(), out.F32()
+		if m >= n {
+			compute.ParallelFor(m, grainBy(2*k*n), func(i0, i1 int) {
+				matmulTBlock(av, bv, ov, i0, i1, 0, n, k, n)
+			})
+		} else {
+			compute.ParallelFor(n, grainBy(2*k*m), func(j0, j1 int) {
+				matmulTBlock(av, bv, ov, 0, m, j0, j1, k, n)
+			})
+		}
+	case tensor.I8:
+		if b.Scales() == nil || b.QuantAxis() != 0 {
+			out.Release()
+			return nil, fmt.Errorf("ops: i8 matmulT rhs needs per-row scales (axis 0)")
+		}
+		matmulTQ8(a.F32(), b.I8(), b.Scales(), out.F32(), m, k, n)
+	case tensor.F16:
+		av, bv, ov := a.F32(), b.F16(), out.F32()
+		if m >= n {
+			compute.ParallelFor(m, grainBy(2*k*n), func(i0, i1 int) {
+				matmulTF16Block(av, bv, ov, i0, i1, 0, n, k, n)
+			})
+		} else {
+			compute.ParallelFor(n, grainBy(2*k*m), func(j0, j1 int) {
+				matmulTF16Block(av, bv, ov, 0, m, j0, j1, k, n)
+			})
+		}
+	default:
+		out.Release()
+		return nil, fmt.Errorf("ops: matmulT rhs dtype %s unsupported", b.DType())
 	}
 	return out, nil
 }

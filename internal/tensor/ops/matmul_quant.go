@@ -1,0 +1,391 @@
+package ops
+
+import (
+	"genie/internal/compute"
+	"genie/internal/quant"
+	"genie/internal/tensor"
+)
+
+// Quantized matmul kernels (raw-speed tier, DESIGN.md §11).
+//
+// int8 path: weights arrive as per-column (per-row for matmulT)
+// symmetric int8 with f32 scales; activations are quantized dynamically
+// per row at execute time. Accumulation is int8×int8→int32, which is
+// EXACT — integer adds are associative — so unlike the f32 kernels the
+// int8 kernels may split work along any axis (including output columns
+// at m=1, where the f32 path is forced serial) and still produce
+// bit-identical results at every worker count. Dequantization happens
+// once on store: out[i,j] = acc · as[i] · bs[j].
+//
+// f16 path: weights are stored as IEEE half bits and widened tile-wise
+// into an f32 panel, then fed through the exact add order of the f32
+// kernel — so the result is bit-identical to the f32 kernel applied to
+// the dequantized weights, and the parity suite can reuse the f32
+// reference with a dtype tolerance of zero.
+
+// SWAR decode path. At m=1 the GEMV is latency-bound on scalar
+// multiply/accumulate throughput, so the kernel packs four adjacent
+// weight columns into the 16-bit lanes of one uint64 and multiplies all
+// four by the activation byte with a single integer multiply. To keep
+// every lane non-negative (a signed product would borrow into its
+// neighbor), both operands are biased: ua = qa+128 ∈ [1,255] and
+// ub = qb+128 ∈ [1,255], whose product 65025 < 2^16 never carries
+// across a lane. The true dot is recovered exactly from precomputable
+// correction sums:
+//
+//	Σ qa·qb = Σ ua·ub − 128·Σua − 128·Σub + k·128²
+//
+// Σub per column is built once with the packed layout (weights are
+// static across decode steps, so the transform is cached on the tensor
+// via KernelCache); Σua falls out of activation quantization. The
+// result is the same exact int32 dot the byte-wise kernel computes, so
+// this path is bit-identical to matmulQ8Band at every worker count.
+const (
+	// swarMaxM bounds the packed path to decode-ish shapes: at large m
+	// the tiled band kernel reuses each b panel across many rows, which
+	// beats re-streaming the 2-byte-per-element packed layout per row.
+	swarMaxM = 8
+	// swarMaxK keeps each 32-bit accumulator lane safe: k products of at
+	// most 255·255 = 65025 need k ≤ 66051 to stay under 2^32. Stay well
+	// clear; larger k falls back to the band kernel.
+	swarMaxK = 32768
+	// swarMask extracts lanes 0 and 2 of a 4×16-bit uint64.
+	swarMask = 0x0000ffff0000ffff
+)
+
+// q8Pack is the cached decode layout for one int8 weight tensor:
+// column-major groups of four adjacent output columns, biased by +128
+// into 16-bit lanes, plus the per-column bias-correction sums.
+type q8Pack struct {
+	groups int      // n/4 full column groups; n%4 tail columns stay byte-wise
+	packed []uint64 // [groups][k], lane l of packed[g*k+kk] = qb[kk][4g+l]+128
+	colSum []int64  // per packed column: Σ_kk (qb[kk][j]+128)
+}
+
+func buildQ8Pack(qb []int8, k, n int) *q8Pack {
+	p := &q8Pack{groups: n / 4}
+	p.packed = make([]uint64, p.groups*k)
+	p.colSum = make([]int64, 4*p.groups)
+	for jg := 0; jg < p.groups; jg++ {
+		col := p.packed[jg*k : (jg+1)*k]
+		for kk := 0; kk < k; kk++ {
+			var v uint64
+			for l := 0; l < 4; l++ {
+				ub := uint64(int32(qb[kk*n+jg*4+l]) + 128)
+				v |= ub << (16 * l)
+				p.colSum[jg*4+l] += int64(ub)
+			}
+			col[kk] = v
+		}
+	}
+	return p
+}
+
+// swarDot multiplies one packed 4-column group by a biased activation
+// row: lanes 0/2 of the first result and 1/3 of the second hold the four
+// biased dot products.
+//
+// noinline is load-bearing, not cosmetic: inlined into a caller with
+// more live values, the register allocator spills an accumulator to the
+// stack and the loop serializes on store-to-load forwarding (~13×
+// slower, measured). Standalone, everything lives in registers. The
+// call overhead is amortized over len(col) iterations.
+//
+// mask arrives as an argument (always swarMask) rather than as a
+// constant in the body: as a constant the compiler re-materializes the
+// 10-byte MOVQ imm64 twice per iteration instead of keeping the value
+// in a register, which measurably throttles the loop on decode
+// bandwidth. As a parameter it lives in a register for the whole loop.
+//
+//go:noinline
+func swarDot(col []uint64, row []uint8, mask uint64) (accA, accB uint64) {
+	if len(row) < len(col) {
+		return 0, 0 // unreachable: callers slice both to length k
+	}
+	for kk, v := range col {
+		p := v * uint64(row[kk])
+		accA += p & mask
+		accB += (p >> 16) & mask
+	}
+	return accA, accB
+}
+
+// matmulQ8Packed computes rows of a @ qb through the packed SWAR layout.
+// The parallel split is over column groups; integer accumulation keeps
+// it bit-identical at any worker count.
+func matmulQ8Packed(qa []int8, pack *q8Pack, qb []int8, asc, bsc []float32, out []float32, m, k, n int) {
+	ua := make([]uint8, m*k)
+	uaSum := make([]int64, m)
+	for i := 0; i < m; i++ {
+		var s int64
+		for kk, q := range qa[i*k : (i+1)*k] {
+			u := int32(q) + 128
+			ua[i*k+kk] = uint8(u)
+			s += int64(u)
+		}
+		uaSum[i] = s
+	}
+	kBias := int64(k) * 128 * 128
+	compute.ParallelFor(pack.groups, grainBy(8*m*k), func(g0, g1 int) {
+		for i := 0; i < m; i++ {
+			row := ua[i*k : (i+1)*k]
+			rowCorr := kBias - 128*uaSum[i]
+			ai := asc[i]
+			for jg := g0; jg < g1; jg++ {
+				accA, accB := swarDot(pack.packed[jg*k:(jg+1)*k], row, swarMask)
+				j := jg * 4
+				lanes := [4]int64{
+					int64(uint32(accA)), int64(uint32(accB)),
+					int64(accA >> 32), int64(accB >> 32),
+				}
+				for l := 0; l < 4; l++ {
+					dot := lanes[l] + rowCorr - 128*pack.colSum[j+l]
+					out[i*n+j+l] = float32(int32(dot)) * ai * bsc[j+l]
+				}
+			}
+		}
+	})
+	// Tail columns (n % 4) run the exact byte-wise dot — same int32, same
+	// store expression, so the seam is invisible.
+	for j := pack.groups * 4; j < n; j++ {
+		for i := 0; i < m; i++ {
+			arow := qa[i*k : (i+1)*k]
+			var acc int32
+			for kk := range arow {
+				acc += int32(arow[kk]) * int32(qb[kk*n+j])
+			}
+			out[i*n+j] = float32(acc) * asc[i] * bsc[j]
+		}
+	}
+}
+
+// matmulQ8 computes a @ qb for f32 a [m,k] and int8 qb [k,n] with
+// per-column scales bsc. Decode-shaped calls (small m) go through the
+// packed SWAR path, whose layout transform is cached on the weight
+// tensor bt; larger m uses the band kernel, row-band parallel when m
+// has enough rows and column-tile parallel otherwise — all of which is
+// safe only here because integer accumulation is order-independent.
+func matmulQ8(a []float32, bt *tensor.Tensor, out []float32, m, k, n int) {
+	qb, bsc := bt.I8(), bt.Scales()
+	qa := make([]int8, m*k)
+	asc := make([]float32, m)
+	if m <= swarMaxM && k <= swarMaxK && n >= 4 {
+		for i := 0; i < m; i++ {
+			asc[i] = quant.QuantizeRow(a[i*k:(i+1)*k], qa[i*k:(i+1)*k])
+		}
+		pack, ok := bt.KernelCache(func() any { return buildQ8Pack(qb, k, n) }).(*q8Pack)
+		if ok {
+			matmulQ8Packed(qa, pack, qb, asc, bsc, out, m, k, n)
+			return
+		}
+		// Foreign cache type on this tensor: fall through to the band
+		// kernel (same bits, just slower).
+	}
+	nTiles := (n + mmNTile - 1) / mmNTile
+	if m >= nTiles {
+		compute.ParallelFor(m, grainBy(2*k*n), func(i0, i1 int) {
+			for i := i0; i < i1; i++ {
+				asc[i] = quant.QuantizeRow(a[i*k:(i+1)*k], qa[i*k:(i+1)*k])
+			}
+			matmulQ8Band(qa, qb, asc, bsc, out, i0, i1, 0, n, k, n)
+		})
+		return
+	}
+	for i := 0; i < m; i++ {
+		asc[i] = quant.QuantizeRow(a[i*k:(i+1)*k], qa[i*k:(i+1)*k])
+	}
+	compute.ParallelFor(nTiles, grainBy(2*k*m*mmNTile), func(t0, t1 int) {
+		matmulQ8Band(qa, qb, asc, bsc, out, 0, m, t0*mmNTile, min(t1*mmNTile, n), k, n)
+	})
+}
+
+// matmulQ8Band fills out rows [i0,i1) × columns [j0,j1). Loop order
+// (jc, i, kc, kk, j): the int32 accumulator tile for one output row
+// spans a full column strip, so all K must be consumed before the
+// dequantizing store — the b strip for one jc (k × ≤256 int8 = ≤16 KiB
+// at k=64) stays L1/L2-resident across the row loop.
+//
+// Full tiles run through matmulQ8TileFull, whose indices are all
+// compile-time bounded (array pointers over the tile) — the bounds-check
+//-free inner loop is where the int8 kernel's serial advantage over the
+// f32 path comes from on a single core.
+func matmulQ8Band(qa, qb []int8, asc, bsc []float32, out []float32, i0, i1, j0, j1, k, n int) {
+	var acc [mmNTile]int32
+	for jc := j0; jc < j1; jc += mmNTile {
+		jw := min(mmNTile, j1-jc)
+		for i := i0; i < i1; i++ {
+			arow := qa[i*k : (i+1)*k]
+			if jw == mmNTile {
+				matmulQ8TileFull(arow, qb, &acc, jc, k, n)
+			} else {
+				matmulQ8TilePart(arow, qb, acc[:jw], jc, k, n)
+			}
+			ai := asc[i]
+			orow := out[i*n+jc : i*n+jc+jw]
+			bs := bsc[jc : jc+jw]
+			for j := range orow {
+				orow[j] = float32(acc[j]) * ai * bs[j]
+			}
+		}
+	}
+}
+
+// matmulQ8TileFull accumulates one output row's full 256-wide column
+// tile. Every index is provably in bounds at compile time: acc is a
+// fixed-size array and each b row is viewed through a *[mmNTile]int8.
+func matmulQ8TileFull(arow, qb []int8, acc *[mmNTile]int32, jc, k, n int) {
+	for j := range acc {
+		acc[j] = 0
+	}
+	kk := 0
+	for ; kk+4 <= k; kk += 4 {
+		a0 := int32(arow[kk])
+		a1 := int32(arow[kk+1])
+		a2 := int32(arow[kk+2])
+		a3 := int32(arow[kk+3])
+		r0 := kk*n + jc
+		b0 := (*[mmNTile]int8)(qb[r0:])
+		b1 := (*[mmNTile]int8)(qb[r0+n:])
+		b2 := (*[mmNTile]int8)(qb[r0+2*n:])
+		b3 := (*[mmNTile]int8)(qb[r0+3*n:])
+		for j := 0; j < mmNTile; j++ {
+			s := acc[j]
+			s += a0 * int32(b0[j])
+			s += a1 * int32(b1[j])
+			s += a2 * int32(b2[j])
+			s += a3 * int32(b3[j])
+			acc[j] = s
+		}
+	}
+	for ; kk < k; kk++ {
+		a0 := int32(arow[kk])
+		b0 := (*[mmNTile]int8)(qb[kk*n+jc:])
+		for j := 0; j < mmNTile; j++ {
+			acc[j] += a0 * int32(b0[j])
+		}
+	}
+}
+
+// matmulQ8TilePart is the ragged right-edge tile (jw < 256).
+func matmulQ8TilePart(arow, qb []int8, av []int32, jc, k, n int) {
+	jw := len(av)
+	for j := range av {
+		av[j] = 0
+	}
+	for kk := 0; kk < k; kk++ {
+		a0 := int32(arow[kk])
+		brow := qb[kk*n+jc : kk*n+jc+jw]
+		for j := range av {
+			av[j] += a0 * int32(brow[j])
+		}
+	}
+}
+
+// matmulTQ8 computes a @ qbᵀ for f32 a [m,k] and int8 qb [n,k] with
+// per-row scales bsc. Split follows the larger output dimension, same
+// as the f32 MatMulT.
+func matmulTQ8(a []float32, qb []int8, bsc []float32, out []float32, m, k, n int) {
+	qa := make([]int8, m*k)
+	asc := make([]float32, m)
+	for i := 0; i < m; i++ {
+		asc[i] = quant.QuantizeRow(a[i*k:(i+1)*k], qa[i*k:(i+1)*k])
+	}
+	if m >= n {
+		compute.ParallelFor(m, grainBy(2*k*n), func(i0, i1 int) {
+			matmulTQ8Block(qa, qb, asc, bsc, out, i0, i1, 0, n, k, n)
+		})
+	} else {
+		compute.ParallelFor(n, grainBy(2*k*m), func(j0, j1 int) {
+			matmulTQ8Block(qa, qb, asc, bsc, out, 0, m, j0, j1, k, n)
+		})
+	}
+}
+
+func matmulTQ8Block(qa, qb []int8, asc, bsc []float32, out []float32, i0, i1, j0, j1, k, n int) {
+	for i := i0; i < i1; i++ {
+		arow := qa[i*k : (i+1)*k]
+		ai := asc[i]
+		for j := j0; j < j1; j++ {
+			brow := qb[j*k : (j+1)*k]
+			var acc int32
+			for kk := range arow {
+				acc += int32(arow[kk]) * int32(brow[kk])
+			}
+			out[i*n+j] = float32(acc) * ai * bsc[j]
+		}
+	}
+}
+
+// matmulF16 computes a @ b for f32 a and half-precision b [k,n], row-band
+// parallel like matmul2d.
+func matmulF16(a []float32, b []uint16, out []float32, m, k, n int) {
+	compute.ParallelFor(m, grainBy(2*k*n), func(i0, i1 int) {
+		matmulF16Band(a, b, out, i0, i1, k, n)
+	})
+}
+
+// matmulF16Band mirrors matmulBand exactly, widening each 64×256 b tile
+// into an f32 panel first. The inner loops then add contributions in
+// the identical sequence, so the output is bit-for-bit the f32 kernel's
+// output on pre-widened weights.
+func matmulF16Band(a []float32, b []uint16, out []float32, i0, i1, k, n int) {
+	tab := f16Table()
+	panel := make([]float32, mmKTile*mmNTile)
+	for jc := 0; jc < n; jc += mmNTile {
+		jw := min(mmNTile, n-jc)
+		for kc := 0; kc < k; kc += mmKTile {
+			kw := min(mmKTile, k-kc)
+			for kk := 0; kk < kw; kk++ {
+				src := b[(kc+kk)*n+jc : (kc+kk)*n+jc+jw]
+				dst := panel[kk*jw : (kk+1)*jw]
+				for j, h := range src {
+					dst[j] = tab[h]
+				}
+			}
+			for i := i0; i < i1; i++ {
+				arow := a[i*k+kc : i*k+kc+kw]
+				orow := out[i*n+jc : i*n+jc+jw]
+				kk := 0
+				for ; kk+4 <= kw; kk += 4 {
+					a0, a1, a2, a3 := arow[kk], arow[kk+1], arow[kk+2], arow[kk+3]
+					b0 := panel[kk*jw : kk*jw+jw]
+					b1 := panel[(kk+1)*jw : (kk+1)*jw+jw]
+					b2 := panel[(kk+2)*jw : (kk+2)*jw+jw]
+					b3 := panel[(kk+3)*jw : (kk+3)*jw+jw]
+					for j := range orow {
+						s := orow[j]
+						s += a0 * b0[j]
+						s += a1 * b1[j]
+						s += a2 * b2[j]
+						s += a3 * b3[j]
+						orow[j] = s
+					}
+				}
+				for ; kk < kw; kk++ {
+					av := arow[kk]
+					brow := panel[kk*jw : kk*jw+jw]
+					for j := range brow {
+						orow[j] += av * brow[j]
+					}
+				}
+			}
+		}
+	}
+}
+
+// matmulTF16Block is matmulTBlock with the rhs widened element-wise in
+// the serial dot, preserving the single-accumulator add order.
+func matmulTF16Block(a []float32, b []uint16, out []float32, i0, i1, j0, j1, k, n int) {
+	tab := f16Table()
+	for i := i0; i < i1; i++ {
+		arow := a[i*k : (i+1)*k]
+		for j := j0; j < j1; j++ {
+			brow := b[j*k : (j+1)*k]
+			var acc float32
+			for kk := range arow {
+				acc += arow[kk] * tab[brow[kk]]
+			}
+			out[i*n+j] = acc
+		}
+	}
+}

@@ -1,0 +1,357 @@
+package ops
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"genie/internal/quant"
+)
+
+// Quantized-kernel parity (DESIGN.md §11). The f32 suite demands
+// bit-exactness against a serial reference; quantized kernels get a
+// two-part contract instead:
+//
+//  1. Determinism: results are bit-identical at every worker count —
+//     trivially true for int8 (integer accumulation is associative) and
+//     preserved for f16 by replaying the f32 kernel's add order on a
+//     widened panel.
+//  2. Accuracy: max abs error vs the f32 reference stays inside the
+//     analytic bound of the symmetric quantization scheme. For int8,
+//     element (i,j) may drift by at most
+//     Σ_kk [ (as_i/2)·|b_kkj| + (bs_j/2)·|a_ikk| + as_i·bs_j/4 ]
+//     (activation error × weight, weight error × activation, cross
+//     term), since each rounding is ≤ scale/2.
+
+// quantBoundQ8 computes that per-element bound for a [m,k] @ b [k,n]
+// with activation scales asc (per row) and weight scales bsc (per
+// output column of the product).
+func quantBoundQ8(a, b []float32, asc, bsc []float64, m, k, n int) []float64 {
+	bound := make([]float64, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for kk := 0; kk < k; kk++ {
+				av := math.Abs(float64(a[i*k+kk]))
+				bv := math.Abs(float64(b[kk*n+j]))
+				s += asc[i]/2*bv + bsc[j]/2*av + asc[i]*bsc[j]/4
+			}
+			bound[i*n+j] = s
+		}
+	}
+	return bound
+}
+
+// rowScales reproduces the dynamic activation quantization scales the
+// kernel derives (maxabs/127 per row).
+func rowScales(a []float32, m, k int) []float64 {
+	s := make([]float64, m)
+	for i := 0; i < m; i++ {
+		var mx float64
+		for kk := 0; kk < k; kk++ {
+			if v := math.Abs(float64(a[i*k+kk])); v > mx {
+				mx = v
+			}
+		}
+		if mx == 0 {
+			mx = 127 // scale 1
+		}
+		s[i] = mx / 127
+	}
+	return s
+}
+
+func expectWithin(t *testing.T, ctx string, got []float32, want, bound []float64) {
+	t.Helper()
+	for i := range got {
+		diff := math.Abs(float64(got[i]) - want[i])
+		// 1% slack + epsilon absorbs the f32 rounding of the dequantizing
+		// store, which the integer-arithmetic bound does not model.
+		if diff > bound[i]*1.01+1e-5 {
+			t.Fatalf("%s: element %d = %g, want %g ± %g (off by %g)",
+				ctx, i, got[i], want[i], bound[i], diff)
+		}
+	}
+}
+
+func f64s(a []float32) []float64 {
+	out := make([]float64, len(a))
+	for i, v := range a {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+func TestMatMulQ8Parity(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, sh := range [][3]int{{1, 64, 256}, {1, 70, 130}, {7, 64, 128}, {33, 96, 300}} {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := randTensor(rng, m, k)
+		b := randTensor(rng, k, n)
+		qb, err := quant.QuantizeLinear(b, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		ref := f64s(refMatMul(a.F32(), b.F32(), m, k, n))
+		asc := rowScales(a.F32(), m, k)
+		bsc := make([]float64, n)
+		for j, s := range qb.Scales() {
+			bsc[j] = float64(s)
+		}
+		bound := quantBoundQ8(a.F32(), b.F32(), asc, bsc, m, k, n)
+
+		var first []float32
+		for _, w := range workerCounts() {
+			atWidth(t, w, func() {
+				got, err := MatMul(a, qb)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ctx := fmt.Sprintf("matmul-q8 %dx%dx%d w=%d", m, k, n, w)
+				if first == nil {
+					first = append([]float32(nil), got.F32()...)
+					expectWithin(t, ctx, got.F32(), ref, bound)
+				} else {
+					expectBits(t, ctx, got.F32(), first)
+				}
+				got.Release()
+			})
+		}
+	}
+}
+
+// TestQ8PackedBandIdentity pins the packed SWAR decode path to the
+// byte-wise band kernel bit-for-bit: both compute the exact same int32
+// dots and the same dequantizing store, so routing a shape through
+// either kernel must be invisible. Shapes cover the 4-wide lane
+// grouping's edges (n%4 tails, n<4, k below the unroll).
+func TestQ8PackedBandIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, sh := range [][3]int{{1, 64, 256}, {1, 70, 130}, {1, 33, 3}, {3, 127, 257}, {8, 16, 4}} {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := randTensor(rng, m, k)
+		b := randTensor(rng, k, n)
+		qb, err := quant.QuantizeLinear(b, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Packed path (m <= swarMaxM routes through it).
+		got, err := MatMul(a, qb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Band kernel on the same quantized inputs.
+		qa := make([]int8, m*k)
+		asc := make([]float32, m)
+		for i := 0; i < m; i++ {
+			asc[i] = quant.QuantizeRow(a.F32()[i*k:(i+1)*k], qa[i*k:(i+1)*k])
+		}
+		want := make([]float32, m*n)
+		matmulQ8Band(qa, qb.I8(), asc, qb.Scales(), want, 0, m, 0, n, k, n)
+		expectBits(t, fmt.Sprintf("q8 packed-vs-band %dx%dx%d", m, k, n), got.F32(), want)
+		got.Release()
+	}
+}
+
+func TestMatMulTQ8Parity(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, sh := range [][3]int{{1, 64, 96}, {5, 70, 3}, {96, 48, 96}} {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := randTensor(rng, m, k)
+		b := randTensor(rng, n, k)
+		qb, err := quant.QuantizeLinear(b, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		ref := f64s(refMatMulT(a.F32(), b.F32(), m, k, n))
+		asc := rowScales(a.F32(), m, k)
+		bsc := make([]float64, n)
+		for j, s := range qb.Scales() {
+			bsc[j] = float64(s)
+		}
+		// Reuse the bound by viewing bᵀ as the [k,n] operand.
+		bt := make([]float32, k*n)
+		for j := 0; j < n; j++ {
+			for kk := 0; kk < k; kk++ {
+				bt[kk*n+j] = b.F32()[j*k+kk]
+			}
+		}
+		bound := quantBoundQ8(a.F32(), bt, asc, bsc, m, k, n)
+
+		var first []float32
+		for _, w := range workerCounts() {
+			atWidth(t, w, func() {
+				got, err := MatMulT(a, qb)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ctx := fmt.Sprintf("matmulT-q8 %dx%dx%d w=%d", m, k, n, w)
+				if first == nil {
+					first = append([]float32(nil), got.F32()...)
+					expectWithin(t, ctx, got.F32(), ref, bound)
+				} else {
+					expectBits(t, ctx, got.F32(), first)
+				}
+				got.Release()
+			})
+		}
+	}
+}
+
+func TestMatMulF16Parity(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for _, sh := range [][3]int{{1, 64, 256}, {3, 70, 130}, {17, 96, 80}} {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := randTensor(rng, m, k)
+		b := randTensor(rng, k, n)
+		hb := b.ToF16()
+		deq := hb.ToF32()
+		// The f16 kernel promises bit-exactness vs the f32 reference run
+		// on the widened weights — precision is lost at storage time, not
+		// in the kernel.
+		want := refMatMul(a.F32(), deq.F32(), m, k, n)
+		for _, w := range workerCounts() {
+			atWidth(t, w, func() {
+				got, err := MatMul(a, hb)
+				if err != nil {
+					t.Fatal(err)
+				}
+				expectBits(t, fmt.Sprintf("matmul-f16 %dx%dx%d w=%d", m, k, n, w), got.F32(), want)
+				got.Release()
+			})
+		}
+	}
+}
+
+func TestMatMulTF16Parity(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for _, sh := range [][3]int{{1, 64, 96}, {5, 70, 3}, {96, 48, 96}} {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := randTensor(rng, m, k)
+		b := randTensor(rng, n, k)
+		hb := b.ToF16()
+		deq := hb.ToF32()
+		want := refMatMulT(a.F32(), deq.F32(), m, k, n)
+		for _, w := range workerCounts() {
+			atWidth(t, w, func() {
+				got, err := MatMulT(a, hb)
+				if err != nil {
+					t.Fatal(err)
+				}
+				expectBits(t, fmt.Sprintf("matmulT-f16 %dx%dx%d w=%d", m, k, n, w), got.F32(), want)
+				got.Release()
+			})
+		}
+	}
+}
+
+// TestDTypeToleranceParity is the per-dtype tolerance table: one row per
+// weight dtype, stating and checking the max-abs-error contract vs the
+// f32 reference on a decode-shaped product. It documents what "parity"
+// means for each tier rather than leaving it implicit in kernel code.
+func TestDTypeToleranceParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	const m, k, n = 4, 96, 160
+	a := randTensor(rng, m, k)
+	b := randTensor(rng, k, n)
+	ref := f64s(refMatMul(a.F32(), b.F32(), m, k, n))
+
+	maxErr := func(got []float32) float64 {
+		var mx float64
+		for i := range got {
+			if d := math.Abs(float64(got[i]) - ref[i]); d > mx {
+				mx = d
+			}
+		}
+		return mx
+	}
+
+	rows := []struct {
+		dtype string
+		run   func() []float32
+		tol   func() float64
+	}{
+		{
+			dtype: "f32",
+			run: func() []float32 {
+				out, err := MatMul(a, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer out.Release()
+				return append([]float32(nil), out.F32()...)
+			},
+			tol: func() float64 { return 0 }, // bit-exact by the main suite
+		},
+		{
+			dtype: "f16",
+			run: func() []float32 {
+				out, err := MatMul(a, b.ToF16())
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer out.Release()
+				return append([]float32(nil), out.F32()...)
+			},
+			// Each of k products may be off by half a ULP of the f16
+			// weight (2^-11 relative); bound with the max |a·b| summand.
+			tol: func() float64 {
+				var mx float64
+				for i := 0; i < m*k; i++ {
+					for j := 0; j < n; j++ {
+						kk := i % k
+						p := math.Abs(float64(a.F32()[i]) * float64(b.F32()[kk*n+j]))
+						if p > mx {
+							mx = p
+						}
+					}
+				}
+				return float64(k) * mx * math.Pow(2, -11) * 1.5
+			},
+		},
+		{
+			dtype: "i8",
+			run: func() []float32 {
+				qb, err := quant.QuantizeLinear(b, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out, err := MatMul(a, qb)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer out.Release()
+				return append([]float32(nil), out.F32()...)
+			},
+			tol: func() float64 {
+				qb, _ := quant.QuantizeLinear(b, 1)
+				asc := rowScales(a.F32(), m, k)
+				bsc := make([]float64, n)
+				for j, s := range qb.Scales() {
+					bsc[j] = float64(s)
+				}
+				bound := quantBoundQ8(a.F32(), b.F32(), asc, bsc, m, k, n)
+				var mx float64
+				for _, v := range bound {
+					if v > mx {
+						mx = v
+					}
+				}
+				return mx*1.01 + 1e-5
+			},
+		},
+	}
+
+	for _, row := range rows {
+		got := row.run()
+		tol := row.tol()
+		err := maxErr(got)
+		if err > tol {
+			t.Errorf("dtype %s: max abs error %g exceeds tolerance %g", row.dtype, err, tol)
+		}
+		t.Logf("dtype %-4s max-abs-error %.3g (tolerance %.3g)", row.dtype, err, tol)
+	}
+}

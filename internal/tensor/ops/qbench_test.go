@@ -1,0 +1,48 @@
+package ops
+
+import (
+	"math/rand"
+	"testing"
+
+	"genie/internal/quant"
+	"genie/internal/tensor"
+)
+
+// Decode-step kernel benchmarks for the raw-speed tier (DESIGN.md §11):
+// the m=1 GEMV that dominates one decode step, per weight dtype. These
+// are the before/after rows in EXPERIMENTS.md; `genie-bench -wire`
+// reports the same comparison from the CLI.
+
+func benchDecodeMM(b *testing.B, dt string, k, n int) {
+	rng := rand.New(rand.NewSource(1))
+	a := tensor.New(tensor.F32, 1, k)
+	a.RandN(rng, 1)
+	w := tensor.New(tensor.F32, k, n)
+	w.RandN(rng, 0.02)
+	var wb *tensor.Tensor
+	switch dt {
+	case "f32":
+		wb = w
+	case "i8":
+		var err error
+		wb, err = quant.QuantizeLinear(w, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	case "f16":
+		wb = w.ToF16()
+	}
+	b.SetBytes(int64(wb.NumBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := MatMul(a, wb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out.Release()
+	}
+}
+
+func BenchmarkDecodeF32(b *testing.B) { benchDecodeMM(b, "f32", 2048, 2048) }
+func BenchmarkDecodeI8(b *testing.B)  { benchDecodeMM(b, "i8", 2048, 2048) }
+func BenchmarkDecodeF16(b *testing.B) { benchDecodeMM(b, "f16", 2048, 2048) }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 	"unsafe"
 )
 
@@ -20,6 +21,19 @@ type Tensor struct {
 	data    []byte
 	pinned  bool
 	release func()
+
+	// Per-channel quantization metadata, present only on I8 tensors
+	// produced by quant.QuantizeLinear: the real value of element e in
+	// channel c along qaxis is int8(e) * scales[c]. Nil scales means the
+	// tensor is plain int8 data with no dequantization semantics.
+	scales []float32
+	qaxis  uint8
+
+	// kcache holds a kernel-built acceleration structure derived from the
+	// (immutable) element data — see KernelCache. It is deliberately not
+	// copied by Clone/Reshape and never serialized: it is a pure cache the
+	// owning kernel can rebuild from Bytes() at any time.
+	kcache atomic.Pointer[any]
 }
 
 // New allocates a zeroed tensor of the given dtype and shape.
@@ -160,6 +174,71 @@ func (t *Tensor) U8() []byte {
 	return t.data
 }
 
+// I8 reinterprets the backing store as []int8.
+func (t *Tensor) I8() []int8 {
+	t.mustBe(I8)
+	if len(t.data) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int8)(unsafe.Pointer(&t.data[0])), t.NumElements())
+}
+
+// AttachScales installs per-channel dequantization scales on an I8
+// tensor: the value of element e in channel c along axis is
+// int8(e)*scales[c]. len(scales) must equal shape[axis]. The scales
+// travel with the tensor through Clone, serialization, and the wire.
+func (t *Tensor) AttachScales(axis int, scales []float32) error {
+	if t.dtype != I8 {
+		return fmt.Errorf("tensor: scales on %s tensor (only i8 is quantized)", t.dtype)
+	}
+	if axis < 0 || axis >= t.shape.Rank() {
+		return fmt.Errorf("tensor: quant axis %d out of range for %v", axis, t.shape)
+	}
+	if len(scales) != t.shape[axis] {
+		return fmt.Errorf("tensor: %d scales for axis %d of %v (want %d)",
+			len(scales), axis, t.shape, t.shape[axis])
+	}
+	t.scales = scales
+	t.qaxis = uint8(axis)
+	return nil
+}
+
+// Scales returns the per-channel dequantization scales (nil when the
+// tensor is not quantized). Callers must not mutate the slice.
+func (t *Tensor) Scales() []float32 { return t.scales }
+
+// QuantAxis returns the axis Scales() applies along (0 when unscaled).
+func (t *Tensor) QuantAxis() int { return int(t.qaxis) }
+
+// KernelCache returns the kernel acceleration structure attached to this
+// tensor, invoking build to create it on first use. Kernels use it to
+// amortize data-layout transforms (e.g. the packed int8 decode layout)
+// across calls on long-lived tensors such as model weights. build must
+// derive its result purely from the tensor's immutable contents; under a
+// race several builds may run, but exactly one result wins and is
+// returned to everyone thereafter.
+func (t *Tensor) KernelCache(build func() any) any {
+	if p := t.kcache.Load(); p != nil {
+		return *p
+	}
+	v := build()
+	if !t.kcache.CompareAndSwap(nil, &v) {
+		if p := t.kcache.Load(); p != nil {
+			return *p
+		}
+	}
+	return v
+}
+
+// channelOf maps a flat index to its channel along the quant axis.
+func (t *Tensor) channelOf(i int) int {
+	stride := 1
+	for d := t.shape.Rank() - 1; d > int(t.qaxis); d-- {
+		stride *= t.shape[d]
+	}
+	return (i / stride) % t.shape[t.qaxis]
+}
+
 // F16 reinterprets the backing store as raw half-precision bit patterns.
 func (t *Tensor) F16() []uint16 {
 	t.mustBe(F16)
@@ -188,6 +267,12 @@ func (t *Tensor) At(i int) float32 {
 		return float32(t.I32()[i])
 	case U8:
 		return float32(t.data[i])
+	case I8:
+		v := float32(int8(t.data[i]))
+		if t.scales != nil {
+			v *= t.scales[t.channelOf(i)]
+		}
+		return v
 	}
 	panic("tensor: unknown dtype")
 }
@@ -205,6 +290,8 @@ func (t *Tensor) SetAt(i int, v float32) {
 		t.I32()[i] = int32(v)
 	case U8:
 		t.data[i] = byte(v)
+	case I8:
+		t.data[i] = byte(int8(v))
 	default:
 		panic("tensor: unknown dtype")
 	}
@@ -214,18 +301,28 @@ func (t *Tensor) SetAt(i int, v float32) {
 func (t *Tensor) Clone() *Tensor {
 	out := New(t.dtype, t.shape...)
 	copy(out.data, t.data)
+	if t.scales != nil {
+		out.scales = append([]float32(nil), t.scales...)
+		out.qaxis = t.qaxis
+	}
 	return out
 }
 
 // Reshape returns a new tensor header sharing the backing store with a new
-// shape of equal element count.
+// shape of equal element count. Quantization scales carry over only when
+// the new shape keeps the quant axis dimension intact; otherwise the
+// channel mapping is meaningless and the scales are dropped.
 func (t *Tensor) Reshape(shape ...int) (*Tensor, error) {
 	s := Shape(shape)
 	if s.NumElements() != t.NumElements() {
 		return nil, fmt.Errorf("tensor: cannot reshape %v (%d elems) to %v (%d elems)",
 			t.shape, t.NumElements(), s, s.NumElements())
 	}
-	return &Tensor{shape: s.Clone(), dtype: t.dtype, data: t.data, pinned: t.pinned}, nil
+	out := &Tensor{shape: s.Clone(), dtype: t.dtype, data: t.data, pinned: t.pinned}
+	if t.scales != nil && int(t.qaxis) < s.Rank() && s[t.qaxis] == len(t.scales) {
+		out.scales, out.qaxis = t.scales, t.qaxis
+	}
+	return out, nil
 }
 
 // ToF32 returns an F32 copy of the tensor, converting elementwise.

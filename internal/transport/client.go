@@ -3,6 +3,7 @@ package transport
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"genie/internal/obs"
@@ -13,6 +14,16 @@ import (
 // backend.
 type Client struct {
 	conn *Conn
+
+	// Dedup/delta bookkeeping (client_feat.go), active only after
+	// Negotiate grants FeatDedup/FeatDelta. Guarded by dmu — separate
+	// from the conn's frame lock so hashing never serializes I/O.
+	dmu       sync.Mutex
+	epoch     uint32
+	sent      map[[HashSize]byte]struct{}
+	hashes    map[*tensor.Tensor][HashSize]byte
+	prev      map[string]prevVersion
+	prevBytes int64
 }
 
 // NewClient wraps a connection.
@@ -51,8 +62,62 @@ func (c *Client) Upload(key string, data *tensor.Tensor) (*UploadOK, error) {
 // UploadCtx is Upload carrying trace context: a "transport.upload"
 // span wraps the round trip and rides the wire envelope. A nil or
 // untraced ctx degrades to the plain path.
+//
+// On feature-negotiated connections the upload takes the cheapest
+// representation the server can accept: a 32-byte content-hash ref
+// when the server has already seen these exact bytes (FeatDedup), an
+// XOR/run-length delta against the key's previous version when most
+// bytes are unchanged (FeatDelta), and a full payload otherwise. A
+// server that lost the referenced state (crash between calls) rejects
+// the cheap form with a recoverable error and the client falls back to
+// the full upload — correctness never depends on the caches agreeing.
 func (c *Client) UploadCtx(ctx context.Context, key string, data *tensor.Tensor) (*UploadOK, error) {
-	payload := EncodeUpload(&Upload{Key: key, Data: data})
+	feats := c.conn.Features()
+	if feats&(FeatDedup|FeatDelta) == 0 {
+		return c.uploadFullCtx(ctx, key, data, [HashSize]byte{}, false)
+	}
+	h := c.hashOf(data)
+	if feats&FeatDedup != 0 && c.hasSent(h) {
+		ack, err := c.uploadRefCtx(ctx, key, h)
+		if err == nil {
+			c.noteUpload(key, data, h, ack)
+			return ack, nil
+		}
+		if !isUnknownContent(err) {
+			return nil, err
+		}
+		c.flushDedup() // server lost its cache; resync from scratch
+	}
+	if feats&FeatDelta != 0 && data.DType() != tensor.I8 {
+		if base, ok := c.prevFor(key, tensor.MetaOf(data)); ok {
+			delta := EncodeDelta(base, data.Bytes())
+			// Only worth a round trip when the delta at least halves the
+			// payload; otherwise full upload is simpler and compresses too.
+			if len(delta)*2 < data.NumBytes() {
+				ack, err := c.uploadDeltaCtx(ctx, &UploadDelta{
+					Key: key, DType: data.DType(), Shape: data.Shape(),
+					Delta: delta, Hash: h,
+				})
+				if err == nil {
+					c.noteUpload(key, data, h, ack)
+					return ack, nil
+				}
+				if !isUnknownContent(err) {
+					return nil, err
+				}
+			}
+		}
+	}
+	return c.uploadFullCtx(ctx, key, data, h, true)
+}
+
+// uploadFullCtx sends the complete payload; track records dedup state
+// on success (skipped entirely on legacy connections).
+func (c *Client) uploadFullCtx(ctx context.Context, key string, data *tensor.Tensor, h [HashSize]byte, track bool) (*UploadOK, error) {
+	// Pooled scratch: the round trip is synchronous, so the payload can
+	// go back to the pool as soon as the call returns.
+	payload := EncodeUploadPooled(&Upload{Key: key, Data: data})
+	defer ReleaseEncoded(payload)
 	_, span := obs.StartSpan(ctx, "transport.upload")
 	span.SetAttrInt("send_bytes", int64(len(payload)))
 	t, p, err := c.conn.CallEnvCtx(ctx, MsgUpload, Envelope{Trace: span.TraceID(), Span: span.SpanID()}, payload)
@@ -64,7 +129,11 @@ func (c *Client) UploadCtx(ctx context.Context, key string, data *tensor.Tensor)
 	if t != MsgUploadOK {
 		return nil, fmt.Errorf("transport: upload got %d", t)
 	}
-	return DecodeUploadOK(p)
+	ack, err := DecodeUploadOK(p)
+	if err == nil && track {
+		c.noteUpload(key, data, h, ack)
+	}
+	return ack, err
 }
 
 // Exec ships a subgraph for remote execution.
@@ -75,11 +144,35 @@ func (c *Client) Exec(x *Exec) (*ExecOK, error) {
 // ExecCtx is Exec carrying trace context: a "transport.exec" span
 // wraps the round trip, and the span IDs ride the wire envelope so the
 // server parents its execution span under this one.
+//
+// Bindings marked Cache are rewritten for the negotiated feature set
+// (hash refs on dedup connections, plain inline otherwise) on a copy —
+// the caller's Exec is never mutated, so the one-shot retry after a
+// server-side cache loss re-sends the original tensors in full.
 func (c *Client) ExecCtx(ctx context.Context, x *Exec) (*ExecOK, error) {
-	payload, err := EncodeExec(x)
+	wire, pending := c.rewriteBinds(x, c.conn.Features())
+	ok, err := c.execOnce(ctx, wire)
+	if err != nil && isUnknownContent(err) && wire != x {
+		// The server forgot bytes we hash-referenced (crash or cache
+		// reset). Flush, rewrite again — now everything goes inline with
+		// fresh cache hints — and retry once.
+		c.flushDedup()
+		wire, pending = c.rewriteBinds(x, c.conn.Features())
+		ok, err = c.execOnce(ctx, wire)
+	}
 	if err != nil {
 		return nil, err
 	}
+	c.noteExec(ok.Epoch, pending)
+	return ok, nil
+}
+
+func (c *Client) execOnce(ctx context.Context, x *Exec) (*ExecOK, error) {
+	payload, err := EncodeExecPooled(x)
+	if err != nil {
+		return nil, err
+	}
+	defer ReleaseEncoded(payload)
 	_, span := obs.StartSpan(ctx, "transport.exec")
 	span.SetAttrInt("send_bytes", int64(len(payload)))
 	t, p, err := c.conn.CallEnvCtx(ctx, MsgExec, Envelope{Trace: span.TraceID(), Span: span.SpanID()}, payload)

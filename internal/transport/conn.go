@@ -88,6 +88,10 @@ type Conn struct {
 	shp  *Shaper
 	tel  *Telemetry
 	dead atomic.Bool
+	// feat holds the negotiated wire feature mask (see wirefeat.go).
+	// Zero until a MsgHello exchange grants features; only the sending
+	// side consults it — receiving compressed frames always works.
+	feat atomic.Uint32
 }
 
 // NewConn wraps a net.Conn. counters may be shared across conns; shaper
@@ -107,6 +111,14 @@ func NewConn(raw net.Conn, counters *Counters, shaper *Shaper) *Conn {
 
 // Counters returns the traffic counters for this conn.
 func (c *Conn) Counters() *Counters { return c.ctr }
+
+// SetFeatures installs the negotiated wire feature mask. Called by
+// Client.Negotiate and the server's MsgHello handler once both sides
+// agree; until then the conn speaks the legacy byte-identical protocol.
+func (c *Conn) SetFeatures(f uint32) { c.feat.Store(f) }
+
+// Features returns the negotiated wire feature mask (0 = legacy).
+func (c *Conn) Features() uint32 { return c.feat.Load() }
 
 // SetTelemetry attaches per-kind byte/call accounting (may be shared
 // across conns; nil detaches).
@@ -131,17 +143,34 @@ func (c *Conn) Send(t MsgType, payload []byte) error {
 }
 
 // SendEnv writes one frame carrying env (untraced when env is zero).
+// On connections that negotiated FeatCompress, payloads that deflate
+// smaller travel compressed; counters, telemetry, and the link shaper
+// all see the bytes that actually crossed the wire.
 func (c *Conn) SendEnv(t MsgType, env Envelope, payload []byte) error {
-	c.shp.delaySend(len(payload))
+	var cp []byte
+	if c.feat.Load()&FeatCompress != 0 {
+		cp = compressPayload(payload)
+	}
+	wireLen := len(payload)
+	if cp != nil {
+		wireLen = len(cp)
+	}
+	c.shp.delaySend(wireLen)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := WriteFrameEnv(c.bw, t, env, payload); err != nil {
+	var err error
+	if cp != nil {
+		err = writeFrameCompressed(c.bw, t, env, cp)
+	} else {
+		err = WriteFrameEnv(c.bw, t, env, payload)
+	}
+	if err != nil {
 		return err
 	}
 	if err := c.bw.Flush(); err != nil {
 		return err
 	}
-	n := env.wireSize(len(payload))
+	n := env.wireSize(wireLen)
 	c.ctr.BytesSent.Add(n)
 	c.tel.onSend(t, n)
 	return nil
@@ -158,17 +187,17 @@ func (c *Conn) Recv() (MsgType, []byte, error) {
 // conn: after one bad frame the stream's boundaries can no longer be
 // trusted, so continuing to read would desynchronize every later call.
 func (c *Conn) RecvEnv() (MsgType, Envelope, []byte, error) {
-	t, env, payload, err := ReadFrameEnv(c.br)
+	t, env, payload, wireLen, err := readFrameEnvFeat(c.br)
 	if err != nil {
 		if IsFrameError(err) {
 			_ = c.Close()
 		}
 		return 0, Envelope{}, nil, err
 	}
-	n := env.wireSize(len(payload))
+	n := env.wireSize(wireLen)
 	c.ctr.BytesRecv.Add(n)
 	c.tel.onRecv(t, n)
-	c.shp.delayRecv(len(payload))
+	c.shp.delayRecv(wireLen)
 	return t, env, payload, nil
 }
 

@@ -1,0 +1,121 @@
+package transport
+
+import "genie/internal/tensor"
+
+// Pooled encode scratch for the hot request paths (upload, exec). The
+// non-pooled Encode* functions allocate a fresh slice per call, which is
+// fine for replies and tests but puts the per-token client datapath —
+// one exec encode per decode step, plus weight uploads at provisioning —
+// at the mercy of the allocator. The pooled variants size the buffer
+// exactly, borrow it from a BufferPool (the same pinned-memory analogue
+// the tensors use, §3.4), and hand it back once the frame is on the
+// wire. Encoded bytes are identical to the non-pooled forms.
+
+// encPool recycles encode scratch buffers. Separate from any tensor
+// pool: encode buffers live for exactly one call and stay small in
+// count, so a modest per-class cap suffices.
+var encPool = NewBufferPool(32)
+
+// EncPoolStats exposes the encode scratch pool's counters (benchmarks
+// and tests assert reuse on the steady-state path).
+func EncPoolStats() PoolStats { return encPool.Stats() }
+
+// ReleaseEncoded returns a buffer obtained from EncodeUploadPooled or
+// EncodeExecPooled. Safe to call with any byte slice: buffers that did
+// not come from the pool (or grew past their size class) are dropped.
+func ReleaseEncoded(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	encPool.Put(b[:len(b):cap(b)])
+}
+
+// strWireSize is the encoded size of a u16-length-prefixed string,
+// honoring the codec's truncation at 64 KiB.
+func strWireSize(s string) int {
+	if len(s) > 0xffff {
+		return 2 + 0xffff
+	}
+	return 2 + len(s)
+}
+
+// tensorWireSize is the encoded size of buf.tensor's output.
+func tensorWireSize(t *tensor.Tensor) int {
+	n := 2 + 4*t.Shape().Rank() + 4 + len(t.Bytes())
+	if t.DType() == tensor.I8 {
+		n += 5 + 4*len(t.Scales())
+	}
+	return n
+}
+
+// EncodeUploadPooled is EncodeUpload into pooled scratch. Pass the
+// payload back via ReleaseEncoded once the frame has been written.
+func EncodeUploadPooled(u *Upload) []byte {
+	e := buf{b: encPool.Get(strWireSize(u.Key) + tensorWireSize(u.Data))[:0]}
+	e.str(u.Key)
+	e.tensor(u.Data)
+	return e.b
+}
+
+// EncodeExecPooled is EncodeExec into pooled scratch. Pass the payload
+// back via ReleaseEncoded once the frame has been written.
+func EncodeExecPooled(x *Exec) ([]byte, error) {
+	// The graph serializes through its own writer; borrow scratch for it
+	// too, seeded at its last-seen class so steady-state encodes of the
+	// same step graph never grow it.
+	gw := &sliceWriter{b: encPool.Get(4096)[:0]}
+	defer ReleaseEncoded(gw.b)
+	if err := x.Graph.Encode(gw); err != nil {
+		return nil, err
+	}
+	n := 4 + len(gw.b) + 4
+	for i := range x.Binds {
+		bd := &x.Binds[i]
+		n += strWireSize(bd.Ref) + 1
+		switch {
+		case bd.Inline != nil:
+			n += tensorWireSize(bd.Inline)
+		case bd.Hash != [HashSize]byte{}:
+			n += HashSize
+		default:
+			n += strWireSize(bd.Key) + 4
+		}
+	}
+	n += 4
+	for _, k := range x.Keep {
+		n += 4 + strWireSize(k)
+	}
+	n += 4 + 4*len(x.Want)
+	e := buf{b: encPool.Get(n)[:0]}
+	e.u32(uint32(len(gw.b)))
+	e.b = append(e.b, gw.b...)
+	e.u32(uint32(len(x.Binds)))
+	for _, bd := range x.Binds {
+		e.str(bd.Ref)
+		switch {
+		case bd.Inline != nil && bd.Cache:
+			e.u8(3)
+			e.tensor(bd.Inline)
+		case bd.Inline != nil:
+			e.u8(1)
+			e.tensor(bd.Inline)
+		case bd.Hash != [HashSize]byte{}:
+			e.u8(2)
+			e.b = append(e.b, bd.Hash[:]...)
+		default:
+			e.u8(0)
+			e.str(bd.Key)
+			e.u32(bd.Epoch)
+		}
+	}
+	e.u32(uint32(len(x.Keep)))
+	for _, id := range keepOrder(x.Keep) {
+		e.u32(uint32(id))
+		e.str(x.Keep[id])
+	}
+	e.u32(uint32(len(x.Want)))
+	for _, id := range x.Want {
+		e.u32(uint32(id))
+	}
+	return e.b, nil
+}

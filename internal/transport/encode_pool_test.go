@@ -1,0 +1,149 @@
+package transport
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"genie/internal/srg"
+	"genie/internal/tensor"
+)
+
+func benchTensor(dt tensor.DType, dims ...int) *tensor.Tensor {
+	t := tensor.New(tensor.F32, dims...)
+	t.RandN(rand.New(rand.NewSource(3)), 1)
+	switch dt {
+	case tensor.F32:
+		return t
+	case tensor.F16:
+		return t.ToF16()
+	}
+	panic("unsupported bench dtype")
+}
+
+func benchExec() *Exec {
+	g := srg.New("bench")
+	a := g.MustAdd(&srg.Node{Op: "input", Ref: "x",
+		Output: srg.TensorMeta{Shape: []int{4, 64}}})
+	w := g.MustAdd(&srg.Node{Op: "param", Ref: "m.w",
+		Output: srg.TensorMeta{Shape: []int{64, 64}}})
+	out := g.MustAdd(&srg.Node{Op: "matmul", Inputs: []srg.NodeID{a, w},
+		Output: srg.TensorMeta{Shape: []int{4, 64}}})
+	return &Exec{
+		Graph: g,
+		Binds: []Binding{
+			{Ref: "x", Inline: benchTensor(tensor.F32, 4, 64)},
+			{Ref: "m.w", Key: "m.w", Epoch: 1},
+		},
+		Keep: map[srg.NodeID]string{out: "kept"},
+		Want: []srg.NodeID{out},
+	}
+}
+
+func TestPooledEncodingsMatchUnpooled(t *testing.T) {
+	u := &Upload{Key: "model.block0.attn.wq.w", Data: benchTensor(tensor.F32, 32, 48)}
+	pu := EncodeUploadPooled(u)
+	if !bytes.Equal(pu, EncodeUpload(u)) {
+		t.Error("pooled upload encoding differs from unpooled")
+	}
+	ReleaseEncoded(pu)
+
+	q, err := quantizeForTest(benchTensor(tensor.F32, 16, 24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	uq := &Upload{Key: "q.w", Data: q}
+	pq := EncodeUploadPooled(uq)
+	if !bytes.Equal(pq, EncodeUpload(uq)) {
+		t.Error("pooled quantized upload encoding differs from unpooled")
+	}
+	ReleaseEncoded(pq)
+
+	x := benchExec()
+	x.Binds = append(x.Binds,
+		Binding{Ref: "h", Hash: [HashSize]byte{1, 2, 3}},
+		Binding{Ref: "c", Inline: benchTensor(tensor.F32, 2, 2), Cache: true})
+	px, err := EncodeExecPooled(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ux, err := EncodeExec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(px, ux) {
+		t.Error("pooled exec encoding differs from unpooled")
+	}
+	ReleaseEncoded(px)
+}
+
+// quantizeForTest builds an I8 tensor with scales without importing the
+// quant package (transport must stay below it in the dependency order).
+func quantizeForTest(w *tensor.Tensor) (*tensor.Tensor, error) {
+	rows, cols := w.Shape()[0], w.Shape()[1]
+	q := tensor.New(tensor.I8, rows, cols)
+	qd, f := q.I8(), w.F32()
+	scales := make([]float32, cols)
+	for j := 0; j < cols; j++ {
+		scales[j] = 0.01
+	}
+	for i := range f {
+		qd[i] = int8(f[i] * 100)
+	}
+	return q, q.AttachScales(1, scales)
+}
+
+// TestEncodeUploadPooledReuses is the allocation regression guard for
+// the upload encode path: steady-state pooled encodes must reuse
+// scratch, not grow the heap per call.
+func TestEncodeUploadPooledReuses(t *testing.T) {
+	u := &Upload{Key: "w", Data: benchTensor(tensor.F32, 64, 64)}
+	ReleaseEncoded(EncodeUploadPooled(u)) // warm the size class
+	before := EncPoolStats()
+	for i := 0; i < 50; i++ {
+		ReleaseEncoded(EncodeUploadPooled(u))
+	}
+	after := EncPoolStats()
+	if got := after.Allocs - before.Allocs; got != 0 {
+		t.Errorf("steady-state upload encode allocated %d pool buffers, want 0", got)
+	}
+	if got := after.Reuses - before.Reuses; got < 50 {
+		t.Errorf("steady-state upload encode reused %d buffers, want >= 50", got)
+	}
+	n := testing.AllocsPerRun(100, func() {
+		ReleaseEncoded(EncodeUploadPooled(u))
+	})
+	if n > 1 {
+		t.Errorf("upload encode allocates %.1f objects/op, want <= 1", n)
+	}
+}
+
+func BenchmarkEncodeUpload(b *testing.B) {
+	u := &Upload{Key: "model.block0.mlp.fc.w", Data: benchTensor(tensor.F32, 256, 1024)}
+	b.SetBytes(int64(256 * 1024 * 4))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = EncodeUpload(u)
+	}
+}
+
+func BenchmarkEncodeUploadPooled(b *testing.B) {
+	u := &Upload{Key: "model.block0.mlp.fc.w", Data: benchTensor(tensor.F32, 256, 1024)}
+	b.SetBytes(int64(256 * 1024 * 4))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ReleaseEncoded(EncodeUploadPooled(u))
+	}
+}
+
+func BenchmarkEncodeExecPooled(b *testing.B) {
+	x := benchExec()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p, err := EncodeExecPooled(x)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ReleaseEncoded(p)
+	}
+}

@@ -53,6 +53,18 @@ const (
 	MsgStats
 	// MsgStatsOK returns them.
 	MsgStatsOK
+	// MsgHello negotiates optional wire features (compression, dedup,
+	// delta encoding); the payload is a u32 feature mask.
+	MsgHello
+	// MsgHelloOK grants the intersection of requested and supported
+	// features back to the client.
+	MsgHelloOK
+	// MsgUploadRef stores a tensor the server has already seen, by
+	// content hash alone — the dedup fast path (DESIGN.md §11).
+	MsgUploadRef
+	// MsgUploadDelta stores a new version of an existing key as an
+	// XOR/run-length delta against the previous bytes.
+	MsgUploadDelta
 )
 
 // maxFrame bounds a frame payload (1 GiB) against malformed peers.
@@ -151,42 +163,23 @@ func ReadFrame(r io.Reader) (MsgType, []byte, error) {
 }
 
 // ReadFrameEnv reads one frame plus its trace envelope (zero when the
-// peer sent an untraced frame).
+// peer sent an untraced frame). Compressed frames (compFlag, sent only
+// after feature negotiation) are transparently inflated.
+//
+// Flag bits in the type byte are only meaningful on frames this
+// protocol emits, which always carry a valid message type under them.
+// A stripped type outside the protocol (e.g. a peer probing with 0xfa)
+// is NOT a traced or compressed frame: the byte passes through
+// untouched — no envelope read, no inflation — so the dispatch layer
+// rejects it instead of the reader stalling on bytes that were never
+// sent.
 func ReadFrameEnv(r io.Reader) (MsgType, Envelope, []byte, error) {
-	var hdr [frameHeader]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, Envelope{}, nil, err
-	}
-	n := binary.LittleEndian.Uint32(hdr[:4])
-	if n > maxFrame {
-		return 0, Envelope{}, nil, frameErrorf("transport: frame of %d bytes exceeds limit", n)
-	}
-	var env Envelope
-	t := hdr[4]
-	// The envelope bit is only meaningful on frames this protocol emits,
-	// which always carry a valid message type under it. A stripped type
-	// outside the protocol (e.g. a peer probing with 0xfa) is NOT a
-	// traced frame: pass the byte through untouched — no envelope read —
-	// so the dispatch layer rejects it instead of the reader stalling on
-	// 16 bytes that were never sent.
-	if t&envFlag != 0 && validType(MsgType(t&^envFlag)) {
-		t &^= envFlag
-		var eb [envSize]byte
-		if _, err := io.ReadFull(r, eb[:]); err != nil {
-			return 0, Envelope{}, nil, err
-		}
-		env.Trace = binary.LittleEndian.Uint64(eb[:8])
-		env.Span = binary.LittleEndian.Uint64(eb[8:])
-	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, Envelope{}, nil, err
-	}
-	return MsgType(t), env, payload, nil
+	t, env, payload, _, err := readFrameEnvFeat(r)
+	return t, env, payload, err
 }
 
 // validType reports whether t is a message this protocol defines.
-func validType(t MsgType) bool { return t >= MsgPing && t <= MsgStatsOK }
+func validType(t MsgType) bool { return t >= MsgPing && t <= MsgUploadDelta }
 
 // KindName returns the stable lowercase label for a message type, used
 // for per-kind telemetry series.
@@ -222,6 +215,14 @@ func KindName(t MsgType) string {
 		return "stats"
 	case MsgStatsOK:
 		return "stats_ok"
+	case MsgHello:
+		return "hello"
+	case MsgHelloOK:
+		return "hello_ok"
+	case MsgUploadRef:
+		return "upload_ref"
+	case MsgUploadDelta:
+		return "upload_delta"
 	}
 	return "unknown"
 }
@@ -249,14 +250,25 @@ func (e *buf) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
 func (e *buf) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
 
 func (e *buf) tensor(t *tensor.Tensor) {
-	m := tensor.MetaOf(t)
-	e.u8(uint8(m.DType))
-	e.u8(uint8(len(m.Shape)))
-	for _, d := range m.Shape {
+	e.u8(uint8(t.DType()))
+	e.u8(uint8(t.Shape().Rank()))
+	for _, d := range t.Shape() {
 		e.u32(uint32(d))
 	}
 	e.u32(uint32(len(t.Bytes())))
 	e.b = append(e.b, t.Bytes()...)
+	// Quantized tensors carry their scale section inline: u8 axis,
+	// u32 count, count×f32. Only the I8 dtype — which predates nothing
+	// on this wire — has the section, so every legacy encoding is
+	// byte-identical.
+	if t.DType() == tensor.I8 {
+		sc := t.Scales()
+		e.u8(uint8(t.QuantAxis()))
+		e.u32(uint32(len(sc)))
+		for _, s := range sc {
+			e.u32(f32ToBits(s))
+		}
+	}
 }
 
 type rdr struct {
@@ -320,7 +332,7 @@ func (r *rdr) u64() uint64 {
 
 func (r *rdr) tensor() *tensor.Tensor {
 	dt := tensor.DType(r.u8())
-	if dt > tensor.U8 {
+	if dt > tensor.I8 {
 		r.fail("invalid dtype byte")
 		return nil
 	}
@@ -345,6 +357,30 @@ func (r *rdr) tensor() *tensor.Tensor {
 	if err != nil {
 		r.fail(err.Error())
 		return nil
+	}
+	if dt == tensor.I8 {
+		axis := int(r.u8())
+		ns := int(r.u32())
+		if r.err != nil {
+			return nil
+		}
+		if ns > 0 {
+			if axis >= len(shape) || ns != shape[axis] {
+				r.fail("scale count does not match quant axis")
+				return nil
+			}
+			scales := make([]float32, ns)
+			for i := range scales {
+				scales[i] = f32FromBits(r.u32())
+			}
+			if r.err != nil {
+				return nil
+			}
+			if err := t.AttachScales(axis, scales); err != nil {
+				r.fail(err.Error())
+				return nil
+			}
+		}
 	}
 	return t
 }
@@ -404,6 +440,16 @@ type Binding struct {
 	// Epoch the client believes the object is from; the server rejects
 	// stale epochs so lineage can detect lost state.
 	Epoch uint32
+
+	// Hash replaces Inline with a 32-byte content hash of bytes the
+	// server has already seen (dedup, negotiated via FeatDedup). Zero
+	// when unused.
+	Hash [HashSize]byte
+	// Cache asks the server to remember this inline tensor's content
+	// hash so later calls can bind it by Hash. Only honored — and only
+	// encoded — on feature-negotiated connections; with Cache false the
+	// encoding is byte-identical to the legacy format.
+	Cache bool
 }
 
 // Exec runs a subgraph server-side.
@@ -433,23 +479,24 @@ func EncodeExec(x *Exec) ([]byte, error) {
 	e.u32(uint32(len(x.Binds)))
 	for _, bd := range x.Binds {
 		e.str(bd.Ref)
-		if bd.Inline != nil {
+		switch {
+		case bd.Inline != nil && bd.Cache:
+			e.u8(3)
+			e.tensor(bd.Inline)
+		case bd.Inline != nil:
 			e.u8(1)
 			e.tensor(bd.Inline)
-		} else {
+		case bd.Hash != [HashSize]byte{}:
+			e.u8(2)
+			e.b = append(e.b, bd.Hash[:]...)
+		default:
 			e.u8(0)
 			e.str(bd.Key)
 			e.u32(bd.Epoch)
 		}
 	}
 	e.u32(uint32(len(x.Keep)))
-	// Deterministic order: iterate IDs ascending.
-	ids := make([]srg.NodeID, 0, len(x.Keep))
-	for id := range x.Keep {
-		ids = append(ids, id)
-	}
-	sortNodeIDs(ids)
-	for _, id := range ids {
+	for _, id := range keepOrder(x.Keep) {
 		e.u32(uint32(id))
 		e.str(x.Keep[id])
 	}
@@ -458,6 +505,17 @@ func EncodeExec(x *Exec) ([]byte, error) {
 		e.u32(uint32(id))
 	}
 	return e.b, nil
+}
+
+// keepOrder returns a Keep map's IDs ascending — deterministic encode
+// order, so identical Execs serialize to identical bytes.
+func keepOrder(keep map[srg.NodeID]string) []srg.NodeID {
+	ids := make([]srg.NodeID, 0, len(keep))
+	for id := range keep {
+		ids = append(ids, id)
+	}
+	sortNodeIDs(ids)
+	return ids
 }
 
 func sortNodeIDs(ids []srg.NodeID) {
@@ -494,11 +552,19 @@ func DecodeExec(b []byte) (*Exec, error) {
 	}
 	for i := 0; i < nBind && r.err == nil; i++ {
 		bd := Binding{Ref: r.str()}
-		if r.u8() == 1 {
-			bd.Inline = r.tensor()
-		} else {
+		switch kind := r.u8(); kind {
+		case 0:
 			bd.Key = r.str()
 			bd.Epoch = r.u32()
+		case 1:
+			bd.Inline = r.tensor()
+		case 2:
+			copy(bd.Hash[:], r.take(HashSize))
+		case 3:
+			bd.Inline = r.tensor()
+			bd.Cache = true
+		default:
+			r.fail(fmt.Sprintf("invalid binding kind %d", kind))
 		}
 		x.Binds = append(x.Binds, bd)
 	}
