@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race check bench bench-kernels parity chaos pool wire
+.PHONY: all build vet lint test test-short race check bench bench-kernels parity chaos pool wire prefixcache
 
 all: check
 
@@ -28,7 +28,7 @@ test-short:
 race:
 	$(GO) test -race ./...
 
-check: build vet lint race
+check: build vet lint race prefixcache
 
 bench:
 	$(GO) run ./cmd/genie-bench
@@ -66,6 +66,16 @@ pool:
 wire:
 	$(GO) test -race -count=1 ./internal/transport/ -run 'Fuzz|Pooled|Hello|Ref|Delta|Compress'
 	$(GO) test -race -count=1 ./internal/backend/ -run 'Wire|Negotiate|Dedup|Delta|Compress|Legacy|QuantPolicy'
+
+# Prefix KV cache + prefill/decode split under the race detector:
+# radix lookup/insert/split/evict mechanics, bit-identical parity cache
+# on/off and split vs colocated, ref-count churn with goroutine-leak
+# checks, the prefill-lane crash/failover chaos variant, and the
+# suffix-only extend graph the cache rides on.
+prefixcache:
+	$(GO) test -race -count=1 ./internal/kvcache/ -run .
+	$(GO) test -race -count=1 ./internal/runtime/ -run 'Resident|CloseFrees'
+	$(GO) test -race -count=1 ./internal/models/ -run 'PrefillExtend'
 
 chaos:
 	$(GO) test -race -count=1 ./internal/chaos/ -run .

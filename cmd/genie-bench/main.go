@@ -50,6 +50,9 @@ func main() {
 	wireSection := flag.Bool("wire", false,
 		"print only the raw-speed tier section (int8/f16 decode kernels vs f32; "+
 			"bytes-on-wire with and without negotiated dedup+delta+compression)")
+	prefixSection := flag.Bool("prefix", false,
+		"print only the prefix-cache section (TTFT/tokens-per-sec at 0/50/90% "+
+			"prefix share, cache on/off; split prefill/decode ΔKV bytes on wire)")
 	rpc := flag.String("rpc", "tensorpipe", "transport profile: tensorpipe | rdma")
 	naiveReupload := flag.Float64("naive-reupload", 1,
 		"calls per weight re-upload in Naive mode (1 = paper's stated policy; ~6.5 matches its measured decode)")
@@ -67,12 +70,15 @@ func main() {
 		os.Exit(2)
 	}
 
-	all := *table == 0 && !*ablations && !*kernels && !*obsSection && !*chaosSection && !*shardSection && !*wireSection
+	all := *table == 0 && !*ablations && !*kernels && !*obsSection && !*chaosSection && !*shardSection && !*wireSection && !*prefixSection
 	if all || *kernels {
 		printKernels()
 	}
 	if all || *wireSection {
 		printWire()
+	}
+	if all || *prefixSection {
+		printPrefix()
 	}
 	if all || *obsSection {
 		printObs()

@@ -28,6 +28,16 @@
 //	genie-gateway -addr :8080 -pool-backends 127.0.0.1:7009,127.0.0.1:7010 \
 //	  -shard-strategy auto -pool-mem-bytes 70000
 //
+// -prefix-cache-bytes enables the radix prefix KV cache (local and
+// semantics_aware modes): requests sharing a prompt prefix prefill only
+// their suffix, and /stats exposes hit ratio and residency under
+// "cache". -split-prefill disaggregates the two inference phases across
+// exactly two -backends — the first runs prefill, the second holds
+// decode state — shipping only the ΔKV suffix between them.
+//
+//	genie-gateway -addr :8080 -backends 127.0.0.1:7009,127.0.0.1:7010 \
+//	  -split-prefill -prefix-cache-bytes 67108864 -wire-compress
+//
 // SIGINT/SIGTERM drains gracefully: admission closes, queued and
 // running requests finish, then the process exits.
 package main
@@ -47,6 +57,7 @@ import (
 
 	"genie/internal/cluster"
 	"genie/internal/device"
+	"genie/internal/kvcache"
 	"genie/internal/models"
 	"genie/internal/obs"
 	"genie/internal/pool"
@@ -95,6 +106,14 @@ func main() {
 			"(0 = the modeled device default; small values force multi-member sharding)")
 	quantMode := flag.String("quant", "off",
 		"weight tier installed on backends: off (f32), int8 (per-column symmetric), f16")
+	prefixCacheBytes := flag.Int64("prefix-cache-bytes", 0,
+		"radix prefix KV cache budget in bytes (0 = off); requests sharing a "+
+			"prompt prefix prefill only their suffix")
+	kvPageTokens := flag.Int("kv-page-tokens", kvcache.DefaultPageTokens,
+		"tokens per KV page in the prefix cache")
+	splitPrefill := flag.Bool("split-prefill", false,
+		"disaggregate prefill/decode across exactly two -backends: the first "+
+			"runs prefill, the second holds decode KV (semantics_aware mode only)")
 	wireCompress := flag.Bool("wire-compress", false,
 		"negotiate wire features (compression, dedup, delta uploads) with each backend; "+
 			"backends that refuse stay on the legacy protocol")
@@ -143,7 +162,33 @@ func main() {
 	// model across every listed address behind a single pool.Manager lane,
 	// so models larger than any one member's memory still serve.
 	var lanes []serve.Backend
-	var poolStats func() any
+	var poolStats, cacheStats func() any
+
+	// The prefix cache and the split runner both need ONE shared model
+	// instance (the cache keys KV state against it); plain lanes build
+	// their own replica from the same seed.
+	var cacheMgr *kvcache.Manager
+	if *prefixCacheBytes > 0 {
+		if *poolBackends != "" {
+			log.Fatal("genie-gateway: -prefix-cache-bytes does not compose with -pool-backends yet")
+		}
+		if mode != runtime.ModeLocal && mode != runtime.ModeSemAware {
+			log.Fatalf("genie-gateway: -prefix-cache-bytes needs mode local or semantics_aware, not %s "+
+				"(the cache speaks the scoped-KV protocol)", mode)
+		}
+		var err error
+		cacheMgr, err = kvcache.NewManager(kvcache.Config{
+			Model:       models.NewGPT(rand.New(rand.NewSource(*seed)), models.TinyGPT),
+			BudgetBytes: *prefixCacheBytes,
+			PageTokens:  *kvPageTokens,
+			Metrics:     reg,
+		})
+		if err != nil {
+			log.Fatalf("genie-gateway: %v", err)
+		}
+		cacheStats = func() any { return cacheMgr.Snapshot() }
+	}
+
 	if *poolBackends != "" {
 		if mode == runtime.ModeLocal {
 			log.Fatal("genie-gateway: -pool-backends needs a remote mode (the pool shards across backends)")
@@ -193,16 +238,70 @@ func main() {
 			strat, len(plan.Members()), plan.CutEdges)
 		lanes = append(lanes, serve.Backend{Name: "pool", Runner: mgr.Runner()})
 		poolStats = func() any { return mgr.Status() }
+	} else if *splitPrefill {
+		if mode != runtime.ModeSemAware {
+			log.Fatalf("genie-gateway: -split-prefill needs mode semantics_aware, not %s "+
+				"(decode holds resident scoped KV)", mode)
+		}
+		var eps []runtime.Endpoint
+		var ctrs []*transport.Counters
+		var names []string
+		for _, baddr := range strings.Split(*backends, ",") {
+			baddr = strings.TrimSpace(baddr)
+			if baddr == "" {
+				continue
+			}
+			conn, err := transport.Dial(baddr, nil, nil)
+			if err != nil {
+				log.Fatalf("genie-gateway: backend %s: %v", baddr, err)
+			}
+			defer conn.Close()
+			conn.SetTelemetry(tel)
+			lc := transport.NewClient(conn)
+			negotiate(lc, baddr)
+			eps = append(eps, lc)
+			ctrs = append(ctrs, conn.Counters())
+			names = append(names, baddr)
+		}
+		if len(eps) != 2 {
+			log.Fatalf("genie-gateway: -split-prefill needs exactly two -backends "+
+				"(prefill lane, decode lane), got %d", len(eps))
+		}
+		model := models.NewGPT(rand.New(rand.NewSource(*seed)), models.TinyGPT)
+		if cacheMgr != nil {
+			model = cacheMgr.Model()
+		}
+		sp, err := kvcache.NewSplit(kvcache.SplitConfig{
+			Model:          model,
+			Prefill:        eps[0],
+			Decode:         eps[1],
+			DecodeCounters: ctrs[1],
+			Cache:          cacheMgr,
+			Metrics:        reg,
+		})
+		if err != nil {
+			log.Fatalf("genie-gateway: %v", err)
+		}
+		if err := sp.InstallWeights(); err != nil {
+			log.Fatalf("genie-gateway: install weights: %v", err)
+		}
+		log.Printf("genie-gateway: split prefill on %s, decode on %s", names[0], names[1])
+		lanes = append(lanes, serve.Backend{Name: "split:" + names[1], Runner: sp.Runner()})
 	} else {
 		for _, baddr := range strings.Split(*backends, ",") {
 			baddr = strings.TrimSpace(baddr)
 			if baddr == "" {
 				continue
 			}
-			r := &runtime.LLMRunner{
-				Model: models.NewGPT(rand.New(rand.NewSource(*seed)), models.TinyGPT),
-			}
-			if mode != runtime.ModeLocal {
+			var r *runtime.LLMRunner
+			switch {
+			case cacheMgr != nil && mode == runtime.ModeLocal:
+				r = cacheMgr.Runner()
+			case mode == runtime.ModeLocal:
+				r = &runtime.LLMRunner{
+					Model: models.NewGPT(rand.New(rand.NewSource(*seed)), models.TinyGPT),
+				}
+			default:
 				conn, err := transport.Dial(baddr, nil, nil)
 				if err != nil {
 					log.Fatalf("genie-gateway: backend %s: %v", baddr, err)
@@ -211,8 +310,15 @@ func main() {
 				conn.SetTelemetry(tel)
 				lc := transport.NewClient(conn)
 				negotiate(lc, baddr)
-				r.EP = lc
-				r.Counters = conn.Counters()
+				if cacheMgr != nil {
+					r = cacheMgr.RunnerOn(lc, conn.Counters())
+				} else {
+					r = &runtime.LLMRunner{
+						Model:    models.NewGPT(rand.New(rand.NewSource(*seed)), models.TinyGPT),
+						EP:       lc,
+						Counters: conn.Counters(),
+					}
+				}
 			}
 			lanes = append(lanes, serve.Backend{Name: baddr, Runner: r})
 		}
@@ -243,6 +349,7 @@ func main() {
 		Tracer:           tracer,
 		Metrics:          reg,
 		PoolStats:        poolStats,
+		CacheStats:       cacheStats,
 		Quant:            qm,
 	}, lanes)
 	if err != nil {

@@ -37,6 +37,10 @@ func TestKvscopeOwnerFixture(t *testing.T) {
 	runWantTest(t, "kvscope", fixtureDir("internal", "serve", "kvownerdata"))
 }
 
+func TestKvscopePrefixCacheFixture(t *testing.T) {
+	runWantTest(t, "kvscope", fixtureDir("internal", "kvcache", "prefixkeydata"))
+}
+
 func TestPlanverFixture(t *testing.T) {
 	runWantTest(t, "planver", fixtureDir("internal", "pool", "planverdata"))
 }
@@ -100,6 +104,15 @@ func TestScopeGates(t *testing.T) {
 	}
 	if !GoleakAnalyzer.AppliesTo("genie/internal/pool") {
 		t.Error("goleak must apply to the backend pool")
+	}
+	if !GoleakAnalyzer.AppliesTo("genie/internal/kvcache") {
+		t.Error("goleak must apply to the prefix cache")
+	}
+	if !kvOwnerScope("genie/internal/kvcache") {
+		t.Error("kvcache is a KV plan owner — its strategies place prefix KV on backends")
+	}
+	if kvOwnerScope("genie/internal/serve") {
+		t.Error("serve must not be a KV plan owner")
 	}
 	if !CtxflowAnalyzer.AppliesTo("genie/internal/chaos") {
 		t.Error("ctxflow must apply to the fault injector")

@@ -24,7 +24,9 @@ import (
 // membership: rebuild and repair paths must not strand per-member
 // goroutines when a member leaves), plus genie/internal/simnet and
 // genie/internal/eval (the simulator fabric and the eval harness spawn
-// per-connection pumps of their own). A goroutine is flagged when its
+// per-connection pumps of their own), plus genie/internal/kvcache (the
+// prefix cache's split sessions pin resident state that a stranded
+// goroutine would hold forever). A goroutine is flagged when its
 // body (the literal, or the function/method it calls — resolved
 // cross-package through the interprocedural Program when available)
 // contains an unconditional `for { ... }` loop with no cancellation
@@ -48,7 +50,8 @@ var GoleakAnalyzer = &Analyzer{
 			hasPrefixPath(scope, "genie/internal/pool") ||
 			hasPrefixPath(scope, "genie/internal/simnet") ||
 			hasPrefixPath(scope, "genie/internal/eval") ||
-			hasPrefixPath(scope, "genie/internal/quant")
+			hasPrefixPath(scope, "genie/internal/quant") ||
+			hasPrefixPath(scope, "genie/internal/kvcache")
 	},
 	Run: runGoleak,
 }

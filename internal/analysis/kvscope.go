@@ -8,10 +8,12 @@ import (
 // KvscopeAnalyzer guards KV-cache key discipline. Session KV state is
 // the one thing the disaggregation layer must never confuse across
 // tenants or shards: keys are namespaced by a per-session scope prefix
-// (runtime.Session and pool.Manager both derive keys as
-// scope + models.CacheRef(layer, half)), and only the plan-owner
-// packages — internal/pool and internal/runtime — may decide which
-// backend retains which key. Two rules follow:
+// (runtime.Session, pool.Manager, and the kvcache strategies all derive
+// keys as scope + models.CacheRef(layer, half)), and only the
+// plan-owner packages — internal/pool, internal/runtime, and
+// internal/kvcache (whose strategies place prefix-cached KV on
+// backends) — may decide which backend retains which key. Two rules
+// follow:
 //
 //  1. a models.CacheRef result bound into a KV sink
 //     (transport.Binding.Key or a transport Exec.Keep value) must carry
@@ -37,7 +39,8 @@ var KvscopeAnalyzer = &Analyzer{
 // kvOwnerScope reports whether scope is a plan-owner package.
 func kvOwnerScope(scope string) bool {
 	return hasPrefixPath(scope, "genie/internal/pool") ||
-		hasPrefixPath(scope, "genie/internal/runtime")
+		hasPrefixPath(scope, "genie/internal/runtime") ||
+		hasPrefixPath(scope, "genie/internal/kvcache")
 }
 
 func runKvscope(pass *Pass) {

@@ -1,0 +1,57 @@
+// Package prefixkeydata is genie-lint fixture data for the KV
+// key-discipline analyzer in the prefix-cache plane. Its pretend path
+// (genie/internal/kvcache/...) is inside the plan-owner scope — the
+// kvcache strategies legitimately place prefix KV on backends — so the
+// cross-shard rule stays silent and the scope-prefix rule does the
+// talking: a prefix-cache key without a session scope would alias every
+// request sharing the prefix onto one resident entry, corrupting decode
+// state the moment two sessions extend it differently.
+package prefixkeydata
+
+import (
+	"genie/internal/models"
+	"genie/internal/srg"
+	"genie/internal/transport"
+)
+
+// handoffScoped keeps the assembled prefix++suffix under the session's
+// scoped key: the ΔKV handoff done right.
+func handoffScoped(ex *transport.Exec, scope string) {
+	ex.Keep[srg.NodeID(1)] = scope + models.CacheRef(0, "k")
+}
+
+// handoffBare drops the scope: every split session sharing this decode
+// backend would collide on one resident entry.
+func handoffBare(ex *transport.Exec) {
+	ex.Keep[srg.NodeID(1)] = models.CacheRef(0, "k") // want "bare models.CacheRef with no session-scope prefix"
+}
+
+// insertViaLocal hides the unscoped prefix key behind a local binding —
+// the shape of the real bug: deriving a cache key from layer geometry
+// alone and forgetting the per-session plane.
+func insertViaLocal(ex *transport.Exec) {
+	key := models.CacheRef(1, "v")
+	ex.Keep[srg.NodeID(2)] = key // want "bare models.CacheRef with no session-scope prefix"
+}
+
+// stepBind rebinds decode-side resident state by key each step.
+func stepBind(ex *transport.Exec, key string) {
+	ex.Binds = append(ex.Binds, transport.Binding{Ref: "gpt.kv.0.k", Key: key})
+}
+
+// stepBare rebinds without the scope through the helper; flagged at the
+// call site via the interprocedural summary.
+func stepBare(ex *transport.Exec) {
+	stepBind(ex, models.CacheRef(2, "k")) // want "bare models.CacheRef .* through stepBind"
+}
+
+// stepScoped is the legitimate per-step rebind.
+func stepScoped(ex *transport.Exec, scope string) {
+	stepBind(ex, scope+models.CacheRef(2, "k"))
+}
+
+// prefixBind ships gathered prefix content inline under a private ref;
+// not a CacheRef-derived key, so kvscope has nothing to say.
+func prefixBind(ex *transport.Exec) {
+	ex.Binds = append(ex.Binds, transport.Binding{Ref: "prefix.0.k", Cache: true})
+}

@@ -1,0 +1,132 @@
+package kvcache
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"genie/internal/metrics"
+	"genie/internal/models"
+	"genie/internal/runtime"
+)
+
+// TestConcurrentChurnUnderTightBudget hammers one shared Manager from
+// many goroutines with overlapping prompts under a budget small enough
+// to force constant eviction. Run under -race this exercises every
+// lock-ordering path (lookup/insert/split/evict/unpin interleavings);
+// the goroutine snapshot catches leaked session state.
+func TestConcurrentChurnUnderTightBudget(t *testing.T) {
+	snap := metrics.SnapGoroutines()
+
+	rng := rand.New(rand.NewSource(3))
+	model := models.NewGPT(rng, models.TinyGPT)
+	cfg := model.Cfg
+	// ~4 pages of 4 tokens: almost everything gets evicted almost
+	// immediately, so pins are load-bearing.
+	mgr, err := NewManager(Config{
+		Model:       model,
+		BudgetBytes: 4 * 4 * cfg.KVBytesPerToken(),
+		PageTokens:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := mgr.Runner()
+
+	// A small family of prompts sharing prefixes pairwise, so splits and
+	// duplicate inserts happen constantly.
+	prompts := [][]int64{
+		{1, 2, 3, 4, 5, 6},
+		{1, 2, 3, 4, 9, 9},
+		{1, 2, 7, 7, 7, 7},
+		{8, 8, 8, 8, 8, 8},
+	}
+
+	const workers = 8
+	const iters = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				prompt := prompts[(w+i)%len(prompts)]
+				s, err := r.NewScopedSession(runtime.ModeLocal, fmt.Sprintf("w%d-%d/", w, i))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := s.Prefill(prompt); err != nil {
+					errs <- err
+					return
+				}
+				for k := 0; k < 2; k++ {
+					if _, err := s.Step(); err != nil {
+						errs <- err
+						return
+					}
+				}
+				if err := s.Close(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := mgr.Snapshot()
+	if st.Evictions == 0 {
+		t.Fatal("tight-budget churn produced no evictions")
+	}
+	if st.ResidentBytes > 4*4*cfg.KVBytesPerToken() {
+		t.Fatalf("resident %d bytes over budget with all sessions closed", st.ResidentBytes)
+	}
+	// Every session closed, so every pin is released: a full-tree evict
+	// sweep must be able to reclaim everything.
+	mgr.mu.Lock()
+	mgr.walk(mgr.root, func(n *node) {
+		if n.refs != 0 {
+			t.Errorf("node %v holds %d refs after all sessions closed", n.label, n.refs)
+		}
+	})
+	mgr.mu.Unlock()
+
+	snap.Check(t)
+}
+
+// TestChurnParityAfterEvictions: after heavy eviction churn the cache
+// must still produce bit-identical tokens (evicting must never corrupt
+// surviving neighbours — splits share pages by reference).
+func TestChurnParityAfterEvictions(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	model := models.NewGPT(rng, models.TinyGPT)
+	baseline := &runtime.LLMRunner{Model: model}
+	mgr, err := NewManager(Config{Model: model, BudgetBytes: 3 * 4 * model.Cfg.KVBytesPerToken(), PageTokens: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := mgr.Runner()
+
+	prompt := []int64{11, 12, 13, 14, 15, 16}
+	want := generateScoped(t, baseline, runtime.ModeLocal, "", prompt, 4)
+	for i := 0; i < 8; i++ {
+		churn := []int64{40 + int64(i)*4, 41 + int64(i)*4, 42 + int64(i)*4, 43 + int64(i)*4}
+		generateScoped(t, cached, runtime.ModeLocal, "", churn, 2)
+		got := generateScoped(t, cached, runtime.ModeLocal, "", prompt, 4)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("iteration %d diverges at step %d: %v vs %v", i, j, got, want)
+			}
+		}
+	}
+	if mgr.Snapshot().Evictions == 0 {
+		t.Fatal("churn loop produced no evictions")
+	}
+}

@@ -1,0 +1,129 @@
+package kvcache
+
+// The radix tree maps token sequences to resident KV pages. Each node
+// owns the pages for the tokens on its edge label; a path from the root
+// spells a prompt prefix and the concatenation of the path's runs is that
+// prefix's KV state.
+//
+// Concurrency model: every tree operation runs under the Manager's
+// mutex, and a lookup's page reads (the gather into session-owned
+// scratch) happen inside that same critical section. After Lookup
+// returns, the session never touches tree pages again — so eviction and
+// splits need no page-level synchronization. Node refcounts are
+// eviction protection, not read locks: a pinned node (refs > 0) is a
+// prefix some live session brought in, and the LRU sweep skips it.
+type node struct {
+	parent *node
+	label  []int64 // tokens on the edge from parent
+	run    *pageRun
+	// children is keyed by the first token of each child's label (radix
+	// property: at most one child per distinct next token).
+	children map[int64]*node
+	refs     int
+	lastUse  uint64
+}
+
+func (n *node) addChild(c *node) {
+	if n.children == nil {
+		n.children = make(map[int64]*node)
+	}
+	n.children[c.label[0]] = c
+	c.parent = n
+}
+
+// pathSeg is one matched node plus how many of its label tokens matched
+// (rows < len(label) only ever on the final segment).
+type pathSeg struct {
+	n    *node
+	rows int
+}
+
+// match walks the tree greedily over tokens, returning the matched path.
+// The total matched length is the sum of seg rows.
+func (m *Manager) match(tokens []int64) []pathSeg {
+	var path []pathSeg
+	cur := m.root
+	i := 0
+	for i < len(tokens) {
+		child, ok := cur.children[tokens[i]]
+		if !ok {
+			break
+		}
+		j := 0
+		for j < len(child.label) && i+j < len(tokens) && child.label[j] == tokens[i+j] {
+			j++
+		}
+		path = append(path, pathSeg{child, j})
+		i += j
+		if j < len(child.label) {
+			break
+		}
+		cur = child
+	}
+	return path
+}
+
+// split divides n's label at off: n keeps label[:off] (truncating its run
+// in place), and a new child takes label[off:] with a fresh copy of the
+// tail rows plus n's former children. This is the copy-on-extend rule —
+// the cost of a divergence is bounded by the tail being split off, never
+// by re-copying the shared head. The original node object survives as
+// the head half, so pins pointing at it keep protecting the shared
+// prefix; the tail child starts unpinned (sessions own copies of
+// whatever they read, so evicting the tail can never corrupt them).
+func (m *Manager) split(n *node, off int) error {
+	tail, err := n.run.cloneRange(off, n.run.tokens)
+	if err != nil {
+		return err
+	}
+	child := &node{
+		label:    append([]int64(nil), n.label[off:]...),
+		run:      tail,
+		children: n.children,
+		lastUse:  n.lastUse,
+	}
+	for _, gc := range child.children {
+		gc.parent = child
+	}
+	before := n.run.bytes()
+	n.run.truncate(off)
+	n.label = n.label[:off]
+	n.children = nil
+	n.addChild(child)
+	m.bytes += tail.bytes() - (before - n.run.bytes())
+	m.nodes++
+	return nil
+}
+
+// evict sweeps least-recently-used childless unpinned nodes until the
+// resident bytes fit the budget (or nothing evictable remains). Pinned
+// paths can hold the cache over budget; the next Unpin+insert cycle
+// reclaims them.
+func (m *Manager) evict() {
+	for m.bytes > m.cfg.BudgetBytes {
+		var victim *node
+		m.walk(m.root, func(n *node) {
+			if n == m.root || len(n.children) > 0 || n.refs > 0 {
+				return
+			}
+			if victim == nil || n.lastUse < victim.lastUse {
+				victim = n
+			}
+		})
+		if victim == nil {
+			return
+		}
+		m.bytes -= victim.run.bytes()
+		victim.run.release()
+		delete(victim.parent.children, victim.label[0])
+		m.nodes--
+		m.evictions.Inc()
+	}
+}
+
+func (m *Manager) walk(n *node, fn func(*node)) {
+	fn(n)
+	for _, c := range n.children {
+		m.walk(c, fn)
+	}
+}

@@ -1,0 +1,304 @@
+package kvcache
+
+import (
+	"math/rand"
+	"testing"
+
+	"genie/internal/models"
+	"genie/internal/tensor"
+)
+
+func testManager(t *testing.T, budget int64, pageTokens int) *Manager {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	m, err := NewManager(Config{
+		Model:       models.NewGPT(rng, models.TinyGPT),
+		BudgetBytes: budget,
+		PageTokens:  pageTokens,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// freshRows fabricates per-layer [rows, dim] K/V tensors whose values
+// encode (base, layer, row, col) so any misplaced row is detectable.
+func freshRows(t *testing.T, layers, rows, dim int, base float32) (ks, vs []*tensor.Tensor) {
+	t.Helper()
+	for l := 0; l < layers; l++ {
+		k := tensor.New(tensor.F32, rows, dim)
+		v := tensor.New(tensor.F32, rows, dim)
+		for r := 0; r < rows; r++ {
+			for c := 0; c < dim; c++ {
+				k.F32()[r*dim+c] = base + float32(l)*1000 + float32(r)*10 + float32(c)/100
+				v.F32()[r*dim+c] = -(base + float32(l)*1000 + float32(r)*10 + float32(c)/100)
+			}
+		}
+		ks = append(ks, k)
+		vs = append(vs, v)
+	}
+	return ks, vs
+}
+
+// insertSeq runs the Lookup+Insert cycle a prefill performs, fabricating
+// fresh rows for the uncached suffix with values derived from absolute
+// row positions (so reassembled prefixes are comparable across inserts).
+func insertSeq(t *testing.T, m *Manager, tokens []int64) *Pin {
+	t.Helper()
+	pin, _, release, matched, err := m.Lookup(tokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	cfg := m.Model().Cfg
+	ks, vs := absRows(t, cfg.Layers, matched, len(tokens), cfg.Dim, tokens)
+	defer releaseAll(ks, vs)
+	ins, err := m.Insert(tokens, matched, ks, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pin.Unpin()
+	return ins
+}
+
+// absRows fabricates rows for absolute positions [lo, hi): the value at
+// position p depends only on (tokens[:p+1], layer, col), mimicking real
+// KV rows (each row is a function of the prefix up to it).
+func absRows(t *testing.T, layers, lo, hi, dim int, tokens []int64) (ks, vs []*tensor.Tensor) {
+	t.Helper()
+	for l := 0; l < layers; l++ {
+		k := tensor.New(tensor.F32, hi-lo, dim)
+		v := tensor.New(tensor.F32, hi-lo, dim)
+		for r := lo; r < hi; r++ {
+			var seed float32
+			for _, tok := range tokens[:r+1] {
+				seed = seed*31 + float32(tok)
+			}
+			for c := 0; c < dim; c++ {
+				k.F32()[(r-lo)*dim+c] = seed + float32(l)*1e6 + float32(c)/100
+				v.F32()[(r-lo)*dim+c] = -seed - float32(l)*1e6 - float32(c)/100
+			}
+		}
+		ks = append(ks, k)
+		vs = append(vs, v)
+	}
+	return ks, vs
+}
+
+func releaseAll(ks, vs []*tensor.Tensor) {
+	for i := range ks {
+		ks[i].Release()
+		vs[i].Release()
+	}
+}
+
+func TestLookupMissThenHitRoundTrip(t *testing.T) {
+	m := testManager(t, 1<<20, 4)
+	tokens := []int64{1, 2, 3, 4, 5, 6}
+
+	pin, prefix, release, matched, err := m.Lookup(tokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matched != 0 || prefix != nil {
+		t.Fatalf("cold lookup matched %d", matched)
+	}
+	release()
+	pin.Unpin()
+
+	ins := insertSeq(t, m, tokens)
+	defer ins.Unpin()
+
+	pin2, prefix2, release2, matched2, err := m.Lookup(tokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release2()
+	defer pin2.Unpin()
+	// Full-prompt match clamps to len-1 so the suffix is non-empty.
+	if matched2 != len(tokens)-1 {
+		t.Fatalf("matched %d, want %d", matched2, len(tokens)-1)
+	}
+	cfg := m.Model().Cfg
+	wantK, wantV := absRows(t, cfg.Layers, 0, matched2, cfg.Dim, tokens)
+	defer releaseAll(wantK, wantV)
+	for l := 0; l < cfg.Layers; l++ {
+		if !tensor.AllClose(prefix2[l].K, wantK[l], 0, 0) {
+			t.Fatalf("layer %d gathered K diverges", l)
+		}
+		if !tensor.AllClose(prefix2[l].V, wantV[l], 0, 0) {
+			t.Fatalf("layer %d gathered V diverges", l)
+		}
+	}
+	st := m.Snapshot()
+	// Two misses: the explicit cold lookup plus insertSeq's own lookup.
+	if st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("hits/misses %d/%d", st.Hits, st.Misses)
+	}
+	if want := int64(matched2) * cfg.KVBytesPerToken(); st.BytesSaved != want {
+		t.Fatalf("bytes saved %d, want %d", st.BytesSaved, want)
+	}
+}
+
+func TestRadixSplitOnDivergence(t *testing.T) {
+	m := testManager(t, 1<<20, 4)
+	a := []int64{1, 2, 3, 4, 5, 6}
+	bseq := []int64{1, 2, 3, 9, 8, 7}
+
+	pa := insertSeq(t, m, a)
+	defer pa.Unpin()
+	if n := m.Snapshot().ResidentNodes; n != 1 {
+		t.Fatalf("%d nodes after first insert", n)
+	}
+
+	// B shares [1,2,3] then diverges mid-label: the shared head must be
+	// matched (not duplicated) and the node split.
+	pin, _, release, matched, err := m.Lookup(bseq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	if matched != 3 {
+		t.Fatalf("divergent lookup matched %d, want 3", matched)
+	}
+	cfg := m.Model().Cfg
+	ks, vs := absRows(t, cfg.Layers, matched, len(bseq), cfg.Dim, bseq)
+	pb, err := m.Insert(bseq, matched, ks, vs)
+	releaseAll(ks, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pb.Unpin()
+	pin.Unpin()
+	// head [1,2,3] + tail [4,5,6] + new [9,8,7].
+	if n := m.Snapshot().ResidentNodes; n != 3 {
+		t.Fatalf("%d nodes after split, want 3", n)
+	}
+
+	// Both sequences must reassemble bit-exactly after the split.
+	for _, tokens := range [][]int64{a, bseq} {
+		p, prefix, rel, k, err := m.Lookup(tokens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k != len(tokens)-1 {
+			t.Fatalf("post-split lookup matched %d", k)
+		}
+		wantK, wantV := absRows(t, cfg.Layers, 0, k, cfg.Dim, tokens)
+		for l := 0; l < cfg.Layers; l++ {
+			if !tensor.AllClose(prefix[l].K, wantK[l], 0, 0) || !tensor.AllClose(prefix[l].V, wantV[l], 0, 0) {
+				t.Fatalf("seq %v layer %d diverges after split", tokens, l)
+			}
+		}
+		releaseAll(wantK, wantV)
+		rel()
+		p.Unpin()
+	}
+}
+
+func TestLRUEvictionRespectsBudgetAndPins(t *testing.T) {
+	cfg := models.TinyGPT
+	pageBytes := int64(4) * cfg.KVBytesPerToken() // pageTokens=4
+	// Room for ~3 pages.
+	m := testManager(t, 3*pageBytes, 4)
+
+	pinned := insertSeq(t, m, []int64{10, 11, 12, 13})
+	defer pinned.Unpin()
+
+	// Disjoint sequences force evictions; the pinned path must survive.
+	for i := 0; i < 6; i++ {
+		p := insertSeq(t, m, []int64{20 + int64(i)*10, 21 + int64(i)*10, 22 + int64(i)*10, 23 + int64(i)*10})
+		p.Unpin()
+	}
+	st := m.Snapshot()
+	if st.Evictions == 0 {
+		t.Fatal("no evictions under a 3-page budget")
+	}
+	if st.ResidentBytes > 3*pageBytes {
+		t.Fatalf("resident %d bytes over budget %d with nothing pinned but one path", st.ResidentBytes, 3*pageBytes)
+	}
+	// The pinned sequence is still a full hit.
+	p, _, rel, k, err := m.Lookup([]int64{10, 11, 12, 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	p.Unpin()
+	if k != 3 {
+		t.Fatalf("pinned prefix matched %d after churn, want 3", k)
+	}
+}
+
+func TestInsertConvergesWithConcurrentDuplicate(t *testing.T) {
+	// Two sessions race the same prompt: the second Insert must match the
+	// first one's nodes and add nothing.
+	m := testManager(t, 1<<20, 4)
+	tokens := []int64{5, 5, 5, 5}
+	cfg := m.Model().Cfg
+
+	// Both look up before either inserts (both miss).
+	p1, _, r1, m1, _ := m.Lookup(tokens)
+	p2, _, r2, m2, _ := m.Lookup(tokens)
+	r1()
+	r2()
+	if m1 != 0 || m2 != 0 {
+		t.Fatal("expected double miss")
+	}
+	ks, vs := absRows(t, cfg.Layers, 0, len(tokens), cfg.Dim, tokens)
+	i1, err := m.Insert(tokens, 0, ks, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, err := m.Insert(tokens, 0, ks, vs)
+	releaseAll(ks, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1.Unpin()
+	p2.Unpin()
+	defer i1.Unpin()
+	defer i2.Unpin()
+	if n := m.Snapshot().ResidentNodes; n != 1 {
+		t.Fatalf("%d nodes after duplicate insert, want 1", n)
+	}
+}
+
+func TestPageRunCloneAndTruncate(t *testing.T) {
+	run := newRun(2, 4, 8)
+	ks, vs := freshRows(t, 2, 10, 8, 100)
+	defer releaseAll(ks, vs)
+	if err := run.appendRows(ks, vs, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if run.tokens != 10 || len(run.pages) != 3 {
+		t.Fatalf("run %d tokens over %d pages", run.tokens, len(run.pages))
+	}
+	tail, err := run.cloneRange(6, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tail.release()
+	gk, gv, rel, err := tail.gatherRange(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	for l := 0; l < 2; l++ {
+		want, _ := tensor.CopyRowRange(ks[l], 6, 10)
+		if !tensor.AllClose(gk[l], want, 0, 0) {
+			t.Fatalf("layer %d clone diverges", l)
+		}
+		want.Release()
+		wantV, _ := tensor.CopyRowRange(vs[l], 6, 10)
+		if !tensor.AllClose(gv[l], wantV, 0, 0) {
+			t.Fatalf("layer %d clone V diverges", l)
+		}
+		wantV.Release()
+	}
+	run.truncate(6)
+	if run.tokens != 6 || len(run.pages) != 2 {
+		t.Fatalf("after truncate: %d tokens over %d pages", run.tokens, len(run.pages))
+	}
+	defer run.release()
+}

@@ -1,0 +1,294 @@
+package kvcache
+
+import (
+	"context"
+	"fmt"
+
+	"genie/internal/lazy"
+	"genie/internal/models"
+	"genie/internal/nn"
+	"genie/internal/obs"
+	"genie/internal/runtime"
+	"genie/internal/srg"
+	"genie/internal/tensor"
+	"genie/internal/transport"
+)
+
+// SplitConfig wires a prefill/decode disaggregated runner: prefill is
+// compute-bound (quadratic attention over the prompt), decode is
+// bandwidth-bound (weights + KV per token), so the two phases want
+// different backends. Only the semantics-aware ΔKV delta — the fresh
+// suffix rows — crosses the boundary; a cache-hit prefix is re-sent as a
+// dedup-hinted bind that collapses to a 32-byte hash once the decode
+// connection has seen it.
+type SplitConfig struct {
+	Model *models.GPT
+	// Prefill executes prompt passes; its KV state is throwaway (nothing
+	// is kept resident there).
+	Prefill runtime.Endpoint
+	// Decode executes decode steps; handed-off KV lives here under the
+	// session's scoped keys.
+	Decode runtime.Endpoint
+	// DecodeCounters, when set, feeds the runner's traffic metrics (point
+	// it at the decode connection).
+	DecodeCounters *transport.Counters
+	// Cache, when set, is the shared prefix cache consulted before
+	// prefill. Nil disaggregates without prefix reuse.
+	Cache *Manager
+	// OnPrefillFailure, when set, is invoked when a prefill execution
+	// fails; returning nil retries the prefill exactly once (the chaos
+	// recovery hook — lineage failover onto a spare backend slots in
+	// here). Nil or a non-nil return surfaces the original error.
+	OnPrefillFailure func(error) error
+	// Metrics receives the ΔKV handoff series; nil keeps a private
+	// registry.
+	Metrics *obs.Registry
+}
+
+// Split runs prefill and decode on different backends, shipping the ΔKV
+// suffix between them.
+type Split struct {
+	cfg         SplitConfig
+	deltaBytes  *obs.Counter
+	deltaTokens *obs.Counter
+}
+
+// NewSplit validates the wiring.
+func NewSplit(cfg SplitConfig) (*Split, error) {
+	if cfg.Model == nil || cfg.Prefill == nil || cfg.Decode == nil {
+		return nil, fmt.Errorf("kvcache: split needs a model and both endpoints")
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Split{
+		cfg:         cfg,
+		deltaBytes:  reg.Counter("genie_kvcache_split_delta_bytes_total", "KV suffix bytes handed prefill->decode"),
+		deltaTokens: reg.Counter("genie_kvcache_split_delta_tokens_total", "KV suffix tokens handed prefill->decode"),
+	}, nil
+}
+
+// InstallWeights provisions both endpoints with the model weights.
+// Callers routing the prefill endpoint through a lineage.TrackedEndpoint
+// get replayable provenance for free.
+func (sp *Split) InstallWeights() error {
+	for _, ep := range []runtime.Endpoint{sp.cfg.Prefill, sp.cfg.Decode} {
+		r := &runtime.LLMRunner{Model: sp.cfg.Model, EP: ep}
+		if _, err := r.InstallModelWeights(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeltaBytes reports total KV bytes shipped across the phase boundary —
+// by construction exactly suffixTokens × Model.Cfg.KVBytesPerToken().
+func (sp *Split) DeltaBytes() int64 { return sp.deltaBytes.Value() }
+
+// DeltaTokens reports total suffix tokens handed off.
+func (sp *Split) DeltaTokens() int64 { return sp.deltaTokens.Value() }
+
+// Runner returns the disaggregated LLMRunner. The runner's EP and
+// counters point at the decode side (where sessions live); weights must
+// already be installed on both endpoints (InstallWeights).
+func (sp *Split) Runner() *runtime.LLMRunner {
+	return &runtime.LLMRunner{
+		Model:           sp.cfg.Model,
+		EP:              sp.cfg.Decode,
+		Counters:        sp.cfg.DecodeCounters,
+		WeightsResident: true,
+		NewStrategy: func(_ context.Context, mode runtime.Mode, scope string) (runtime.Strategy, error) {
+			if mode != runtime.ModeSemAware {
+				return nil, fmt.Errorf("kvcache: split runner supports mode semantics_aware, not %s", mode)
+			}
+			return &splitSession{sp: sp, scope: scope, nilCaches: nilCaches(sp.cfg.Model)}, nil
+		},
+	}
+}
+
+type splitSession struct {
+	sp        *Split
+	scope     string
+	pin       *Pin
+	epoch     uint32
+	hist      int
+	nilCaches []*nn.KVCache
+}
+
+func (s *splitSession) Prefill(ctx context.Context, prompt []int64) (int64, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+	}
+	sp := s.sp
+	cfg := sp.cfg.Model.Cfg
+
+	var (
+		pin     *Pin
+		prefix  []*nn.KVCache
+		release = func() {}
+		matched int
+		err     error
+	)
+	if sp.cfg.Cache != nil {
+		pin, prefix, release, matched, err = sp.cfg.Cache.Lookup(prompt)
+		if err != nil {
+			return 0, err
+		}
+	}
+	defer release()
+
+	// Phase 1: prefill on the prefill backend. Nothing is kept resident
+	// there — its copy of the KV state is throwaway; we only want the
+	// next token and the fresh suffix rows.
+	b, plan := buildPrefill(sp.cfg.Model, prompt, matched, prefix)
+	ex := &transport.Exec{Graph: b.Graph()}
+	for _, n := range b.Graph().Nodes() {
+		if n.Op != "input" {
+			continue
+		}
+		data, _ := b.InputData(n.Ref)
+		cache := n.Residency == srg.ResidencyStatefulKVCache
+		ex.Binds = append(ex.Binds, transport.Binding{Ref: n.Ref, Inline: data, Cache: cache})
+	}
+	ex.Want = append(ex.Want, plan.next)
+	for i := range plan.newK {
+		ex.Want = append(ex.Want, plan.newK[i], plan.newV[i])
+	}
+	ok, err := sp.cfg.Prefill.Exec(ex)
+	if err != nil && sp.cfg.OnPrefillFailure != nil {
+		if herr := sp.cfg.OnPrefillFailure(err); herr == nil {
+			ok, err = sp.cfg.Prefill.Exec(ex)
+		}
+	}
+	if err != nil {
+		pin.Unpin()
+		return 0, err
+	}
+	suffixK := make([]*tensor.Tensor, cfg.Layers)
+	suffixV := make([]*tensor.Tensor, cfg.Layers)
+	for i := 0; i < cfg.Layers; i++ {
+		suffixK[i], suffixV[i] = ok.Results[plan.newK[i]], ok.Results[plan.newV[i]]
+	}
+
+	if sp.cfg.Cache != nil {
+		insertPin, ierr := sp.cfg.Cache.Insert(prompt, matched, suffixK, suffixV)
+		pin.Unpin()
+		if ierr != nil {
+			return 0, ierr
+		}
+		s.pin = insertPin
+	}
+
+	// Phase 2: ΔKV handoff. One exec on the decode backend assembles
+	// prefix ++ suffix into the session's scoped resident keys. The
+	// suffix rows are the only novel content — the analytic per-token KV
+	// delta; the prefix bind is dedup-hinted, so once this decode
+	// connection has seen a shared prefix it re-transfers as a 32-byte
+	// hash.
+	hb := lazy.NewBuilder("kvcache.handoff")
+	hb.SetModality(srg.ModalityText)
+	hx := &transport.Exec{Keep: map[srg.NodeID]string{}}
+	var delta int64
+	for i := 0; i < cfg.Layers; i++ {
+		for _, half := range []struct {
+			name   string
+			prefix *tensor.Tensor
+			suffix *tensor.Tensor
+		}{
+			{"k", prefixHalf(prefix, i, "k"), suffixK[i]},
+			{"v", prefixHalf(prefix, i, "v"), suffixV[i]},
+		} {
+			parts := make([]lazy.Value, 0, 2)
+			if half.prefix != nil {
+				pv := hb.Input(fmt.Sprintf("prefix.%d.%s", i, half.name), half.prefix)
+				hx.Binds = append(hx.Binds, transport.Binding{
+					Ref: fmt.Sprintf("prefix.%d.%s", i, half.name), Inline: half.prefix, Cache: true})
+				parts = append(parts, pv)
+			}
+			sv := hb.Input(fmt.Sprintf("suffix.%d.%s", i, half.name), half.suffix)
+			hx.Binds = append(hx.Binds, transport.Binding{
+				Ref: fmt.Sprintf("suffix.%d.%s", i, half.name), Inline: half.suffix})
+			parts = append(parts, sv)
+			full := hb.Concat(0, parts...)
+			hb.MarkOutput(full)
+			hx.Keep[full.ID()] = s.scope + models.CacheRef(i, half.name)
+			delta += int64(half.suffix.NumBytes())
+		}
+	}
+	hx.Graph = hb.Graph()
+	hok, err := sp.cfg.Decode.Exec(hx)
+	if err != nil {
+		return 0, err
+	}
+	sp.deltaBytes.Add(delta)
+	sp.deltaTokens.Add(int64(len(prompt) - matched))
+	s.epoch = hok.Epoch
+	s.hist = len(prompt)
+	return ok.Results[plan.next].I64()[0], nil
+}
+
+// prefixHalf extracts one layer-half tensor from the gathered prefix
+// (nil on a cache miss or when no cache is configured).
+func prefixHalf(prefix []*nn.KVCache, layer int, half string) *tensor.Tensor {
+	if prefix == nil {
+		return nil
+	}
+	if half == "k" {
+		return prefix[layer].K
+	}
+	return prefix[layer].V
+}
+
+func (s *splitSession) Step(ctx context.Context, tok int64) (int64, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+	}
+	b, out := s.sp.cfg.Model.BuildDecodeStep(tok, s.hist, s.hist, s.nilCaches)
+	ex := &transport.Exec{Graph: b.Graph()}
+	for _, n := range b.Graph().Nodes() {
+		if n.Op != "input" {
+			continue
+		}
+		if n.Residency == srg.ResidencyStatefulKVCache {
+			ex.Binds = append(ex.Binds, transport.Binding{
+				Ref: n.Ref, Key: s.scope + n.Ref, Epoch: s.epoch})
+			continue
+		}
+		data, _ := b.InputData(n.Ref)
+		ex.Binds = append(ex.Binds, transport.Binding{Ref: n.Ref, Inline: data})
+	}
+	ex.Keep = map[srg.NodeID]string{}
+	for i := range out.CacheK {
+		ex.Keep[out.CacheK[i]] = s.scope + models.CacheRef(i, "k")
+		ex.Keep[out.CacheV[i]] = s.scope + models.CacheRef(i, "v")
+	}
+	ex.Want = append(ex.Want, out.LastLogits, out.NextToken)
+	ok, err := s.sp.cfg.Decode.Exec(ex)
+	if err != nil {
+		return 0, err
+	}
+	s.epoch = ok.Epoch
+	s.hist++
+	return ok.Results[out.NextToken].I64()[0], nil
+}
+
+func (s *splitSession) Close() error {
+	s.pin.Unpin()
+	var first error
+	for _, k := range s.ResidentKeys() {
+		if err := s.sp.cfg.Decode.Free(k); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ResidentKeys reports the session's decode-side resident cache keys.
+func (s *splitSession) ResidentKeys() []string {
+	return scopedKeys(s.scope, s.sp.cfg.Model)
+}

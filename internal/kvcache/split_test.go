@@ -1,0 +1,149 @@
+package kvcache
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"genie/internal/models"
+	"genie/internal/runtime"
+)
+
+// TestSplitPrefillDecodeParity runs prefill on one backend and decode
+// on another and checks three things: tokens are bit-identical to the
+// colocated local baseline, the ΔKV handoff ships exactly
+// suffixTokens × KVBytesPerToken, and a warm (cache-hit) request hands
+// off only the clamped one-token suffix.
+func TestSplitPrefillDecodeParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	model := models.NewGPT(rng, models.TinyGPT)
+	cfg := model.Cfg
+	const steps = 5
+
+	baseline := &runtime.LLMRunner{Model: model}
+	want := generateScoped(t, baseline, runtime.ModeLocal, "", parityPrompt, steps)
+
+	prefillBE := startPipeBackend(t)
+	decodeBE := startPipeBackend(t)
+	mgr, err := NewManager(Config{Model: model, BudgetBytes: 1 << 20, PageTokens: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := NewSplit(SplitConfig{
+		Model:          model,
+		Prefill:        prefillBE.cli,
+		Decode:         decodeBE.cli,
+		DecodeCounters: decodeBE.ctr,
+		Cache:          mgr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.InstallWeights(); err != nil {
+		t.Fatal(err)
+	}
+	r := sp.Runner()
+
+	// Cold request: no cached prefix, the whole prompt's KV crosses the
+	// phase boundary.
+	got := generateScoped(t, r, runtime.ModeSemAware, "req0/", parityPrompt, steps)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cold split diverges at step %d: %v vs %v", i, got, want)
+		}
+	}
+	wantDelta := int64(len(parityPrompt)) * cfg.KVBytesPerToken()
+	if sp.DeltaBytes() != wantDelta {
+		t.Fatalf("cold ΔKV %d bytes, want %d (= %d tokens x %d B/token)",
+			sp.DeltaBytes(), wantDelta, len(parityPrompt), cfg.KVBytesPerToken())
+	}
+
+	// Warm request, same prompt: the radix hit clamps to len-1, so only
+	// one suffix token's KV is novel.
+	decodeSent := decodeBE.ctr.Total()
+	got = generateScoped(t, r, runtime.ModeSemAware, "req1/", parityPrompt, steps)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("warm split diverges at step %d: %v vs %v", i, got, want)
+		}
+	}
+	if sp.DeltaBytes() != wantDelta+cfg.KVBytesPerToken() {
+		t.Fatalf("warm ΔKV total %d, want %d", sp.DeltaBytes(), wantDelta+cfg.KVBytesPerToken())
+	}
+	if sp.DeltaTokens() != int64(len(parityPrompt))+1 {
+		t.Fatalf("ΔKV tokens %d, want %d", sp.DeltaTokens(), len(parityPrompt)+1)
+	}
+	if st := mgr.Snapshot(); st.Hits != 1 {
+		t.Fatalf("radix hits %d after warm request, want 1", st.Hits)
+	}
+	warmWire := decodeBE.ctr.Total() - decodeSent
+	_ = warmWire
+
+	// Third request: the dedup-hinted prefix bind has now crossed the
+	// decode connection once, so it collapses to hashes — the warm wire
+	// cost must keep dropping relative to the first warm pass.
+	decodeSent = decodeBE.ctr.Total()
+	got = generateScoped(t, r, runtime.ModeSemAware, "req2/", parityPrompt, steps)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("third split request diverges at step %d", i)
+		}
+	}
+	dedupWire := decodeBE.ctr.Total() - decodeSent
+	if dedupWire >= warmWire {
+		t.Fatalf("dedup'd handoff moved %d bytes >= first warm %d", dedupWire, warmWire)
+	}
+}
+
+// TestSplitWithoutCache: disaggregation works with no prefix cache
+// configured (every request ships its full prompt's ΔKV).
+func TestSplitWithoutCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	model := models.NewGPT(rng, models.TinyGPT)
+	const steps = 4
+
+	baseline := &runtime.LLMRunner{Model: model}
+	want := generateScoped(t, baseline, runtime.ModeLocal, "", parityPrompt, steps)
+
+	prefillBE := startPipeBackend(t)
+	decodeBE := startPipeBackend(t)
+	sp, err := NewSplit(SplitConfig{Model: model, Prefill: prefillBE.cli, Decode: decodeBE.cli})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.InstallWeights(); err != nil {
+		t.Fatal(err)
+	}
+	r := sp.Runner()
+	for i := 0; i < 2; i++ {
+		got := generateScoped(t, r, runtime.ModeSemAware, fmt.Sprintf("req%d/", i), parityPrompt, steps)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("uncached split pass %d diverges at step %d", i, j)
+			}
+		}
+	}
+	wantDelta := 2 * int64(len(parityPrompt)) * model.Cfg.KVBytesPerToken()
+	if sp.DeltaBytes() != wantDelta {
+		t.Fatalf("ΔKV %d bytes, want %d", sp.DeltaBytes(), wantDelta)
+	}
+}
+
+// TestSplitRejectsWrongMode: the split runner only speaks the
+// semantics-aware protocol (decode needs resident scoped state).
+func TestSplitRejectsWrongMode(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	model := models.NewGPT(rng, models.TinyGPT)
+	prefillBE := startPipeBackend(t)
+	decodeBE := startPipeBackend(t)
+	sp, err := NewSplit(SplitConfig{Model: model, Prefill: prefillBE.cli, Decode: decodeBE.cli})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Runner().NewScopedSession(runtime.ModeLocal, "x/"); err == nil {
+		t.Fatal("split runner accepted mode local")
+	}
+	if _, err := NewSplit(SplitConfig{Model: model}); err == nil {
+		t.Fatal("NewSplit accepted missing endpoints")
+	}
+}

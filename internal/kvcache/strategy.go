@@ -1,0 +1,338 @@
+package kvcache
+
+import (
+	"context"
+	"fmt"
+
+	"genie/internal/exec"
+	"genie/internal/lazy"
+	"genie/internal/models"
+	"genie/internal/nn"
+	"genie/internal/runtime"
+	"genie/internal/srg"
+	"genie/internal/tensor"
+	"genie/internal/transport"
+)
+
+// prefillPlan normalizes the two prefill graph shapes (full
+// models.BuildPrefill on a miss, models.BuildPrefillExtend on a hit)
+// to the node ids the strategies consume.
+type prefillPlan struct {
+	next, lastLogits srg.NodeID
+	cacheK, cacheV   []srg.NodeID // full cache after the call (scoped Keep targets)
+	newK, newV       []srg.NodeID // fresh suffix rows (tree-insert readback)
+}
+
+func buildPrefill(m *models.GPT, prompt []int64, matched int, prefix []*nn.KVCache) (*lazy.Builder, prefillPlan) {
+	if matched == 0 {
+		b, out := m.BuildPrefill(prompt)
+		return b, prefillPlan{
+			next: out.NextToken, lastLogits: out.LastLogits,
+			cacheK: out.CacheK, cacheV: out.CacheV,
+			newK: out.NewK, newV: out.NewV,
+		}
+	}
+	b, out := m.BuildPrefillExtend(prompt[matched:], matched, prefix)
+	return b, prefillPlan{
+		next: out.NextToken, lastLogits: out.LastLogits,
+		cacheK: out.CacheK, cacheV: out.CacheV,
+		newK: out.NewK, newV: out.NewV,
+	}
+}
+
+// scopedKeys enumerates the session's cache-plane keys.
+func scopedKeys(scope string, m *models.GPT) []string {
+	keys := make([]string, 0, 2*m.Cfg.Layers)
+	for i := 0; i < m.Cfg.Layers; i++ {
+		keys = append(keys, scope+models.CacheRef(i, "k"), scope+models.CacheRef(i, "v"))
+	}
+	return keys
+}
+
+// --- Colocated local strategy ---
+
+// Runner returns an LLMRunner whose ModeLocal sessions consult the
+// prefix cache: Prefill runs only the uncached suffix, and per-session
+// history lives in arena-backed pages. Token sequences are bit-identical
+// to the uncached local mode.
+func (m *Manager) Runner() *runtime.LLMRunner {
+	return &runtime.LLMRunner{
+		Model: m.cfg.Model,
+		NewStrategy: func(_ context.Context, mode runtime.Mode, scope string) (runtime.Strategy, error) {
+			if mode != runtime.ModeLocal {
+				return nil, fmt.Errorf("kvcache: local cached runner supports mode local, not %s", mode)
+			}
+			return &localCachedSession{m: m, scope: scope}, nil
+		},
+	}
+}
+
+// localCachedSession executes locally with a paged private history: the
+// prompt prefix is copied from the tree once at prefill, and every
+// decode step gathers the paged history into a contiguous view for the
+// dense kernels (an honest cost the bench section reports — real paged
+// attention reads pages in place).
+type localCachedSession struct {
+	m     *Manager
+	scope string
+	pin   *Pin
+	hist  *pageRun
+	keep  map[srg.NodeID]bool
+}
+
+func (s *localCachedSession) Prefill(_ context.Context, prompt []int64) (int64, error) {
+	cfg := s.m.cfg.Model.Cfg
+	pin, prefix, release, matched, err := s.m.Lookup(prompt)
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+
+	b, plan := buildPrefill(s.m.cfg.Model, prompt, matched, prefix)
+	keep := make(map[srg.NodeID]bool, 2*len(plan.newK)+1)
+	for i := range plan.newK {
+		keep[plan.newK[i]] = true
+		keep[plan.newV[i]] = true
+	}
+	keep[plan.next] = true
+	vals, err := exec.GraphEphemeral(b.Graph(), runtime.BindAll(b), keep)
+	if err != nil {
+		pin.Unpin()
+		return 0, err
+	}
+	newK := make([]*tensor.Tensor, cfg.Layers)
+	newV := make([]*tensor.Tensor, cfg.Layers)
+	for i := 0; i < cfg.Layers; i++ {
+		newK[i], newV[i] = vals[plan.newK[i]], vals[plan.newV[i]]
+	}
+
+	// Private paged history: prefix copy + fresh suffix rows.
+	s.hist = newRun(cfg.Layers, s.m.cfg.PageTokens, cfg.Dim)
+	if matched > 0 {
+		pk := make([]*tensor.Tensor, cfg.Layers)
+		pv := make([]*tensor.Tensor, cfg.Layers)
+		for i := range prefix {
+			pk[i], pv[i] = prefix[i].K, prefix[i].V
+		}
+		if err := s.hist.appendRows(pk, pv, 0, matched); err != nil {
+			pin.Unpin()
+			return 0, err
+		}
+	}
+	if err := s.hist.appendRows(newK, newV, 0, len(prompt)-matched); err != nil {
+		pin.Unpin()
+		return 0, err
+	}
+
+	insertPin, err := s.m.Insert(prompt, matched, newK, newV)
+	pin.Unpin()
+	if err != nil {
+		return 0, err
+	}
+	s.pin = insertPin
+	for i := range newK {
+		newK[i].Release()
+		newV[i].Release()
+	}
+	return vals[plan.next].I64()[0], nil
+}
+
+func (s *localCachedSession) Step(_ context.Context, tok int64) (int64, error) {
+	cfg := s.m.cfg.Model.Cfg
+	caches, release, err := gatherCaches([]*pageRun{s.hist}, cfg.Layers, cfg.Dim)
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+	hist := s.hist.tokens
+	b, out := s.m.cfg.Model.BuildDecodeStep(tok, hist, hist, caches)
+	if s.keep == nil {
+		s.keep = make(map[srg.NodeID]bool, 2*len(out.NewK)+1)
+	} else {
+		clear(s.keep)
+	}
+	for i := range out.NewK {
+		s.keep[out.NewK[i]] = true
+		s.keep[out.NewV[i]] = true
+	}
+	s.keep[out.NextToken] = true
+	vals, err := exec.GraphEphemeral(b.Graph(), runtime.BindAll(b), s.keep)
+	if err != nil {
+		return 0, err
+	}
+	newK := make([]*tensor.Tensor, cfg.Layers)
+	newV := make([]*tensor.Tensor, cfg.Layers)
+	for i := 0; i < cfg.Layers; i++ {
+		newK[i], newV[i] = vals[out.NewK[i]], vals[out.NewV[i]]
+	}
+	if err := s.hist.appendRows(newK, newV, 0, 1); err != nil {
+		return 0, err
+	}
+	for i := range newK {
+		newK[i].Release()
+		newV[i].Release()
+	}
+	return vals[out.NextToken].I64()[0], nil
+}
+
+func (s *localCachedSession) Close() error {
+	s.pin.Unpin()
+	if s.hist != nil {
+		s.hist.release()
+	}
+	return nil
+}
+
+// ResidentKeys reports the session's cache-plane keys (client-local
+// state; nothing to Free remotely).
+func (s *localCachedSession) ResidentKeys() []string {
+	return scopedKeys(s.scope, s.m.cfg.Model)
+}
+
+// --- Colocated remote strategy ---
+
+// RunnerOn returns an LLMRunner whose ModeSemAware sessions consult the
+// prefix cache while executing on ep as fused RPCs. On a hit, the cached
+// prefix enters the graph as dedup-hinted inline binds: over a
+// feature-negotiated transport a prefix the connection has seen before
+// collapses to a 32-byte hash — zero content bytes on the wire. The
+// fresh suffix rows are read back once to feed the tree; decode steps
+// bind the remote cache by scoped key exactly like the plain
+// semantics-aware mode.
+func (m *Manager) RunnerOn(ep runtime.Endpoint, counters *transport.Counters) *runtime.LLMRunner {
+	return &runtime.LLMRunner{
+		Model:    m.cfg.Model,
+		EP:       ep,
+		Counters: counters,
+		NewStrategy: func(_ context.Context, mode runtime.Mode, scope string) (runtime.Strategy, error) {
+			if mode != runtime.ModeSemAware {
+				return nil, fmt.Errorf("kvcache: remote cached runner supports mode semantics_aware, not %s", mode)
+			}
+			return &remoteCachedSession{m: m, ep: ep, scope: scope, nilCaches: nilCaches(m.cfg.Model)}, nil
+		},
+	}
+}
+
+func nilCaches(m *models.GPT) []*nn.KVCache {
+	cs := make([]*nn.KVCache, m.Cfg.Layers)
+	for i := range cs {
+		cs[i] = &nn.KVCache{}
+	}
+	return cs
+}
+
+type remoteCachedSession struct {
+	m         *Manager
+	ep        runtime.Endpoint
+	scope     string
+	pin       *Pin
+	epoch     uint32
+	hist      int
+	nilCaches []*nn.KVCache
+}
+
+func (s *remoteCachedSession) Prefill(ctx context.Context, prompt []int64) (int64, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+	}
+	cfg := s.m.cfg.Model.Cfg
+	pin, prefix, release, matched, err := s.m.Lookup(prompt)
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+
+	b, plan := buildPrefill(s.m.cfg.Model, prompt, matched, prefix)
+	ex := &transport.Exec{Graph: b.Graph()}
+	for _, n := range b.Graph().Nodes() {
+		if n.Op != "input" {
+			continue
+		}
+		data, _ := b.InputData(n.Ref)
+		// The gathered prefix rides the dedup plane: repeated prefixes
+		// hash-collapse after their first trip on this connection.
+		cache := n.Residency == srg.ResidencyStatefulKVCache
+		ex.Binds = append(ex.Binds, transport.Binding{Ref: n.Ref, Inline: data, Cache: cache})
+	}
+	ex.Keep = map[srg.NodeID]string{}
+	for i := range plan.cacheK {
+		ex.Keep[plan.cacheK[i]] = s.scope + models.CacheRef(i, "k")
+		ex.Keep[plan.cacheV[i]] = s.scope + models.CacheRef(i, "v")
+	}
+	ex.Want = append(ex.Want, plan.next)
+	for i := range plan.newK {
+		ex.Want = append(ex.Want, plan.newK[i], plan.newV[i])
+	}
+	ok, err := s.ep.Exec(ex)
+	if err != nil {
+		pin.Unpin()
+		return 0, err
+	}
+	newK := make([]*tensor.Tensor, cfg.Layers)
+	newV := make([]*tensor.Tensor, cfg.Layers)
+	for i := 0; i < cfg.Layers; i++ {
+		newK[i], newV[i] = ok.Results[plan.newK[i]], ok.Results[plan.newV[i]]
+	}
+	insertPin, err := s.m.Insert(prompt, matched, newK, newV)
+	pin.Unpin()
+	if err != nil {
+		return 0, err
+	}
+	s.pin = insertPin
+	s.epoch = ok.Epoch
+	s.hist = len(prompt)
+	return ok.Results[plan.next].I64()[0], nil
+}
+
+func (s *remoteCachedSession) Step(ctx context.Context, tok int64) (int64, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+	}
+	b, out := s.m.cfg.Model.BuildDecodeStep(tok, s.hist, s.hist, s.nilCaches)
+	ex := &transport.Exec{Graph: b.Graph()}
+	for _, n := range b.Graph().Nodes() {
+		if n.Op != "input" {
+			continue
+		}
+		if n.Residency == srg.ResidencyStatefulKVCache {
+			ex.Binds = append(ex.Binds, transport.Binding{
+				Ref: n.Ref, Key: s.scope + n.Ref, Epoch: s.epoch})
+			continue
+		}
+		data, _ := b.InputData(n.Ref)
+		ex.Binds = append(ex.Binds, transport.Binding{Ref: n.Ref, Inline: data})
+	}
+	ex.Keep = map[srg.NodeID]string{}
+	for i := range out.CacheK {
+		ex.Keep[out.CacheK[i]] = s.scope + models.CacheRef(i, "k")
+		ex.Keep[out.CacheV[i]] = s.scope + models.CacheRef(i, "v")
+	}
+	ex.Want = append(ex.Want, out.LastLogits, out.NextToken)
+	ok, err := s.ep.Exec(ex)
+	if err != nil {
+		return 0, err
+	}
+	s.epoch = ok.Epoch
+	s.hist++
+	return ok.Results[out.NextToken].I64()[0], nil
+}
+
+func (s *remoteCachedSession) Close() error {
+	s.pin.Unpin()
+	var first error
+	for _, k := range s.ResidentKeys() {
+		if err := s.ep.Free(k); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ResidentKeys reports the session's endpoint-resident cache keys.
+func (s *remoteCachedSession) ResidentKeys() []string {
+	return scopedKeys(s.scope, s.m.cfg.Model)
+}

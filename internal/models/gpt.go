@@ -151,6 +151,11 @@ type LLMOutputs struct {
 	// cache contents after this call (new rows only for prefill; the
 	// appended concat for decode).
 	CacheK, CacheV []srg.NodeID
+	// NewK and NewV hold, per layer, the node producing only the freshly
+	// computed cache rows of this call — the ΔKV slice a prefix cache
+	// inserts without shipping the (already resident) history back. At
+	// prefill they coincide with CacheK/CacheV.
+	NewK, NewV []srg.NodeID
 }
 
 // BuildPrefill captures the prompt pass over the given token ids. The
@@ -177,6 +182,8 @@ func (m *GPT) BuildPrefill(tokens []int64) (*lazy.Builder, LLMOutputs) {
 			b.AnnotateStateful(v, CacheRef(i, "v"))
 			out.CacheK = append(out.CacheK, k.ID())
 			out.CacheV = append(out.CacheV, v.ID())
+			out.NewK = append(out.NewK, k.ID())
+			out.NewV = append(out.NewV, v.ID())
 		}
 		x = m.LNF.Forward(b, "ln_f", x)
 		logits := m.Head.Forward(b, "lm_head", x)
@@ -227,8 +234,8 @@ func (m *GPT) BuildDecodeStep(token int64, pos, histLen int, caches []*nn.KVCach
 			b.AnnotateStatefulNode(av, CacheRef(i, "v"))
 			out.CacheK = append(out.CacheK, ak)
 			out.CacheV = append(out.CacheV, av)
-			_ = k
-			_ = v
+			out.NewK = append(out.NewK, k.ID())
+			out.NewV = append(out.NewV, v.ID())
 		}
 		x = m.LNF.Forward(b, "ln_f", x)
 		logits := m.Head.Forward(b, "lm_head", x)
@@ -368,6 +375,12 @@ type SegmentSpec struct {
 	// HistLen is the per-layer cache length (0 = prefill: blocks run
 	// cache-less and their fresh KV rows become the caches).
 	HistLen int
+	// Caches optionally supplies concrete per-layer cache data (indexed by
+	// absolute layer) for the HistLen > 0 stateful inputs. When nil the
+	// inputs get zero placeholders of the right shape and the runtime must
+	// rebind them to remote-resident keys; when set, the graph is directly
+	// executable (the prefix-cache extend path binds gathered pages here).
+	Caches []*nn.KVCache
 }
 
 // SegmentOutputs indexes a captured segment graph.
@@ -381,7 +394,11 @@ type SegmentOutputs struct {
 	// absolute index), the node producing the layer's full cache after
 	// this call — fresh rows at prefill, the appended concat at decode.
 	CacheK, CacheV []srg.NodeID
-	Layers         []int
+	// NewK/NewV hold, per included layer, the node producing only the
+	// freshly computed rows (the ΔKV slice). Equal to CacheK/CacheV when
+	// HistLen == 0.
+	NewK, NewV []srg.NodeID
+	Layers     []int
 }
 
 // BuildSegment captures one shard's slice of the forward pass. The
@@ -413,10 +430,14 @@ func (m *GPT) BuildSegment(spec SegmentSpec) (*lazy.Builder, SegmentOutputs) {
 		for i := spec.LoLayer; i < spec.HiLayer; i++ {
 			var cacheK, cacheV lazy.Value
 			if spec.HistLen > 0 {
+				var ckData, cvData *tensor.Tensor
+				if spec.Caches != nil && spec.Caches[i] != nil {
+					ckData, cvData = spec.Caches[i].K, spec.Caches[i].V
+				}
 				cacheK = b.StatefulInput(cacheName(i, "k"),
-					cacheTensor(nil, spec.HistLen, m.Cfg.Dim))
+					cacheTensor(ckData, spec.HistLen, m.Cfg.Dim))
 				cacheV = b.StatefulInput(cacheName(i, "v"),
-					cacheTensor(nil, spec.HistLen, m.Cfg.Dim))
+					cacheTensor(cvData, spec.HistLen, m.Cfg.Dim))
 			}
 			var k, v lazy.Value
 			x, k, v = m.Blocks[i].ForwardKV(b, fmt.Sprintf("blocks.%d", i), x, cacheK, cacheV)
@@ -433,6 +454,8 @@ func (m *GPT) BuildSegment(spec SegmentSpec) (*lazy.Builder, SegmentOutputs) {
 				out.CacheK = append(out.CacheK, k.ID())
 				out.CacheV = append(out.CacheV, v.ID())
 			}
+			out.NewK = append(out.NewK, k.ID())
+			out.NewV = append(out.NewV, v.ID())
 			out.Layers = append(out.Layers, i)
 		}
 		if spec.WithHead {
@@ -451,6 +474,31 @@ func (m *GPT) BuildSegment(spec SegmentSpec) (*lazy.Builder, SegmentOutputs) {
 		}
 	})
 	return b, out
+}
+
+// BuildPrefillExtend captures a suffix-only prompt pass: the suffix
+// tokens (absolute positions histLen..histLen+len(suffix)-1) attend over
+// per-layer caches already holding the first histLen positions — the
+// prefix-cache hit path, where the shared prefix's KV state is reused and
+// only the novel suffix is computed. With concrete caches the graph runs
+// locally as-is; with nil cache data the stateful inputs are placeholders
+// for the runtime to rebind to remote-resident keys. Offset-based causal
+// masking inside the blocks makes the result bit-identical to a full
+// BuildPrefill over prefix+suffix.
+func (m *GPT) BuildPrefillExtend(suffix []int64, histLen int, caches []*nn.KVCache) (*lazy.Builder, SegmentOutputs) {
+	if len(suffix) == 0 || histLen <= 0 || histLen+len(suffix) > m.Cfg.MaxSeq {
+		panic(fmt.Sprintf("models: extend of %d tokens over history %d out of range", len(suffix), histLen))
+	}
+	return m.BuildSegment(SegmentSpec{
+		WithEmbed: true,
+		Tokens:    suffix,
+		StartPos:  histLen,
+		LoLayer:   0,
+		HiLayer:   m.Cfg.Layers,
+		WithHead:  true,
+		HistLen:   histLen,
+		Caches:    caches,
+	})
 }
 
 func positions(start, n int) *tensor.Tensor {

@@ -1,0 +1,112 @@
+package models
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"genie/internal/exec"
+	"genie/internal/nn"
+)
+
+func TestPrefillExtendMatchesFullPrefill(t *testing.T) {
+	// Prefix prefill + suffix extend must be bit-identical to one full
+	// prefill over the whole prompt: same next token, same final logits
+	// row, and prefix-rows ++ extend's fresh rows == the full pass's KV.
+	// This is the invariant the prefix cache rides on.
+	rng := rand.New(rand.NewSource(11))
+	m := NewGPT(rng, TinyGPT)
+	seq := []int64{7, 3, 9, 1, 14, 2, 8, 5}
+
+	bFull, outFull := m.BuildPrefill(seq)
+	valsFull, err := exec.Graph(bFull.Graph(), bindAll(bFull))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, split := range []int{1, 3, len(seq) - 1} {
+		bPre, outPre := m.BuildPrefill(seq[:split])
+		valsPre, err := exec.Graph(bPre.Graph(), bindAll(bPre))
+		if err != nil {
+			t.Fatal(err)
+		}
+		caches := make([]*nn.KVCache, TinyGPT.Layers)
+		for i := range caches {
+			caches[i] = &nn.KVCache{}
+			caches[i].Append(valsPre[outPre.CacheK[i]], valsPre[outPre.CacheV[i]])
+		}
+
+		bExt, outExt := m.BuildPrefillExtend(seq[split:], split, caches)
+		valsExt, err := exec.Graph(bExt.Graph(), bindAll(bExt))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if got, want := valsExt[outExt.NextToken].I64()[0], valsFull[outFull.NextToken].I64()[0]; got != want {
+			t.Errorf("split %d: extend next token %d != full prefill %d", split, got, want)
+		}
+		if !bytes.Equal(valsExt[outExt.LastLogits].Bytes(), valsFull[outFull.LastLogits].Bytes()) {
+			t.Errorf("split %d: last logits differ from full prefill", split)
+		}
+		for i := 0; i < TinyGPT.Layers; i++ {
+			// NewK must carry only the suffix rows.
+			if rows := valsExt[outExt.NewK[i]].Shape()[0]; rows != len(seq)-split {
+				t.Fatalf("split %d layer %d: %d fresh K rows, want %d", split, i, rows, len(seq)-split)
+			}
+			assembledK := append(append([]byte{}, valsPre[outPre.CacheK[i]].Bytes()...),
+				valsExt[outExt.NewK[i]].Bytes()...)
+			assembledV := append(append([]byte{}, valsPre[outPre.CacheV[i]].Bytes()...),
+				valsExt[outExt.NewV[i]].Bytes()...)
+			if !bytes.Equal(assembledK, valsFull[outFull.CacheK[i]].Bytes()) {
+				t.Errorf("split %d layer %d: assembled K cache differs from full prefill", split, i)
+			}
+			if !bytes.Equal(assembledV, valsFull[outFull.CacheV[i]].Bytes()) {
+				t.Errorf("split %d layer %d: assembled V cache differs from full prefill", split, i)
+			}
+		}
+	}
+}
+
+func TestPrefillExtendNewRowsAreDistinctFromAppended(t *testing.T) {
+	// With history, NewK/NewV must point at the fresh-row nodes while
+	// CacheK/CacheV point at the appended concats — the distinction the
+	// ΔKV handoff relies on (ship suffix rows, not the whole cache).
+	rng := rand.New(rand.NewSource(12))
+	m := NewGPT(rng, TinyGPT)
+	caches := make([]*nn.KVCache, TinyGPT.Layers)
+	b, out := m.BuildPrefillExtend([]int64{4, 6}, 3, caches)
+	g := b.Graph()
+	for i := range out.NewK {
+		if out.NewK[i] == out.CacheK[i] || out.NewV[i] == out.CacheV[i] {
+			t.Fatalf("layer %d: fresh-row node aliases the appended cache node", i)
+		}
+		if rows := g.Node(out.NewK[i]).Output.Shape[0]; rows != 2 {
+			t.Errorf("layer %d: fresh K rows %d, want 2", i, rows)
+		}
+		if rows := g.Node(out.CacheK[i]).Output.Shape[0]; rows != 5 {
+			t.Errorf("layer %d: appended K rows %d, want 5", i, rows)
+		}
+	}
+}
+
+func TestPrefillExtendRejectsBadSpans(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := NewGPT(rng, TinyGPT)
+	for _, c := range []struct {
+		suffix []int64
+		hist   int
+	}{
+		{nil, 3},
+		{[]int64{1}, 0},
+		{make([]int64, TinyGPT.MaxSeq), 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("extend(%d tokens, hist %d) should panic", len(c.suffix), c.hist)
+				}
+			}()
+			m.BuildPrefillExtend(c.suffix, c.hist, nil)
+		}()
+	}
+}

@@ -47,9 +47,21 @@ type sessionImpl interface {
 	prefill(ctx context.Context, prompt []int64) (int64, error)
 	// step runs one decode iteration on tok and returns the next token.
 	step(ctx context.Context, tok int64) (int64, error)
-	// residentKeys lists per-session remote state to Free on Close
-	// (nil for modes that keep no per-session remote state).
+	// residentKeys lists the session's per-request cache-plane keys —
+	// uniform accounting across every strategy, wherever the state
+	// actually lives. Empty (non-nil) means "accounted: no per-session
+	// cache state"; nil means the strategy cannot enumerate its keys.
 	residentKeys() []string
+	// remoteResident reports whether residentKeys name endpoint-resident
+	// objects the session owns — i.e. whether Close must Free them.
+	// Client-local caches report their keys but return false here.
+	remoteResident() bool
+}
+
+// ResidentKeyser is the optional surface an external Strategy implements
+// to expose its cache-plane keys through Session.ResidentKeys.
+type ResidentKeyser interface {
+	ResidentKeys() []string
 }
 
 // Strategy is an externally supplied session executor: a package that
@@ -82,7 +94,15 @@ func (ss *strategySession) step(ctx context.Context, tok int64) (int64, error) {
 	return ss.s.Step(ctx, tok)
 }
 
-func (ss *strategySession) residentKeys() []string { return nil }
+func (ss *strategySession) residentKeys() []string {
+	if rk, ok := ss.s.(ResidentKeyser); ok {
+		return rk.ResidentKeys()
+	}
+	return nil
+}
+
+// The strategy owns its cleanup via Close; the runtime never Frees for it.
+func (ss *strategySession) remoteResident() bool { return false }
 
 // ctxEndpoint is the optional trace-aware surface of an Endpoint.
 // transport.Client implements it; fakes and local endpoints need not.
@@ -130,7 +150,7 @@ func (r *LLMRunner) NewScopedSessionCtx(ctx context.Context, mode Mode, scope st
 	}
 	switch mode {
 	case ModeLocal:
-		s.impl = &localSession{r: r, gpu: &s.gpu, caches: emptyCaches(r.Model)}
+		s.impl = &localSession{r: r, gpu: &s.gpu, scope: scope, caches: emptyCaches(r.Model)}
 	case ModeNaive:
 		if r.EP == nil {
 			return nil, fmt.Errorf("runtime: naive mode needs an endpoint")
@@ -221,12 +241,21 @@ func (s *Session) StepCtx(ctx context.Context) (int64, error) {
 // the Prefill/Step return values.
 func (s *Session) Result() *GenResult { return &s.res }
 
+// ResidentKeys lists the session's per-request cache-plane keys, wherever
+// the state lives (client-local caches report keys too — only Close cares
+// about residency). Empty means the session keeps no per-request cache
+// state; every built-in mode reports non-nil.
+func (s *Session) ResidentKeys() []string { return s.impl.residentKeys() }
+
 // Close releases the session's per-request remote state (scoped KV
 // caches). Weights and unscoped state are left resident. Safe to call
 // for any mode; local/naive sessions are no-ops.
 func (s *Session) Close() error {
 	if ss, ok := s.impl.(*strategySession); ok {
 		return ss.s.Close()
+	}
+	if !s.impl.remoteResident() {
+		return nil
 	}
 	keys := s.impl.residentKeys()
 	if len(keys) == 0 || s.r.EP == nil {
@@ -256,6 +285,7 @@ func cacheKeys(scope string, m *models.GPT) []string {
 type localSession struct {
 	r      *LLMRunner
 	gpu    *time.Duration
+	scope  string
 	caches []*nn.KVCache
 	hist   int
 	keep   map[srg.NodeID]bool // cached stepKeep set, reused across steps
@@ -326,7 +356,14 @@ func (ls *localSession) step(_ context.Context, tok int64) (int64, error) {
 	return vals[out.NextToken].I64()[0], nil
 }
 
-func (ls *localSession) residentKeys() []string { return nil }
+// residentKeys reports the cache-plane keys of the client-local caches:
+// the state exists per session even though no endpoint holds it, and the
+// prefix cache's accounting wants the same key space in every mode.
+func (ls *localSession) residentKeys() []string {
+	return cacheKeys(ls.scope, ls.r.Model)
+}
+
+func (ls *localSession) remoteResident() bool { return false }
 
 // --- Naive (semantics-blind) ---
 
@@ -378,7 +415,13 @@ func (ns *naiveSession) step(ctx context.Context, tok int64) (int64, error) {
 	return ns.call(ctx)
 }
 
-func (ns *naiveSession) residentKeys() []string { return nil }
+// residentKeys is empty but non-nil: the naive replay strategy genuinely
+// keeps no per-session cache state anywhere — it re-runs the whole
+// history each call — and "accounted, zero keys" must be distinguishable
+// from "cannot enumerate" (nil).
+func (ns *naiveSession) residentKeys() []string { return []string{} }
+
+func (ns *naiveSession) remoteResident() bool { return false }
 
 // --- ΔKV (semantics-blind with transport-level caching) ---
 
@@ -500,11 +543,13 @@ func (ds *deltaKVSession) step(ctx context.Context, tok int64) (int64, error) {
 }
 
 func (ds *deltaKVSession) residentKeys() []string {
-	if ds.scope == "" {
-		return nil
-	}
 	return cacheKeys(ds.scope, ds.r.Model)
 }
+
+// remoteResident is false for unscoped sessions: their caches live under
+// the bare refs shared with Generate and other unscoped sessions, so
+// Close must not Free them out from under a neighbour.
+func (ds *deltaKVSession) remoteResident() bool { return ds.scope != "" }
 
 // --- Semantics-Aware (Genie) ---
 
@@ -582,8 +627,8 @@ func (ss *semSession) step(ctx context.Context, tok int64) (int64, error) {
 }
 
 func (ss *semSession) residentKeys() []string {
-	if ss.scope == "" {
-		return nil
-	}
 	return cacheKeys(ss.scope, ss.r.Model)
 }
+
+// remoteResident is false for unscoped sessions — see deltaKVSession.
+func (ss *semSession) remoteResident() bool { return ss.scope != "" }

@@ -102,6 +102,11 @@ type Config struct {
 	// surface shard membership and per-shard health in /stats without
 	// serve importing the pool layer.
 	PoolStats func() any
+	// CacheStats, when set, is snapshotted into Stats.Cache on every
+	// Stats() call — the hook a kvcache.Manager-backed gateway uses to
+	// surface prefix-cache hit ratio and residency in /stats without
+	// serve importing the cache layer.
+	CacheStats func() any
 	// Quant selects the raw-speed weight tier (DESIGN.md §11): int8
 	// rewrites every Linear weight to per-column symmetric int8 before
 	// installation, f16 to half precision. The zero value keeps f32.
@@ -551,6 +556,9 @@ func (e *Engine) Stats() Stats {
 	st := e.stats.snapshot()
 	if e.cfg.PoolStats != nil {
 		st.Pool = e.cfg.PoolStats()
+	}
+	if e.cfg.CacheStats != nil {
+		st.Cache = e.cfg.CacheStats()
 	}
 	e.mu.Lock()
 	st.Queued = e.queues.depth()

@@ -84,6 +84,9 @@ type Stats struct {
 	// Pool carries the backend pool's membership and shard view when the
 	// engine fronts a pool.Manager (Config.PoolStats); nil otherwise.
 	Pool any `json:"pool,omitempty"`
+	// Cache carries the prefix cache's hit/miss/residency snapshot when
+	// the gateway runs one (Config.CacheStats); nil otherwise.
+	Cache any `json:"cache,omitempty"`
 }
 
 // collector is the engine's telemetry surface, backed by the process

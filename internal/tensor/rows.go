@@ -1,0 +1,74 @@
+package tensor
+
+import "fmt"
+
+// Row-granular copy primitives for paged KV state (internal/kvcache).
+//
+// KV pages are fixed-size [PageTokens, dim] tensors; assembling a
+// session's contiguous cache view — and filling pages from freshly
+// computed rows — means copying row runs between tensors. genie-lint's
+// tensormut invariant confines raw backing-store writes to the
+// tensor/nn/quant packages, so the copy primitives live here rather
+// than in the cache layer that calls them.
+//
+// Both helpers treat a tensor as rows along dim 0 with identical
+// trailing geometry; they drop quantization scales (KV state is f32 —
+// row slicing an i8 tensor whose quant axis is 0 would scramble the
+// channel mapping).
+
+// rowGeom returns t's row count and per-row byte size.
+func rowGeom(t *Tensor) (rows, rowBytes int, err error) {
+	if t.shape.Rank() < 1 {
+		return 0, 0, fmt.Errorf("tensor: rank-0 tensor has no rows")
+	}
+	rows = t.shape[0]
+	if rows == 0 {
+		return 0, 0, nil
+	}
+	return rows, t.NumBytes() / rows, nil
+}
+
+// CopyRowsAt copies every row of src into dst starting at row at. The
+// tensors must share dtype and per-row geometry, and the copied range
+// must fit inside dst.
+func CopyRowsAt(dst, src *Tensor, at int) error {
+	if dst.dtype != src.dtype {
+		return fmt.Errorf("tensor: copy rows %s into %s", src.dtype, dst.dtype)
+	}
+	dRows, dRB, err := rowGeom(dst)
+	if err != nil {
+		return err
+	}
+	sRows, sRB, err := rowGeom(src)
+	if err != nil {
+		return err
+	}
+	if sRows == 0 {
+		return nil
+	}
+	if dRB != sRB {
+		return fmt.Errorf("tensor: row size mismatch copying %v into %v", src.shape, dst.shape)
+	}
+	if at < 0 || at+sRows > dRows {
+		return fmt.Errorf("tensor: rows [%d,%d) out of range for %v", at, at+sRows, dst.shape)
+	}
+	copy(dst.data[at*dRB:], src.data)
+	return nil
+}
+
+// CopyRowRange returns rows [lo, hi) of t as a fresh scratch-arena
+// tensor (the caller owns it until Release; see NewScratch).
+func CopyRowRange(t *Tensor, lo, hi int) (*Tensor, error) {
+	rows, rb, err := rowGeom(t)
+	if err != nil {
+		return nil, err
+	}
+	if lo < 0 || hi > rows || lo > hi {
+		return nil, fmt.Errorf("tensor: row range [%d,%d) of %v", lo, hi, t.shape)
+	}
+	outShape := t.shape.Clone()
+	outShape[0] = hi - lo
+	out := NewScratch(t.dtype, outShape...)
+	copy(out.data, t.data[lo*rb:hi*rb])
+	return out, nil
+}

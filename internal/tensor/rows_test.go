@@ -1,0 +1,77 @@
+package tensor
+
+import "testing"
+
+func rowTensor(rows, dim int, base float32) *Tensor {
+	t := New(F32, rows, dim)
+	d := t.F32()
+	for r := 0; r < rows; r++ {
+		for c := 0; c < dim; c++ {
+			d[r*dim+c] = base + float32(r) + float32(c)/100
+		}
+	}
+	return t
+}
+
+func TestCopyRowsAt(t *testing.T) {
+	dst := New(F32, 6, 4)
+	src := rowTensor(2, 4, 10)
+	if err := CopyRowsAt(dst, src, 3); err != nil {
+		t.Fatal(err)
+	}
+	d := dst.F32()
+	for c := 0; c < 4; c++ {
+		if d[3*4+c] != 10+float32(c)/100 {
+			t.Fatalf("row 3 col %d = %v", c, d[3*4+c])
+		}
+		if d[4*4+c] != 11+float32(c)/100 {
+			t.Fatalf("row 4 col %d = %v", c, d[4*4+c])
+		}
+		if d[2*4+c] != 0 || d[5*4+c] != 0 {
+			t.Fatal("rows outside the copied range were touched")
+		}
+	}
+}
+
+func TestCopyRowsAtRejectsBadGeometry(t *testing.T) {
+	dst := New(F32, 4, 4)
+	if err := CopyRowsAt(dst, New(F32, 2, 3), 0); err == nil {
+		t.Fatal("row-size mismatch accepted")
+	}
+	if err := CopyRowsAt(dst, New(I64, 2, 4), 0); err == nil {
+		t.Fatal("dtype mismatch accepted")
+	}
+	if err := CopyRowsAt(dst, New(F32, 3, 4), 2); err == nil {
+		t.Fatal("overflow accepted")
+	}
+	if err := CopyRowsAt(dst, New(F32, 1, 4), -1); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+}
+
+func TestCopyRowRange(t *testing.T) {
+	src := rowTensor(5, 3, 0)
+	got, err := CopyRowRange(src, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Release()
+	if got.Shape()[0] != 3 || got.Shape()[1] != 3 {
+		t.Fatalf("shape %v", got.Shape())
+	}
+	want, _ := CopyRowRange(src, 0, 5)
+	defer want.Release()
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			if got.F32()[r*3+c] != src.F32()[(r+1)*3+c] {
+				t.Fatalf("row %d col %d: %v != %v", r, c, got.F32()[r*3+c], src.F32()[(r+1)*3+c])
+			}
+		}
+	}
+	if _, err := CopyRowRange(src, 3, 2); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	if _, err := CopyRowRange(src, 0, 6); err == nil {
+		t.Fatal("overflow range accepted")
+	}
+}
