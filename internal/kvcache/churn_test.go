@@ -88,14 +88,12 @@ func TestConcurrentChurnUnderTightBudget(t *testing.T) {
 	if st.ResidentBytes > 4*4*cfg.KVBytesPerToken() {
 		t.Fatalf("resident %d bytes over budget with all sessions closed", st.ResidentBytes)
 	}
-	// Every session closed, so every pin is released: a full-tree evict
-	// sweep must be able to reclaim everything.
+	// Every session closed, so every pin is released: nothing may linger
+	// in the registry holding nodes hostage from the evict sweep.
 	mgr.mu.Lock()
-	mgr.walk(mgr.root, func(n *node) {
-		if n.refs != 0 {
-			t.Errorf("node %v holds %d refs after all sessions closed", n.label, n.refs)
-		}
-	})
+	if n := len(mgr.pins); n != 0 {
+		t.Errorf("%d pins still registered after all sessions closed", n)
+	}
 	mgr.mu.Unlock()
 
 	snap.Check(t)

@@ -59,6 +59,9 @@ type Manager struct {
 	bytes int64
 	nodes int
 	tick  uint64
+	// pins is the live-pin registry: the evict sweep re-matches each
+	// pin's token range to derive the protected node set.
+	pins map[*Pin]struct{}
 
 	hits, misses, evictions, bytesSaved *obs.Counter
 	residentBytes, residentNodes        *obs.Gauge
@@ -79,7 +82,7 @@ func NewManager(cfg Config) (*Manager, error) {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	m := &Manager{cfg: cfg, root: &node{}}
+	m := &Manager{cfg: cfg, root: &node{}, pins: make(map[*Pin]struct{})}
 	m.hits = reg.Counter("genie_kvcache_hits_total", "prefix lookups that matched at least one token")
 	m.misses = reg.Counter("genie_kvcache_misses_total", "prefix lookups that matched nothing")
 	m.evictions = reg.Counter("genie_kvcache_evictions_total", "radix nodes evicted by the LRU sweep")
@@ -95,15 +98,28 @@ func (m *Manager) PageTokens() int { return m.cfg.PageTokens }
 // Model returns the model the cache serves.
 func (m *Manager) Model() *models.GPT { return m.cfg.Model }
 
-// Pin holds eviction protection over a matched path. Sessions hold their
+// Pin holds eviction protection over a token range. Sessions hold their
 // pin for their lifetime so hot prefixes stay resident; Unpin releases.
-// A Pin protects nodes, not content — the session already owns a copy of
+// A Pin records the pinned token sequence, and the eviction sweep
+// re-matches it against the current tree — so protection covers the full
+// range even when a copy-on-extend split later reshapes the path (the
+// re-match follows the range into the split tail). It guards residency,
+// not content correctness — the session already owns a copy of
 // everything it read (Lookup gathers atomically under the tree lock).
 type Pin struct {
 	m      *Manager
-	nodes  []*node
-	tokens int
+	tokens []int64 // the pinned prefix
 	done   bool
+}
+
+// pinRange registers eviction protection over tokens[:n]. Caller holds
+// m.mu. A zero-length pin protects nothing and skips the registry.
+func (m *Manager) pinRange(tokens []int64, n int) *Pin {
+	p := &Pin{m: m, tokens: append([]int64(nil), tokens[:n]...)}
+	if n > 0 {
+		m.pins[p] = struct{}{}
+	}
+	return p
 }
 
 // Tokens is the matched prefix length.
@@ -111,7 +127,7 @@ func (p *Pin) Tokens() int {
 	if p == nil {
 		return 0
 	}
-	return p.tokens
+	return len(p.tokens)
 }
 
 // Unpin releases the pin. Idempotent; safe on nil.
@@ -122,9 +138,7 @@ func (p *Pin) Unpin() {
 	p.done = true
 	p.m.mu.Lock()
 	defer p.m.mu.Unlock()
-	for _, n := range p.nodes {
-		n.refs--
-	}
+	delete(p.m.pins, p)
 	// A pinned path may have held the cache over budget; releasing the
 	// pin is what makes those nodes evictable, so sweep now rather than
 	// waiting for the next insert.
@@ -136,12 +150,16 @@ func (p *Pin) Unpin() {
 }
 
 // Lookup finds the longest cached prefix of tokens, gathers its KV state
-// into contiguous caller-owned caches, and pins the matched path. The
+// into contiguous caller-owned caches, and pins the matched range. The
 // match is clamped to len(tokens)-1: at least one suffix token must run
 // so the extend graph has work and a next-token output. On a zero-token
 // match prefix is nil and release a no-op; the caller falls back to full
-// prefill but still holds (and must Unpin) the empty pin.
+// prefill but still holds (and must Unpin) the empty pin. An empty token
+// sequence is rejected — there is no suffix to run.
 func (m *Manager) Lookup(tokens []int64) (pin *Pin, prefix []*nn.KVCache, release func(), matched int, err error) {
+	if len(tokens) == 0 {
+		return nil, nil, nil, 0, fmt.Errorf("kvcache: lookup of empty token sequence")
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.tick++
@@ -160,11 +178,9 @@ func (m *Manager) Lookup(tokens []int64) (pin *Pin, prefix []*nn.KVCache, releas
 			path = path[:len(path)-1]
 		}
 	}
-	pin = &Pin{m: m, tokens: matched}
+	pin = m.pinRange(tokens, matched)
 	for _, s := range path {
-		s.n.refs++
 		s.n.lastUse = m.tick
-		pin.nodes = append(pin.nodes, s.n)
 	}
 	if matched == 0 {
 		m.misses.Inc()
@@ -172,9 +188,7 @@ func (m *Manager) Lookup(tokens []int64) (pin *Pin, prefix []*nn.KVCache, releas
 	}
 	prefix, release, err = m.gatherSegs(path, matched)
 	if err != nil {
-		for _, n := range pin.nodes {
-			n.refs--
-		}
+		delete(m.pins, pin)
 		pin.done = true
 		return nil, nil, nil, 0, err
 	}
@@ -217,7 +231,7 @@ func (m *Manager) gatherSegs(path []pathSeg, total int) ([]*nn.KVCache, func(), 
 // Insert extends the tree with the suffix rows of tokens: matched is the
 // prefix length Lookup reported, and newK/newV hold per-layer
 // [len(tokens)-matched, dim] fresh rows from the suffix computation (the
-// caller keeps ownership). Returns a pin over the full inserted path;
+// caller keeps ownership). Returns a pin over the full token range;
 // the caller then Unpins its lookup pin. Concurrent inserts of
 // overlapping sequences converge: whatever another session already
 // inserted is matched (splitting a node at the divergence point), never
@@ -261,11 +275,9 @@ func (m *Manager) Insert(tokens []int64, matched int, newK, newV []*tensor.Tenso
 		m.nodes++
 		path = append(path, pathSeg{child, len(child.label)})
 	}
-	pin := &Pin{m: m, tokens: len(tokens)}
+	pin := m.pinRange(tokens, len(tokens))
 	for _, s := range path {
-		s.n.refs++
 		s.n.lastUse = m.tick
-		pin.nodes = append(pin.nodes, s.n)
 	}
 	m.evict()
 	m.residentBytes.Set(m.bytes)

@@ -9,9 +9,12 @@ package kvcache
 // mutex, and a lookup's page reads (the gather into session-owned
 // scratch) happen inside that same critical section. After Lookup
 // returns, the session never touches tree pages again — so eviction and
-// splits need no page-level synchronization. Node refcounts are
-// eviction protection, not read locks: a pinned node (refs > 0) is a
-// prefix some live session brought in, and the LRU sweep skips it.
+// splits need no page-level synchronization. Eviction protection is
+// derived, not stored on nodes: each live Pin records its token range in
+// the Manager's registry, and the LRU sweep re-matches every pin to mark
+// the protected paths. Deriving it from tokens (rather than refcounting
+// node pointers) is what keeps protection correct across splits — the
+// re-match follows a pinned range into whichever nodes now spell it.
 type node struct {
 	parent *node
 	label  []int64 // tokens on the edge from parent
@@ -19,7 +22,6 @@ type node struct {
 	// children is keyed by the first token of each child's label (radix
 	// property: at most one child per distinct next token).
 	children map[int64]*node
-	refs     int
 	lastUse  uint64
 }
 
@@ -67,10 +69,9 @@ func (m *Manager) match(tokens []int64) []pathSeg {
 // in place), and a new child takes label[off:] with a fresh copy of the
 // tail rows plus n's former children. This is the copy-on-extend rule —
 // the cost of a divergence is bounded by the tail being split off, never
-// by re-copying the shared head. The original node object survives as
-// the head half, so pins pointing at it keep protecting the shared
-// prefix; the tail child starts unpinned (sessions own copies of
-// whatever they read, so evicting the tail can never corrupt them).
+// by re-copying the shared head. Split needs no pin bookkeeping: a pin
+// records tokens, not node pointers, so a pinned range that extends past
+// off keeps protecting the tail child the moment the sweep re-matches it.
 func (m *Manager) split(n *node, off int) error {
 	tail, err := n.run.cloneRange(off, n.run.tokens)
 	if err != nil {
@@ -95,15 +96,27 @@ func (m *Manager) split(n *node, off int) error {
 	return nil
 }
 
-// evict sweeps least-recently-used childless unpinned nodes until the
-// resident bytes fit the budget (or nothing evictable remains). Pinned
-// paths can hold the cache over budget; the next Unpin+insert cycle
-// reclaims them.
+// evict sweeps least-recently-used childless unprotected nodes until the
+// resident bytes fit the budget (or nothing evictable remains). A node
+// is protected when some live pin's token range covers any of its label
+// rows — computed by re-matching every registered pin against the
+// current tree, so a split tail that carries pinned rows stays protected
+// even though its node object postdates the pin. Pinned paths can hold
+// the cache over budget; the next Unpin+insert cycle reclaims them.
 func (m *Manager) evict() {
+	if m.bytes <= m.cfg.BudgetBytes {
+		return
+	}
+	protected := make(map[*node]bool, len(m.pins))
+	for p := range m.pins {
+		for _, s := range m.match(p.tokens) {
+			protected[s.n] = true
+		}
+	}
 	for m.bytes > m.cfg.BudgetBytes {
 		var victim *node
 		m.walk(m.root, func(n *node) {
-			if n == m.root || len(n.children) > 0 || n.refs > 0 {
+			if n == m.root || len(n.children) > 0 || protected[n] {
 				return
 			}
 			if victim == nil || n.lastUse < victim.lastUse {

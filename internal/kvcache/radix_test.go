@@ -230,6 +230,95 @@ func TestLRUEvictionRespectsBudgetAndPins(t *testing.T) {
 	}
 }
 
+func TestLookupRejectsEmptyTokens(t *testing.T) {
+	m := testManager(t, 1<<20, 4)
+	if _, _, _, _, err := m.Lookup(nil); err == nil {
+		t.Fatal("empty lookup should error, not panic or succeed")
+	}
+	if _, _, _, _, err := m.Lookup([]int64{}); err == nil {
+		t.Fatal("zero-length lookup should error")
+	}
+}
+
+// TestSplitKeepsPinnedRangeProtected is the regression for the split/pin
+// interaction: a divergent insert under budget pressure splits a node
+// whose tail rows are covered by a live session's pin. The tail must
+// survive the eviction sweep, or the pinned session's own Insert fails
+// with "matched prefix shrank" — a failed request.
+func TestSplitKeepsPinnedRangeProtected(t *testing.T) {
+	cfg := models.TinyGPT
+	pageBytes := int64(4) * cfg.KVBytesPerToken() // pageTokens=4
+	m := testManager(t, 2*pageBytes, 4)
+
+	seed := []int64{1, 2, 3, 4, 5, 6}
+	insertSeq(t, m, seed).Unpin()
+
+	// A live session pins the whole cached prefix [1..5] (full-prompt
+	// match clamps to len-1).
+	pin, _, release, matched, err := m.Lookup(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	if matched != len(seed)-1 {
+		t.Fatalf("matched %d, want %d", matched, len(seed)-1)
+	}
+
+	// A divergent insert splits the seed node at [1,2] and pushes the
+	// cache over budget. The split tail [3,4,5,6] carries pinned rows
+	// 3..5, so the sweep must not take it.
+	div := []int64{1, 2, 9}
+	dp, _, drel, dm, err := m.Lookup(div)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drel()
+	ks, vs := absRows(t, cfg.Layers, dm, len(div), cfg.Dim, div)
+	dip, err := m.Insert(div, dm, ks, vs)
+	releaseAll(ks, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp.Unpin()
+	dip.Unpin()
+
+	// The pinned session finishes its own Lookup+Insert cycle. Before the
+	// fix the evicted tail made the matched prefix shrink from 5 to 2 and
+	// this errored.
+	ks2, vs2 := absRows(t, cfg.Layers, matched, len(seed), cfg.Dim, seed)
+	ip, err := m.Insert(seed, matched, ks2, vs2)
+	releaseAll(ks2, vs2)
+	if err != nil {
+		t.Fatalf("pinned session's insert failed: %v", err)
+	}
+
+	// And the pinned prefix still reassembles bit-exactly.
+	p, prefix, rel, k, err := m.Lookup(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != len(seed)-1 {
+		t.Fatalf("pinned prefix matched %d after divergent churn, want %d", k, len(seed)-1)
+	}
+	wantK, wantV := absRows(t, cfg.Layers, 0, k, cfg.Dim, seed)
+	for l := 0; l < cfg.Layers; l++ {
+		if !tensor.AllClose(prefix[l].K, wantK[l], 0, 0) || !tensor.AllClose(prefix[l].V, wantV[l], 0, 0) {
+			t.Fatalf("layer %d pinned prefix diverges after split", l)
+		}
+	}
+	releaseAll(wantK, wantV)
+	rel()
+	p.Unpin()
+	ip.Unpin()
+	pin.Unpin()
+
+	// Budget pressure must have been real — the sweep ran and took the
+	// unprotected divergent leaf, just never the pinned tail.
+	if m.Snapshot().Evictions == 0 {
+		t.Fatal("no evictions: budget too loose to exercise the split/pin race")
+	}
+}
+
 func TestInsertConvergesWithConcurrentDuplicate(t *testing.T) {
 	// Two sessions race the same prompt: the second Insert must match the
 	// first one's nodes and add nothing.

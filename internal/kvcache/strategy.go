@@ -105,6 +105,14 @@ func (s *localCachedSession) Prefill(_ context.Context, prompt []int64) (int64, 
 	for i := 0; i < cfg.Layers; i++ {
 		newK[i], newV[i] = vals[plan.newK[i]], vals[plan.newV[i]]
 	}
+	// The kept suffix rows are arena scratch; the history append and tree
+	// insert copy them, so recycle on every exit path, error or not.
+	defer func() {
+		for i := range newK {
+			newK[i].Release()
+			newV[i].Release()
+		}
+	}()
 
 	// Private paged history: prefix copy + fresh suffix rows.
 	s.hist = newRun(cfg.Layers, s.m.cfg.PageTokens, cfg.Dim)
@@ -130,10 +138,6 @@ func (s *localCachedSession) Prefill(_ context.Context, prompt []int64) (int64, 
 		return 0, err
 	}
 	s.pin = insertPin
-	for i := range newK {
-		newK[i].Release()
-		newV[i].Release()
-	}
 	return vals[plan.next].I64()[0], nil
 }
 
