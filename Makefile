@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race check bench bench-kernels parity chaos pool wire prefixcache
+.PHONY: all build vet lint test test-short race check bench bench-kernels parity chaos pool wire prefixcache brownout
 
 all: check
 
@@ -76,6 +76,21 @@ prefixcache:
 	$(GO) test -race -count=1 ./internal/kvcache/ -run .
 	$(GO) test -race -count=1 ./internal/runtime/ -run 'Resident|CloseFrees'
 	$(GO) test -race -count=1 ./internal/models/ -run 'PrefillExtend'
+
+# Fail-slow tolerance suite under the race detector (DESIGN.md §13):
+# the health scorer's state machine and deadline math, brownout
+# schedule determinism (arming a brownout must not shift the seeded
+# fault stream), quarantine drain / suspect demotion in the serving
+# engine, health-weighted shard planning, hedged-prefill dedup and
+# backup-win races, and the end-to-end brownout smoke (one lane slowed,
+# zero failures, bit-identical tokens).
+brownout:
+	$(GO) test -race -count=1 ./internal/health/ -run .
+	$(GO) test -race -count=1 ./internal/chaos/ -run 'Brownout'
+	$(GO) test -race -count=1 ./internal/serve/ -run 'Quarantin|Suspect|Healthz|Healthy'
+	$(GO) test -race -count=1 ./internal/pool/ -run 'Health'
+	$(GO) test -race -count=1 ./internal/kvcache/ -run 'Hedge'
+	$(GO) test -race -count=1 ./internal/eval/ -run 'Brownout'
 
 chaos:
 	$(GO) test -race -count=1 ./internal/chaos/ -run .

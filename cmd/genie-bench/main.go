@@ -45,6 +45,9 @@ func main() {
 	obsSection := flag.Bool("obs", false, "print only the observability section (tracing cost, span + metrics demo)")
 	chaosSection := flag.Bool("chaos", false,
 		"print only the fault-tolerance section (goodput under a backend crash vs no-fault baseline; GENIE_CHAOS_SEED pins the schedule)")
+	brownoutSection := flag.Bool("brownout", false,
+		"print only the fail-slow section (p99 TTFT and goodput with one lane browned out "+
+			"~50x: health off vs health scoring vs hedged prefill)")
 	shardSection := flag.Bool("shard-report", false,
 		"print only the sharded-placement section (per-op shard report + live pool sharding at 1/2/4 ways)")
 	wireSection := flag.Bool("wire", false,
@@ -70,7 +73,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	all := *table == 0 && !*ablations && !*kernels && !*obsSection && !*chaosSection && !*shardSection && !*wireSection && !*prefixSection
+	all := *table == 0 && !*ablations && !*kernels && !*obsSection && !*chaosSection && !*brownoutSection && !*shardSection && !*wireSection && !*prefixSection
 	if all || *kernels {
 		printKernels()
 	}
@@ -85,6 +88,9 @@ func main() {
 	}
 	if all || *chaosSection {
 		printChaos()
+	}
+	if all || *brownoutSection {
+		printBrownout()
 	}
 	if all || *shardSection {
 		printShardReport()
@@ -278,6 +284,46 @@ func printChaos() {
 	fmt.Println("(goodput = completed requests; re-queued work re-decodes its prefix on")
 	fmt.Println(" the survivor, so the crash costs duplicate compute, not correctness —")
 	fmt.Println(" CPU wall-clock numbers, not the paper's modeled GPU times)")
+	fmt.Println()
+}
+
+// printBrownout measures serving under a fail-slow lane: one backend's
+// conn pauses on every operation (the ~50x brownout), and the same
+// open-loop load replays with nothing defending, with health scoring
+// quarantining the lane, and with hedged prefill racing a spare. Tokens
+// are checked bit-for-bit against the healthy run in every arrangement.
+func printBrownout() {
+	fmt.Println("== B: fail-slow tolerance (one lane browned out ~50x) ==")
+	r, err := eval.RunBrownoutServing(context.Background(), eval.DefaultBrownoutServingConfig())
+	if err != nil {
+		fmt.Printf("brownout serving failed: %v\n\n", err)
+		return
+	}
+	fmt.Printf("brownout: lane b0 pauses %v per conn op (seed %d)\n", r.PauseDur, r.ChaosSeed)
+	fmt.Printf("%-12s %9s %7s %10s %10s %9s %10s %7s %6s\n",
+		"run", "completed", "requeue", "p50 TTFT", "p99 TTFT", "tok/s", "makespan", "tokens", "notes")
+	row := func(b eval.BrownoutRun, notes string) {
+		match := "match"
+		if !b.TokensMatch {
+			match = "DIFFER"
+		}
+		fmt.Printf("%-12s %6d/%-2d %7d %10v %10v %9.0f %10v %7s %s\n",
+			b.Name, b.Completed, b.Completed+b.Failed, b.Requeued,
+			b.P50TTFT.Round(10*time.Microsecond), b.P99TTFT.Round(10*time.Microsecond),
+			b.Goodput, b.Makespan.Round(time.Millisecond), match, notes)
+	}
+	row(r.Healthy, "-")
+	row(r.HealthOff, "nothing defends; slow lane serves at crawl")
+	row(r.HealthOn, fmt.Sprintf("%d lane(s) demoted (%d quarantined)",
+		r.HealthOn.Demoted, r.HealthOn.Quarantined))
+	row(r.Hedged, fmt.Sprintf("%d prefills hedged, %d backup wins", r.Hedged.Hedged, r.Hedged.HedgeWins))
+	fmt.Printf("p99 TTFT vs healthy: health off %.1fx | health on %.1fx | hedged %.1fx\n",
+		float64(r.HealthOff.P99TTFT)/float64(r.Healthy.P99TTFT),
+		float64(r.HealthOn.P99TTFT)/float64(r.Healthy.P99TTFT),
+		float64(r.Hedged.P99TTFT)/float64(r.Healthy.P99TTFT))
+	fmt.Println("(a browned lane fails no request in any arrangement — fail-slow never")
+	fmt.Println(" becomes fail-stop for the client; health scoring reclaims latency by")
+	fmt.Println(" quarantining the lane, hedged prefill by racing a spare per request)")
 	fmt.Println()
 }
 

@@ -6,8 +6,10 @@
 // Endpoints:
 //
 //	POST /v1/generate  {"tenant","prompt":[ids],"max_tokens","slo","timeout_ms","stream"}
-//	GET  /healthz      200 while serving, 503 while draining
-//	GET  /stats        queue depth, batch occupancy, TTFT/latency percentiles
+//	GET  /healthz      200 while serving; 503 while draining or while any
+//	                   lane is quarantined (JSON lists the sick lanes)
+//	GET  /stats        queue depth, batch occupancy, TTFT/latency percentiles,
+//	                   per-lane health scores (with -health)
 //	GET  /metrics      Prometheus text: serve/transport counters, gauges, histograms
 //	GET  /debug/trace  Chrome trace JSON of the span ring buffer (chrome://tracing)
 //
@@ -38,6 +40,18 @@
 //	genie-gateway -addr :8080 -backends 127.0.0.1:7009,127.0.0.1:7010 \
 //	  -split-prefill -prefix-cache-bytes 67108864 -wire-compress
 //
+// Fail-slow tolerance (-health, on by default) scores every lane's
+// latency and error rate against the best member: Suspect lanes yield
+// to healthy ones, Quarantined lanes drain through failover with no
+// state loss, and -quarantine-* tune the thresholds. With
+// -split-prefill, -hedge-prefill races a second prefill lane once the
+// first runs past the adaptive health deadline (the first n-1
+// -backends become prefill lanes, the last holds decode):
+//
+//	genie-gateway -addr :8080 \
+//	  -backends 127.0.0.1:7009,127.0.0.1:7010,127.0.0.1:7011 \
+//	  -split-prefill -hedge-prefill -hedge-floor 25ms
+//
 // SIGINT/SIGTERM drains gracefully: admission closes, queued and
 // running requests finish, then the process exits.
 package main
@@ -57,6 +71,7 @@ import (
 
 	"genie/internal/cluster"
 	"genie/internal/device"
+	"genie/internal/health"
 	"genie/internal/kvcache"
 	"genie/internal/models"
 	"genie/internal/obs"
@@ -117,6 +132,22 @@ func main() {
 	wireCompress := flag.Bool("wire-compress", false,
 		"negotiate wire features (compression, dedup, delta uploads) with each backend; "+
 			"backends that refuse stay on the legacy protocol")
+	healthOn := flag.Bool("health", true,
+		"graded fail-slow health scoring on every lane: Suspect lanes demote, "+
+			"Quarantined lanes drain through failover; /stats gains a health block "+
+			"and /healthz turns 503 while any lane is quarantined")
+	quarantineFactor := flag.Float64("quarantine-factor", 8,
+		"latency ratio vs the best lane's EWMA that quarantines an endpoint "+
+			"(suspect engages at 3)")
+	quarantineErrRate := flag.Float64("quarantine-err-rate", 0.5,
+		"error-rate EWMA that quarantines an endpoint (suspect engages at 0.1)")
+	quarantineCooldown := flag.Duration("quarantine-cooldown", 2*time.Second,
+		"quarantine dwell before an endpoint is trialed for reinstatement")
+	hedgePrefill := flag.Bool("hedge-prefill", false,
+		"with -split-prefill: race a second prefill lane once the first exceeds "+
+			"the adaptive health deadline (needs >= 3 -backends: prefill lanes..., decode)")
+	hedgeFloor := flag.Duration("hedge-floor", 25*time.Millisecond,
+		"minimum wait before a hedged prefill launches its backup")
 	flag.Parse()
 
 	mode, err := runtime.ParseMode(*modeName)
@@ -140,6 +171,23 @@ func main() {
 		defer tracer.Stop()
 	}
 	tel := transport.NewTelemetry(reg)
+
+	// One health set scores every endpoint the gateway touches — serving
+	// lanes, pool members, and split prefill lanes — so the latency
+	// baseline ("what does healthy look like here") is shared and the
+	// /stats health block covers the whole stack.
+	var hs *health.Set
+	if *healthOn {
+		hs = health.NewSet(health.Config{
+			QuarantineFactor:  *quarantineFactor,
+			QuarantineErrRate: *quarantineErrRate,
+			Cooldown:          *quarantineCooldown,
+			Metrics:           reg,
+		})
+	}
+	if *hedgePrefill && !*splitPrefill {
+		log.Fatal("genie-gateway: -hedge-prefill needs -split-prefill (it races prefill lanes)")
+	}
 
 	// With -wire-compress the gateway offers the full wire feature set to
 	// each backend right after dialing; whatever subset the server grants
@@ -202,6 +250,7 @@ func main() {
 			Strategy:        strat,
 			Metrics:         reg,
 			RebalanceOnJoin: *poolRebalance,
+			Health:          hs,
 		})
 		if err != nil {
 			log.Fatalf("genie-gateway: %v", err)
@@ -263,7 +312,11 @@ func main() {
 			ctrs = append(ctrs, conn.Counters())
 			names = append(names, baddr)
 		}
-		if len(eps) != 2 {
+		if *hedgePrefill && len(eps) < 3 {
+			log.Fatalf("genie-gateway: -hedge-prefill needs at least three -backends "+
+				"(two or more prefill lanes, then the decode lane), got %d", len(eps))
+		}
+		if !*hedgePrefill && len(eps) != 2 {
 			log.Fatalf("genie-gateway: -split-prefill needs exactly two -backends "+
 				"(prefill lane, decode lane), got %d", len(eps))
 		}
@@ -271,22 +324,38 @@ func main() {
 		if cacheMgr != nil {
 			model = cacheMgr.Model()
 		}
-		sp, err := kvcache.NewSplit(kvcache.SplitConfig{
+		scfg := kvcache.SplitConfig{
 			Model:          model,
-			Prefill:        eps[0],
-			Decode:         eps[1],
-			DecodeCounters: ctrs[1],
+			Decode:         eps[len(eps)-1],
+			DecodeCounters: ctrs[len(ctrs)-1],
 			Cache:          cacheMgr,
 			Metrics:        reg,
-		})
+			Health:         hs,
+		}
+		if *hedgePrefill {
+			for i := 0; i < len(eps)-1; i++ {
+				scfg.Lanes = append(scfg.Lanes, kvcache.PrefillLane{Name: names[i], EP: eps[i]})
+			}
+			scfg.HedgePrefill = true
+			scfg.HedgeFloor = *hedgeFloor
+		} else {
+			scfg.Prefill = eps[0]
+		}
+		sp, err := kvcache.NewSplit(scfg)
 		if err != nil {
 			log.Fatalf("genie-gateway: %v", err)
 		}
 		if err := sp.InstallWeights(); err != nil {
 			log.Fatalf("genie-gateway: install weights: %v", err)
 		}
-		log.Printf("genie-gateway: split prefill on %s, decode on %s", names[0], names[1])
-		lanes = append(lanes, serve.Backend{Name: "split:" + names[1], Runner: sp.Runner()})
+		decName := names[len(names)-1]
+		if *hedgePrefill {
+			log.Printf("genie-gateway: hedged prefill across %s, decode on %s",
+				strings.Join(names[:len(names)-1], ","), decName)
+		} else {
+			log.Printf("genie-gateway: split prefill on %s, decode on %s", names[0], decName)
+		}
+		lanes = append(lanes, serve.Backend{Name: "split:" + decName, Runner: sp.Runner()})
 	} else {
 		for _, baddr := range strings.Split(*backends, ",") {
 			baddr = strings.TrimSpace(baddr)
@@ -351,6 +420,7 @@ func main() {
 		PoolStats:        poolStats,
 		CacheStats:       cacheStats,
 		Quant:            qm,
+		Health:           hs,
 	}, lanes)
 	if err != nil {
 		log.Fatalf("genie-gateway: %v", err)

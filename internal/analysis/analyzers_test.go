@@ -17,6 +17,10 @@ func TestGoleakFixture(t *testing.T) {
 	runWantTest(t, "goleak", fixtureDir("internal", "serve", "goleakdata"))
 }
 
+func TestGoleakHedgeFixture(t *testing.T) {
+	runWantTest(t, "goleak", fixtureDir("internal", "health", "hedgeleakdata"))
+}
+
 func TestErrcheckFixture(t *testing.T) {
 	runWantTest(t, "errcheck", fixtureDir("internal", "errcheckdata"))
 }
@@ -107,6 +111,9 @@ func TestScopeGates(t *testing.T) {
 	}
 	if !GoleakAnalyzer.AppliesTo("genie/internal/kvcache") {
 		t.Error("goleak must apply to the prefix cache")
+	}
+	if !GoleakAnalyzer.AppliesTo("genie/internal/health") {
+		t.Error("goleak must apply to the health scorer's probe and hedge paths")
 	}
 	if !kvOwnerScope("genie/internal/kvcache") {
 		t.Error("kvcache is a KV plan owner — its strategies place prefix KV on backends")

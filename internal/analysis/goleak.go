@@ -26,7 +26,9 @@ import (
 // genie/internal/eval (the simulator fabric and the eval harness spawn
 // per-connection pumps of their own), plus genie/internal/kvcache (the
 // prefix cache's split sessions pin resident state that a stranded
-// goroutine would hold forever). A goroutine is flagged when its
+// goroutine would hold forever), plus genie/internal/health (the
+// scorer's probe and hedge paths spawn racing goroutines whose losers
+// must be cancelled, not abandoned). A goroutine is flagged when its
 // body (the literal, or the function/method it calls — resolved
 // cross-package through the interprocedural Program when available)
 // contains an unconditional `for { ... }` loop with no cancellation
@@ -51,7 +53,8 @@ var GoleakAnalyzer = &Analyzer{
 			hasPrefixPath(scope, "genie/internal/simnet") ||
 			hasPrefixPath(scope, "genie/internal/eval") ||
 			hasPrefixPath(scope, "genie/internal/quant") ||
-			hasPrefixPath(scope, "genie/internal/kvcache")
+			hasPrefixPath(scope, "genie/internal/kvcache") ||
+			hasPrefixPath(scope, "genie/internal/health")
 	},
 	Run: runGoleak,
 }

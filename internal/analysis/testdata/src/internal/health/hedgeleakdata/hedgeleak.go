@@ -1,0 +1,94 @@
+// Package hedgeleakdata is genie-lint test fixture data for the
+// goroutine cancellation analyzer in the health scorer's hedge idiom.
+// Its pretend path (genie/internal/health/...) places it inside
+// goleak's scope: a hedged request races two attempts, and the losing
+// attempt's goroutine must have a cancellation path — a loser that
+// retries forever outlives every request it was racing for.
+package hedgeleakdata
+
+import (
+	"context"
+	"time"
+)
+
+type attempt struct {
+	send    chan []byte
+	results chan int
+	fails   int
+}
+
+func (a *attempt) try() bool { a.fails++; return a.fails > 3 }
+
+// hedgeWithoutCancel launches the backup attempt with nothing to stop
+// it: if the primary wins, the loser keeps retrying for the life of
+// the process, pinning its lane.
+func (a *attempt) hedgeWithoutCancel() {
+	go func() { // want "unconditional loop with no cancellation path"
+		for {
+			if a.try() {
+				a.results <- 1
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+
+// hedgeWithContext is the correct shape: the winner's caller cancels
+// the context and the loser observes Done and exits.
+func (a *attempt) hedgeWithContext(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+			if a.try() {
+				select {
+				case a.results <- 1:
+				case <-ctx.Done():
+				}
+				return
+			}
+		}
+	}()
+}
+
+// probeLoop pumps a closable probe channel: closing send when the
+// endpoint is dropped ends the goroutine, which counts as cancellable.
+func (a *attempt) probeLoop() {
+	go func() {
+		for range a.send {
+			a.try()
+		}
+	}()
+}
+
+// retryForever is the named-function form of the leak: its summary
+// records the unconditional loop.
+func retryForever(a *attempt) {
+	for {
+		a.try()
+	}
+}
+
+// armBackup has no loop of its own — it records the hedge and hands
+// off to the retry body.
+func armBackup(a *attempt) {
+	a.fails = 0
+	retryForever(a)
+}
+
+// launchHedge hides the leak one call down — the go'd body has no loop
+// of its own, but what it calls never returns.
+func launchHedge(a *attempt) {
+	go armBackup(a) // want "goroutine calls .*retryForever, which loops forever"
+}
+
+// oneShot fires a single bounded attempt; goroutines without an
+// unconditional loop are not flagged.
+func oneShot(a *attempt) {
+	go func() {
+		a.results <- 1
+	}()
+}

@@ -1,0 +1,70 @@
+package chaos
+
+import (
+	"sync"
+	"time"
+)
+
+// brownoutState is a faultConn's fail-slow bookkeeping: the per-conn
+// operation counter driving periodic pauses, and the current creep
+// level. Both advance only while the plan is armed, and neither ever
+// touches the plan's PRNG — brownouts are scheduled purely by operation
+// and byte counts, so the same workload over the same conn degrades
+// identically on every run, and composing a brownout with the seeded
+// probabilistic faults leaves their draw sequence bit-identical.
+type brownoutState struct {
+	mu    sync.Mutex
+	ops   int64
+	creep time.Duration
+}
+
+// brownoutEnabled reports whether any fail-slow latency mode is set.
+func (f *faultConn) brownoutEnabled() bool {
+	c := f.p.cfg
+	return c.PauseEvery > 0 || c.CreepStep > 0
+}
+
+// brownoutDelay applies the pause and creep modes to one conn
+// operation: every PauseEvery-th op freezes for PauseDur, and each op
+// waits the creep level, which rises by CreepStep per op until
+// CreepMax. Called before the underlying I/O so the victim sees the
+// latency exactly where a sick NIC or a GC-bound peer would induce it.
+func (f *faultConn) brownoutDelay() {
+	if f.p.disarmed.Load() || !f.brownoutEnabled() {
+		return
+	}
+	c := f.p.cfg
+	var sleep time.Duration
+	f.bo.mu.Lock()
+	f.bo.ops++
+	if c.PauseEvery > 0 && f.bo.ops%c.PauseEvery == 0 {
+		sleep += c.PauseDur
+		f.p.note("pause")
+	}
+	if c.CreepStep > 0 {
+		f.bo.creep += c.CreepStep
+		if c.CreepMax > 0 && f.bo.creep > c.CreepMax {
+			f.bo.creep = c.CreepMax
+		}
+		sleep += f.bo.creep
+		f.p.note("creep")
+	}
+	f.bo.mu.Unlock()
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+}
+
+// throttle paces n bytes at ThrottleBytesPerSec by sleeping the time
+// the bytes would take on a link of that speed — a stateless pacing
+// model (each op pays its full serialization delay) chosen over a token
+// bucket because it needs no wall-clock reads, keeping the injected
+// schedule a pure function of the byte sequence.
+func (f *faultConn) throttle(n int) {
+	rate := f.p.cfg.ThrottleBytesPerSec
+	if rate <= 0 || n <= 0 || f.p.disarmed.Load() {
+		return
+	}
+	f.p.note("throttle")
+	time.Sleep(time.Duration(float64(n) / float64(rate) * float64(time.Second)))
+}

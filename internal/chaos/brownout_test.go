@@ -1,0 +1,110 @@
+package chaos
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// sinkConn swallows writes and serves reads instantly, so brownout
+// delays are the only time a test measures.
+type sinkConn struct{ net.Conn }
+
+func (sinkConn) Write(b []byte) (int, error) { return len(b), nil }
+func (sinkConn) Read(b []byte) (int, error)  { return len(b), nil }
+func (sinkConn) Close() error                { return nil }
+
+// TestBrownoutPauseAndCreepSchedule: the pause fires on exactly every
+// Nth op, creep charges every op, and the whole schedule is a pure
+// function of the op sequence — two identical runs inject identically.
+func TestBrownoutPauseAndCreepSchedule(t *testing.T) {
+	run := func() map[string]int64 {
+		p := NewPlan(7, Config{
+			PauseEvery: 3, PauseDur: time.Microsecond,
+			CreepStep: time.Microsecond, CreepMax: 3 * time.Microsecond,
+		})
+		fc := p.WrapConn(sinkConn{})
+		buf := make([]byte, 8)
+		for i := 0; i < 12; i++ {
+			if _, err := fc.Write(buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return p.Injected()
+	}
+	got := run()
+	if got["pause"] != 4 {
+		t.Errorf("pauses = %d over 12 ops with PauseEvery 3, want 4", got["pause"])
+	}
+	if got["creep"] != 12 {
+		t.Errorf("creeps = %d over 12 ops, want one per op", got["creep"])
+	}
+	again := run()
+	for k, v := range got {
+		if again[k] != v {
+			t.Errorf("second run injected %s=%d, first %d — brownout schedule not deterministic", k, again[k], v)
+		}
+	}
+}
+
+// TestBrownoutThrottlePaces: a throttled conn takes at least the
+// serialization delay of the bytes moved, and a disarmed plan charges
+// nothing.
+func TestBrownoutThrottlePaces(t *testing.T) {
+	p := NewPlan(7, Config{ThrottleBytesPerSec: 1 << 20}) // 1 MiB/s
+	fc := p.WrapConn(sinkConn{})
+	buf := make([]byte, 16<<10) // 16 KiB → ≥ ~15.6ms at 1 MiB/s
+	t0 := time.Now()
+	if _, err := fc.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d < 10*time.Millisecond {
+		t.Errorf("throttled 16KiB write took %v, want >= ~15ms at 1MiB/s", d)
+	}
+	if p.Injected()["throttle"] != 1 {
+		t.Errorf("throttle count = %d, want 1", p.Injected()["throttle"])
+	}
+
+	p.SetActive(false)
+	t0 = time.Now()
+	if _, err := fc.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d > 5*time.Millisecond {
+		t.Errorf("disarmed throttle still slept %v", d)
+	}
+}
+
+// TestBrownoutLeavesFaultStreamAligned: arming a brownout must not
+// consume PRNG draws — the probabilistic fault sequence with and
+// without a brownout is bit-identical under one seed.
+func TestBrownoutLeavesFaultStreamAligned(t *testing.T) {
+	seq := func(cfg Config) map[string]int64 {
+		p := NewPlan(11, cfg)
+		fc := p.WrapConn(sinkConn{})
+		buf := make([]byte, 4)
+		for i := 0; i < 100; i++ {
+			_, _ = fc.Write(buf)
+		}
+		inj := p.Injected()
+		delete(inj, "pause")
+		delete(inj, "creep")
+		delete(inj, "throttle")
+		return inj
+	}
+	base := Config{DropWriteProb: 0.1, DelayProb: 0.1, Delay: time.Microsecond}
+	withBrownout := base
+	withBrownout.PauseEvery = 2
+	withBrownout.PauseDur = time.Microsecond
+	withBrownout.CreepStep = time.Microsecond
+	withBrownout.CreepMax = 2 * time.Microsecond
+	a, b := seq(base), seq(withBrownout)
+	if len(a) != len(b) {
+		t.Fatalf("probabilistic fault kinds differ: %v vs %v", a, b)
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("fault stream diverged once brownout armed: %s=%d vs %d (%v / %v)", k, v, b[k], a, b)
+		}
+	}
+}

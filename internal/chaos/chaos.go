@@ -68,6 +68,27 @@ type Config struct {
 	// CrashExecAt, when > 0, crashes the backend on exactly that
 	// (1-based) Exec call via the hook from ExecHook.
 	CrashExecAt int64
+
+	// Brownout modes — fail-slow degradation (DESIGN §13). Unlike the
+	// probabilistic faults above, these never draw from the plan's PRNG:
+	// they are scheduled by per-connection operation counts and byte
+	// counts alone, so arming a brownout cannot shift the seeded fault
+	// stream of an existing experiment.
+
+	// ThrottleBytesPerSec paces the conn to at most this throughput by
+	// charging each operation a sleep proportional to its bytes — a
+	// degraded NIC or an oversubscribed ToR link. Zero = unthrottled.
+	ThrottleBytesPerSec int64
+	// PauseEvery stalls every Nth conn operation for PauseDur — the
+	// periodic multi-millisecond freeze of a GC-pausing peer. Zero
+	// disables.
+	PauseEvery int64
+	PauseDur   time.Duration
+	// CreepStep inflates every operation's latency by one more CreepStep
+	// than the last, capped at CreepMax — the slow drift of a failing
+	// component that no threshold check catches until it is far gone.
+	CreepStep time.Duration
+	CreepMax  time.Duration
 }
 
 // Plan is a deterministic fault schedule. Create with NewPlan or
@@ -235,10 +256,13 @@ func (p *Plan) WrapConn(c net.Conn) net.Conn {
 // faultConn sabotages a net.Conn per its plan.
 type faultConn struct {
 	net.Conn
-	p *Plan
+	p  *Plan
+	bo brownoutState
 }
 
 func (f *faultConn) Write(b []byte) (int, error) {
+	f.brownoutDelay()
+	f.throttle(len(b))
 	switch f.p.decideWrite() {
 	case writeDrop:
 		// The bytes vanish; the caller believes they were sent. The peer
@@ -273,6 +297,7 @@ func (f *faultConn) Write(b []byte) (int, error) {
 }
 
 func (f *faultConn) Read(b []byte) (int, error) {
+	f.brownoutDelay()
 	switch f.p.decideRead() {
 	case writeDelay:
 		f.p.note("delay")
@@ -285,5 +310,8 @@ func (f *faultConn) Read(b []byte) (int, error) {
 		_ = f.Conn.Close()
 		return 0, ErrInjectedKill
 	}
-	return f.Conn.Read(b)
+	n, err := f.Conn.Read(b)
+	// Throttle on the bytes actually received (unknown before the read).
+	f.throttle(n)
+	return n, err
 }

@@ -1,0 +1,42 @@
+package eval
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestBrownoutServingSmoke runs the four-way brownout comparison at toy
+// scale and checks the headline invariants: nothing fails in any run,
+// every run's tokens are bit-identical to the healthy baseline, and the
+// health-on run actually quarantined the browned lane.
+func TestBrownoutServingSmoke(t *testing.T) {
+	cfg := DefaultBrownoutServingConfig()
+	cfg.Requests = 8
+	cfg.MaxTokens = 4
+	cfg.PauseDur = 2 * time.Millisecond
+	cfg.HedgeFloor = 2 * time.Millisecond
+
+	res, err := RunBrownoutServing(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, run := range []BrownoutRun{res.Healthy, res.HealthOff, res.HealthOn, res.Hedged} {
+		if run.Failed != 0 {
+			t.Errorf("%s: %d failed requests, want 0 (fail-slow must not become fail-stop for the client)",
+				run.Name, run.Failed)
+		}
+		if run.Completed != int64(cfg.Requests) {
+			t.Errorf("%s: completed %d/%d", run.Name, run.Completed, cfg.Requests)
+		}
+		if !run.TokensMatch {
+			t.Errorf("%s: token streams diverge from healthy baseline", run.Name)
+		}
+		if run.P99TTFT <= 0 || run.Goodput <= 0 {
+			t.Errorf("%s: empty metrics: p99ttft=%v goodput=%.1f", run.Name, run.P99TTFT, run.Goodput)
+		}
+	}
+	if res.Hedged.Hedged == 0 {
+		t.Error("hedged run never hedged a prefill despite a browned primary lane")
+	}
+}

@@ -155,7 +155,7 @@ func runOnce(ctx context.Context, cfg ChaosServingConfig, plan *chaos.Plan) (Onl
 		RetryBudget: cfg.RetryBudget,
 		// Generous guard against a truly hung peer; fault-free ops finish
 		// in milliseconds.
-		OpTimeout:   2 * time.Second,
+		OpTimeout: 2 * time.Second,
 	}, pool)
 	if err != nil {
 		return OnlineServingResult{}, probe, err

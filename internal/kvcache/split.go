@@ -2,8 +2,11 @@ package kvcache
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"time"
 
+	"genie/internal/health"
 	"genie/internal/lazy"
 	"genie/internal/models"
 	"genie/internal/nn"
@@ -43,20 +46,56 @@ type SplitConfig struct {
 	// Metrics receives the ΔKV handoff series; nil keeps a private
 	// registry.
 	Metrics *obs.Registry
+
+	// Lanes optionally names a pool of prefill endpoints. When set,
+	// Prefill may be nil; each request's primary is the healthiest lane
+	// (per Health) or the first lane. Two or more lanes unlock hedging.
+	Lanes []PrefillLane
+	// Health, when set, ranks lanes per request, derives the adaptive
+	// hedge deadline, and is fed every prefill exec's latency/outcome —
+	// the same scorer the serving engine and pool consume.
+	Health *health.Set
+	// HedgePrefill issues the prefill to a second lane when the first
+	// has not answered within the adaptive deadline; the first result
+	// wins, the loser is cancelled (deliberately poisoning its conn —
+	// the fail-slow lane becomes fail-stop and its breaker/health see
+	// it), and exactly one result reaches the prefix cache.
+	HedgePrefill bool
+	// HedgeFloor is the minimum wait before hedging (default 25ms); the
+	// adaptive deadline (health.Config.HedgeFactor × the healthiest
+	// lane's EWMA) never drops below it.
+	HedgeFloor time.Duration
+}
+
+// PrefillLane is one named member of the prefill pool.
+type PrefillLane struct {
+	Name string
+	EP   runtime.Endpoint
 }
 
 // Split runs prefill and decode on different backends, shipping the ΔKV
 // suffix between them.
 type Split struct {
-	cfg         SplitConfig
-	deltaBytes  *obs.Counter
-	deltaTokens *obs.Counter
+	cfg          SplitConfig
+	deltaBytes   *obs.Counter
+	deltaTokens  *obs.Counter
+	hedged       *obs.Counter
+	hedgeWins    *obs.Counter
+	hedgeCancels *obs.Counter
 }
 
 // NewSplit validates the wiring.
 func NewSplit(cfg SplitConfig) (*Split, error) {
-	if cfg.Model == nil || cfg.Prefill == nil || cfg.Decode == nil {
-		return nil, fmt.Errorf("kvcache: split needs a model and both endpoints")
+	if cfg.Model == nil || cfg.Decode == nil || (cfg.Prefill == nil && len(cfg.Lanes) == 0) {
+		return nil, fmt.Errorf("kvcache: split needs a model, a decode endpoint, and a prefill endpoint or lanes")
+	}
+	for _, ln := range cfg.Lanes {
+		if ln.Name == "" || ln.EP == nil {
+			return nil, fmt.Errorf("kvcache: every prefill lane needs a name and an endpoint")
+		}
+	}
+	if cfg.HedgeFloor <= 0 {
+		cfg.HedgeFloor = 25 * time.Millisecond
 	}
 	reg := cfg.Metrics
 	if reg == nil {
@@ -66,20 +105,176 @@ func NewSplit(cfg SplitConfig) (*Split, error) {
 		cfg:         cfg,
 		deltaBytes:  reg.Counter("genie_kvcache_split_delta_bytes_total", "KV suffix bytes handed prefill->decode"),
 		deltaTokens: reg.Counter("genie_kvcache_split_delta_tokens_total", "KV suffix tokens handed prefill->decode"),
+		hedged: reg.Counter("genie_kvcache_hedged_prefills_total",
+			"prefills issued to a second lane past the adaptive deadline"),
+		hedgeWins: reg.Counter("genie_kvcache_hedge_wins_total",
+			"hedged prefills won by the backup lane"),
+		hedgeCancels: reg.Counter("genie_kvcache_hedge_cancelled_total",
+			"losing hedge execs cancelled in flight"),
 	}, nil
 }
+
+// Hedged/HedgeWins/HedgeCancelled report hedged-prefill activity.
+func (sp *Split) Hedged() int64         { return sp.hedged.Value() }
+func (sp *Split) HedgeWins() int64      { return sp.hedgeWins.Value() }
+func (sp *Split) HedgeCancelled() int64 { return sp.hedgeCancels.Value() }
 
 // InstallWeights provisions both endpoints with the model weights.
 // Callers routing the prefill endpoint through a lineage.TrackedEndpoint
 // get replayable provenance for free.
 func (sp *Split) InstallWeights() error {
-	for _, ep := range []runtime.Endpoint{sp.cfg.Prefill, sp.cfg.Decode} {
+	eps := []runtime.Endpoint{sp.cfg.Decode}
+	if sp.cfg.Prefill != nil {
+		eps = append(eps, sp.cfg.Prefill)
+	}
+	for _, ln := range sp.cfg.Lanes {
+		eps = append(eps, ln.EP)
+	}
+	for _, ep := range eps {
 		r := &runtime.LLMRunner{Model: sp.cfg.Model, EP: ep}
 		if _, err := r.InstallModelWeights(); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// rankedLanes orders the prefill pool for this request: healthiest
+// first when a scorer is wired, configured order otherwise. Without
+// named lanes the single Prefill endpoint is the whole pool.
+func (sp *Split) rankedLanes() []PrefillLane {
+	if len(sp.cfg.Lanes) == 0 {
+		return []PrefillLane{{Name: "prefill", EP: sp.cfg.Prefill}}
+	}
+	if sp.cfg.Health == nil {
+		return sp.cfg.Lanes
+	}
+	names := make([]string, len(sp.cfg.Lanes))
+	byName := make(map[string]PrefillLane, len(sp.cfg.Lanes))
+	for i, ln := range sp.cfg.Lanes {
+		names[i] = ln.Name
+		byName[ln.Name] = ln
+	}
+	ranked := sp.cfg.Health.Healthiest(names)
+	out := make([]PrefillLane, 0, len(ranked))
+	for _, n := range ranked {
+		out = append(out, byName[n])
+	}
+	return out
+}
+
+// execOnLane runs one prefill exec on a lane, threading ctx through
+// when the endpoint supports per-call cancellation (transport.Client
+// does), and feeds the result to the health scorer. A cancelled exec —
+// the losing half of a hedge — is not held against the lane's latency
+// EWMA: the duration measures our patience, not the lane.
+func (sp *Split) execOnLane(ctx context.Context, ln PrefillLane, ex *transport.Exec) (*transport.ExecOK, error) {
+	type ctxExecer interface {
+		ExecCtx(context.Context, *transport.Exec) (*transport.ExecOK, error)
+	}
+	t0 := time.Now()
+	var ok *transport.ExecOK
+	var err error
+	if ec, can := ln.EP.(ctxExecer); can && ctx != nil {
+		ok, err = ec.ExecCtx(ctx, ex)
+	} else {
+		ok, err = ln.EP.Exec(ex)
+	}
+	if sp.cfg.Health != nil && !errors.Is(err, context.Canceled) {
+		sp.cfg.Health.Endpoint(ln.Name).Observe(time.Since(t0), err != nil)
+	}
+	return ok, err
+}
+
+// execPrefill dispatches the phase-1 exec: straight through on a single
+// lane, hedged across the two healthiest when enabled. Exactly one
+// ExecOK ever comes back, so downstream cache insertion and ΔKV handoff
+// see one winner no matter how many lanes raced.
+func (sp *Split) execPrefill(ctx context.Context, ex *transport.Exec) (*transport.ExecOK, error) {
+	lanes := sp.rankedLanes()
+	if !sp.cfg.HedgePrefill || len(lanes) < 2 {
+		return sp.execOnLane(ctx, lanes[0], ex)
+	}
+	return sp.hedgeExec(ctx, lanes[0], lanes[1], ex)
+}
+
+// hedgeExec races the primary lane against a backup: the backup
+// launches when the primary misses the adaptive deadline (or fails
+// outright), the first success wins, and the loser's exec is cancelled
+// mid-flight. Cancellation poisons the loser's conn by design — that is
+// the fail-slow → fail-stop conversion: a browned-out lane that would
+// otherwise stay wedged now fails its next call fast and its breaker
+// and health score react. Both workers send to a buffered channel, so
+// the loser always runs to completion and nothing leaks.
+func (sp *Split) hedgeExec(ctx context.Context, primary, backup PrefillLane, ex *transport.Exec) (*transport.ExecOK, error) {
+	if ctx == nil {
+		//lint:ignore ctxflow nil-context fallback, not a propagation hole
+		ctx = context.Background()
+	}
+	deadline := sp.cfg.HedgeFloor
+	if sp.cfg.Health != nil {
+		deadline = sp.cfg.Health.HedgeDeadline(sp.cfg.HedgeFloor)
+	}
+	type result struct {
+		ok     *transport.ExecOK
+		err    error
+		backup bool
+	}
+	ch := make(chan result, 2)
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	launch := func(ln PrefillLane, isBackup bool) {
+		go func() {
+			ok, err := sp.execOnLane(hctx, ln, ex)
+			ch <- result{ok, err, isBackup}
+		}()
+	}
+	launch(primary, false)
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	pending, hedgedNow := 1, false
+	var firstErr error
+	for {
+		select {
+		case r := <-ch:
+			pending--
+			if r.err == nil {
+				if r.backup {
+					sp.hedgeWins.Inc()
+				}
+				if pending > 0 {
+					// The loser is still in flight: cancel it. The deferred
+					// cancel would fire anyway; counting here keeps the
+					// metric honest about in-flight cancellations only.
+					cancel()
+					sp.hedgeCancels.Inc()
+				}
+				return r.ok, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if !hedgedNow {
+				// The primary failed before the deadline: hedge immediately
+				// rather than waiting out a timer nobody is racing.
+				hedgedNow = true
+				pending++
+				sp.hedged.Inc()
+				launch(backup, true)
+				continue
+			}
+			if pending == 0 {
+				return nil, firstErr
+			}
+		case <-timer.C:
+			if !hedgedNow {
+				hedgedNow = true
+				pending++
+				sp.hedged.Inc()
+				launch(backup, true)
+			}
+		}
+	}
 }
 
 // DeltaBytes reports total KV bytes shipped across the phase boundary —
@@ -157,10 +352,10 @@ func (s *splitSession) Prefill(ctx context.Context, prompt []int64) (int64, erro
 	for i := range plan.newK {
 		ex.Want = append(ex.Want, plan.newK[i], plan.newV[i])
 	}
-	ok, err := sp.cfg.Prefill.Exec(ex)
+	ok, err := sp.execPrefill(ctx, ex)
 	if err != nil && sp.cfg.OnPrefillFailure != nil {
 		if herr := sp.cfg.OnPrefillFailure(err); herr == nil {
-			ok, err = sp.cfg.Prefill.Exec(ex)
+			ok, err = sp.execPrefill(ctx, ex)
 		}
 	}
 	if err != nil {

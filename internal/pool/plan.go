@@ -23,6 +23,7 @@ package pool
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -91,6 +92,38 @@ type Candidate struct {
 	Name string
 	Spec device.Spec
 	Link cluster.Link
+	// HealthScore is the fail-slow scorer's composite score in (0, 1]
+	// for this member (see internal/health); zero means unscored and is
+	// treated as 1. The planner divides roofline kernel time by the
+	// score, so a browned-out member looks proportionally slower to
+	// placement and StrategyAuto routes layers away from it.
+	HealthScore float64
+	// Quarantined marks a member the fail-slow scorer has pulled from
+	// service. It is still offered to the planner — dropping it could
+	// make an otherwise-feasible model infeasible — but it sorts last
+	// and its kernel time carries the worst-case penalty, so placement
+	// avoids it whenever the healthy members have room.
+	Quarantined bool
+}
+
+// minPlanScore floors the health divisor: a quarantined or near-dead
+// member costs at most 1/minPlanScore × its roofline time, keeping
+// estimates finite and comparable.
+const minPlanScore = 0.05
+
+// effectiveScore clamps a candidate's health score into [minPlanScore, 1].
+func (c Candidate) effectiveScore() float64 {
+	if c.Quarantined {
+		return minPlanScore
+	}
+	s := c.HealthScore
+	if s <= 0 || s > 1 {
+		return 1
+	}
+	if s < minPlanScore {
+		return minPlanScore
+	}
+	return s
 }
 
 // Shard is one contiguous run of layers owned by a single member. The
@@ -221,8 +254,19 @@ func BuildPlan(m *models.GPT, members []Candidate, strat Strategy, version int64
 	if len(members) == 0 {
 		return nil, fmt.Errorf("pool: no members")
 	}
+	// Healthiest members first (stable, so unscored pools keep their
+	// offered order): first-fit packing and pipeline staging then load
+	// the members most likely to sustain it, and quarantined members are
+	// reached only when everything healthier is full.
+	ordered := append([]Candidate(nil), members...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if ordered[i].Quarantined != ordered[j].Quarantined {
+			return !ordered[i].Quarantined
+		}
+		return ordered[i].effectiveScore() > ordered[j].effectiveScore()
+	})
 	embed, head, layers := modelUnits(m)
-	pl := &planner{model: m, members: members, embed: embed, head: head, layers: layers}
+	pl := &planner{model: m, members: ordered, embed: embed, head: head, layers: layers}
 	switch strat {
 	case StrategyMemory, StrategyTensor, StrategyPipeline:
 		owners, err := pl.place(strat)
@@ -353,9 +397,15 @@ func (pl *planner) finish(strat Strategy, owners []string, version int64) *Shard
 	// Decode-step activation crossing a boundary: one [1, dim] f32 row.
 	actBytes := int64(pl.model.Cfg.Dim) * 4
 	var est time.Duration
-	// Kernel time per layer on its owner, embed/head on theirs.
+	// Kernel time per layer on its owner, embed/head on theirs, scaled
+	// by the owner's health: a member running at score s delivers its
+	// roofline throughput slowed by 1/s under the fail-slow model.
 	kt := func(c Candidate, u unitAcct) time.Duration {
-		return c.Spec.KernelTime(u.flops, u.bytes)
+		t := c.Spec.KernelTime(u.flops, u.bytes)
+		if s := c.effectiveScore(); s < 1 {
+			t = time.Duration(float64(t) / s)
+		}
+		return t
 	}
 	est += kt(pl.byName(owners[0]), pl.embed)
 	for i, u := range pl.layers {

@@ -7,9 +7,11 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"genie/internal/cluster"
 	"genie/internal/device"
+	"genie/internal/health"
 	"genie/internal/lineage"
 	"genie/internal/models"
 	"genie/internal/obs"
@@ -28,6 +30,12 @@ type Config struct {
 	// Metrics is the registry pool telemetry registers into; nil gets a
 	// private registry.
 	Metrics *obs.Registry
+	// Health is the fail-slow scorer shared with the serving layer (nil
+	// disables health-aware placement). The pool both consumes it —
+	// candidate scores fold into the plan cost model, so rebuilds route
+	// layers away from browned-out members — and feeds it: every segment
+	// exec's latency and outcome is observed against the member.
+	Health *health.Set
 	// RebalanceOnJoin re-places shards when a member joins, instead of
 	// keeping the newcomer as a hot spare. Re-placement only happens
 	// while no session KV state is tracked (weight moves are provenance
@@ -319,7 +327,13 @@ func (m *Manager) candidates(skip string) []Candidate {
 			continue
 		}
 		mem := m.members[name]
-		out = append(out, Candidate{Name: mem.name, Spec: mem.spec, Link: mem.link})
+		c := Candidate{Name: mem.name, Spec: mem.spec, Link: mem.link}
+		if m.cfg.Health != nil {
+			tr := m.cfg.Health.Endpoint(name)
+			c.HealthScore = tr.Score()
+			c.Quarantined = tr.State() == health.Quarantined
+		}
+		out = append(out, c)
 	}
 	return out
 }
@@ -667,7 +681,11 @@ func (m *Manager) execOn(name string, x *transport.Exec) (*transport.ExecOK, err
 	if mem == nil {
 		return nil, fmt.Errorf("pool: member %q departed", name)
 	}
+	t0 := time.Now()
 	ok, err := mem.te.Exec(x)
+	if m.cfg.Health != nil {
+		m.cfg.Health.Endpoint(name).Observe(time.Since(t0), err != nil)
+	}
 	if err == nil {
 		m.segExecs.Inc()
 	}

@@ -9,6 +9,10 @@ type MemberStatus struct {
 	Spare       bool   `json:"spare"`
 	WeightBytes int64  `json:"weight_bytes"`
 	Layers      int    `json:"layers"`
+	// Health/Score are the fail-slow scorer's graded state and composite
+	// score for this member; empty/zero without Config.Health.
+	Health string  `json:"health,omitempty"`
+	Score  float64 `json:"score,omitempty"`
 }
 
 // ShardStatus is one contiguous layer run in the active plan.
@@ -80,6 +84,11 @@ func (m *Manager) Status() Status {
 			ms.Healthy = !mem.gate.closed.Load()
 		}
 		m.mu.Unlock()
+		if m.cfg.Health != nil {
+			tr := m.cfg.Health.Endpoint(name)
+			ms.Health = tr.State().String()
+			ms.Score = tr.Score()
+		}
 		st.Members = append(st.Members, ms)
 	}
 	return st

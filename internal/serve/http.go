@@ -43,6 +43,16 @@ type StreamEvent struct {
 	Token int64 `json:"token"`
 }
 
+// HealthzResponse is the degraded-state /healthz body: served with 503
+// when any lane is health-quarantined, carrying per-lane detail so an
+// external load balancer can see exactly which endpoints went
+// fail-slow.
+type HealthzResponse struct {
+	Status      string                   `json:"status"`
+	Quarantined []string                 `json:"quarantined"`
+	Lanes       map[string]BackendHealth `json:"lanes"`
+}
+
 // NewHandler exposes an engine over HTTP: POST /v1/generate,
 // GET /healthz, GET /stats, GET /metrics (Prometheus text), and
 // GET /debug/trace (Chrome trace JSON of the span ring buffer).
@@ -90,6 +100,19 @@ func NewHandler(e *Engine) http.Handler {
 		if !e.anyHealthyBackend() {
 			w.Header().Set("Retry-After", retryAfterSeconds(e))
 			http.Error(w, "no healthy backends", http.StatusServiceUnavailable)
+			return
+		}
+		// Degraded: some lanes quarantined by the fail-slow scorer. 503
+		// with per-lane detail so an external load balancer can rotate
+		// this gateway out before tail latency (not just availability)
+		// collapses; capacity remains, so Retry-After is short.
+		if quarantined := e.quarantinedLanes(); len(quarantined) > 0 {
+			w.Header().Set("Retry-After", retryAfterSeconds(e))
+			writeJSON(w, http.StatusServiceUnavailable, HealthzResponse{
+				Status:      "degraded",
+				Quarantined: quarantined,
+				Lanes:       e.Stats().Backends,
+			})
 			return
 		}
 		w.WriteHeader(http.StatusOK)

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"genie/internal/health"
 	"genie/internal/obs"
 	"genie/internal/runtime"
 	"genie/internal/transport"
@@ -25,11 +26,20 @@ import (
 // transport-level failures open it, an open lane stops pulling from the
 // queue (its requests re-queue to healthy lanes), and after the
 // cooldown a single probe request decides whether it rejoins.
+//
+// With Config.Health set a lane additionally carries a fail-slow
+// tracker: per-op latencies and failures feed it, a Suspect lane
+// demotes itself (admitting only when healthy capacity is saturated),
+// a Quarantined lane drains its batch back to the queue through the
+// ordinary failover path, a Reinstating lane trials one request at a
+// time, and an idle lane pings its endpoint so recovery is observed
+// without risking real traffic.
 type lane struct {
 	e       *Engine
 	name    string
 	runner  *runtime.LLMRunner
 	breaker *transport.Breaker
+	tracker *health.Tracker
 	active  []*activeReq
 	activeN atomic.Int32
 	wake    chan struct{}
@@ -59,6 +69,9 @@ func newLane(e *Engine, name string, r *runtime.LLMRunner) *lane {
 		},
 	})
 	l.breaker.Instrument(e.cfg.Metrics, name)
+	if e.cfg.Health != nil {
+		l.tracker = e.cfg.Health.Endpoint(name)
+	}
 	return l
 }
 
@@ -74,9 +87,10 @@ func (l *lane) run() {
 			goruntime.Gosched()
 			continue
 		}
+		l.maybeProbe()
 		if wait := l.idleWait(); wait > 0 {
-			// Suspect endpoint with work still queued: wake up to probe
-			// when the breaker's cooldown lapses even if nobody nudges.
+			// Wake on our own: when the breaker's cooldown lapses with work
+			// still queued, and on the health prober's cadence.
 			t := time.NewTimer(wait)
 			select {
 			case <-l.wake:
@@ -97,29 +111,68 @@ func (l *lane) run() {
 }
 
 // idleWait returns how long an idle lane should sleep before rechecking
-// the queue on its own; 0 means sleep until nudged. Nonzero only while
-// this lane's breaker blocks admission and work is waiting — the one
-// state where no future nudge is guaranteed to arrive.
+// the queue on its own; 0 means sleep until nudged. Nonzero while this
+// lane's breaker blocks admission and work is waiting — the one state
+// where no future nudge is guaranteed to arrive — and, with health
+// scoring on, while the active prober needs the lane awake on its
+// cadence (probes are what let a Quarantined endpoint earn its way
+// back without real traffic).
 func (l *lane) idleWait() time.Duration {
-	if l.breaker.State() == transport.BreakerClosed {
-		return 0
+	var probeWait time.Duration
+	if l.tracker != nil {
+		probeWait = l.tracker.ProbeWait()
 	}
-	l.e.mu.Lock()
-	queued := l.e.queues.depth() > 0
-	l.e.mu.Unlock()
-	if !queued {
-		return 0
+	breakerWait := time.Duration(0)
+	if l.breaker.State() != transport.BreakerClosed {
+		l.e.mu.Lock()
+		queued := l.e.queues.depth() > 0
+		l.e.mu.Unlock()
+		if queued {
+			breakerWait = l.breaker.RetryAfter()
+			if breakerWait <= 0 {
+				breakerWait = 10 * time.Millisecond
+			}
+		}
 	}
-	if ra := l.breaker.RetryAfter(); ra > 0 {
-		return ra
+	switch {
+	case probeWait > 0 && breakerWait > 0 && probeWait < breakerWait:
+		return probeWait
+	case breakerWait > 0:
+		return breakerWait
 	}
-	return 10 * time.Millisecond
+	return probeWait
+}
+
+// maybeProbe issues one active health probe when the lane is idle and
+// the prober's cadence says one is due. The probe is a transport ping
+// — cheap, stateless, and safe against a quarantined endpoint — whose
+// outcome feeds the error side of the score (ping RTT is not exec
+// latency, so the latency EWMA is left alone).
+func (l *lane) maybeProbe() {
+	if l.tracker == nil || len(l.active) > 0 || !l.tracker.ProbeDue() {
+		return
+	}
+	p, ok := l.runner.EP.(interface {
+		PingCtx(context.Context) (time.Duration, error)
+	})
+	if !ok {
+		return
+	}
+	// A probe belongs to no request; it is the lane's own background
+	// activity, so a root context bounded by the probe timeout is right.
+	//lint:ignore ctxflow probe is lane-owned, not request-scoped
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	t0 := l.e.clock.Now()
+	_, err := p.PingCtx(ctx)
+	cancel()
+	l.tracker.ObserveProbe(l.e.clock.Now().Sub(t0), err != nil)
 }
 
 // iterate executes one step boundary; it reports whether any work was
 // done (false = the lane is idle and may sleep).
 func (l *lane) iterate() bool {
-	worked := l.admit()
+	worked := l.drainQuarantined()
+	worked = l.admit() || worked
 	if len(l.active) > 0 {
 		worked = true
 		stepped := 0
@@ -144,16 +197,67 @@ func (l *lane) iterate() bool {
 	return worked
 }
 
+// drainQuarantined hands every active request of a quarantined lane
+// back to the admission queue through the ordinary failover path: the
+// session is closed, lineage replay regenerates the prefix on whichever
+// healthy lane picks the request up, and emit suppresses the tokens the
+// client already holds — no state loss, and no client retry budget
+// burned (quarantine is the engine's decision, not the backend's
+// failure). Reports whether anything was drained.
+func (l *lane) drainQuarantined() bool {
+	if l.tracker == nil || len(l.active) == 0 {
+		return false
+	}
+	if l.tracker.State() != health.Quarantined {
+		return false
+	}
+	for _, ar := range l.active {
+		if l.retireIfDone(ar) {
+			continue
+		}
+		l.requeue(ar)
+	}
+	for i := range l.active {
+		l.active[i] = nil
+	}
+	l.active = l.active[:0]
+	l.activeN.Store(0)
+	return true
+}
+
+// admissible applies the graded health gate ahead of the binary breaker
+// one: Quarantined admits nothing, Reinstating trials one request at a
+// time, Suspect yields to healthy lanes with room (demotion, not
+// removal — a merely-slow lane still serves overflow).
+func (l *lane) admissible() bool {
+	if l.tracker == nil {
+		return true
+	}
+	switch l.tracker.State() {
+	case health.Quarantined:
+		return false
+	case health.Reinstating:
+		return len(l.active) == 0
+	case health.Suspect:
+		return !l.e.healthyRoomElsewhere(l)
+	}
+	return true
+}
+
 // admit moves queued requests into the running batch until it is full,
 // running each newcomer's prefill. An open breaker stops admission cold
 // (queued work stays for healthy lanes); once the cooldown lapses the
-// first dequeued request doubles as the half-open probe. Reports
-// whether anything was admitted or retired.
+// first dequeued request doubles as the half-open probe, carrying the
+// breaker's probe identity so only its prefill outcome settles the
+// probe. Reports whether anything was admitted or retired.
 func (l *lane) admit() bool {
 	worked := false
 	for len(l.active) < l.e.cfg.MaxBatch {
 		if l.breaker.State() == transport.BreakerOpen && l.breaker.RetryAfter() > 0 {
 			break // cooling down; don't touch the queue
+		}
+		if !l.admissible() {
+			break // health-demoted; queued work stays for healthier lanes
 		}
 		ar := l.e.dequeue()
 		if ar == nil {
@@ -166,12 +270,14 @@ func (l *lane) admit() bool {
 		if l.retireIfDone(ar) {
 			continue
 		}
-		if err := l.breaker.Allow(); err != nil {
+		probe, err := l.breaker.Allow()
+		if err != nil {
 			// Lost the probe-slot race; hand the request back untouched.
 			_, ar.qspan = obs.StartSpan(ar.tctx, "serve.queue")
 			l.e.requeue(l, ar)
 			break
 		}
+		ar.bprobe = probe
 		if !l.prefill(ar) {
 			continue // retired at admission (cancelled/expired/failed/re-queued)
 		}
@@ -182,7 +288,13 @@ func (l *lane) admit() bool {
 	return worked
 }
 
-// opCtx bounds one remote operation with the engine's per-op timeout.
+// opCtx bounds one remote operation with the engine's per-op timeout —
+// tightened, when health scoring is on, to the adaptive deadline
+// derived from healthy-peer latency. The adaptive bound is what turns
+// fail-slow into fail-stop: an op a browned-out endpoint would serve
+// 50× slow is cancelled a few multiples past the healthy worst case,
+// surfaces as a retryable timeout, and the request fails over instead
+// of wedging the lane for the op's full duration.
 func (l *lane) opCtx(parent context.Context) (context.Context, context.CancelFunc) {
 	if parent == nil {
 		// Submit tolerates a nil caller context (retireIfDone guards for
@@ -190,10 +302,14 @@ func (l *lane) opCtx(parent context.Context) (context.Context, context.CancelFun
 		//lint:ignore ctxflow nil-context fallback, not a propagation hole
 		parent = context.Background()
 	}
-	if l.e.cfg.OpTimeout <= 0 {
+	timeout := l.e.cfg.OpTimeout
+	if l.e.cfg.Health != nil {
+		timeout = l.e.cfg.Health.OpDeadline(l.e.cfg.HealthOpFloor, timeout)
+	}
+	if timeout <= 0 {
 		return parent, func() {}
 	}
-	return context.WithTimeout(parent, l.e.cfg.OpTimeout)
+	return context.WithTimeout(parent, timeout)
 }
 
 // prefill runs a newcomer's prompt phase; it reports whether the
@@ -201,20 +317,28 @@ func (l *lane) opCtx(parent context.Context) (context.Context, context.CancelFun
 func (l *lane) prefill(ar *activeReq) bool {
 	// The session carries the request span: decode-step spans parent
 	// under serve.request; the prefill itself nests under serve.prefill.
+	s0 := l.e.clock.Now()
 	sess, err := l.runner.NewScopedSessionCtx(ar.tctx, l.e.cfg.Mode, fmt.Sprintf("req%d/", ar.id))
 	if err != nil {
 		l.breaker.Record(err)
+		l.concludeProbe(ar, err)
+		// The scorer sees what the breaker sees: a session that cannot even
+		// be created is a judged failure, not a silent one.
+		l.observe(l.e.clock.Now().Sub(s0), err)
 		l.fail(ar, err)
 		return false
 	}
 	ar.sess = sess
 	pctx, pspan := obs.StartSpan(ar.tctx, "serve.prefill")
 	pspan.SetAttr("backend", l.name)
+	t0 := l.e.clock.Now()
 	opctx, cancel := l.opCtx(pctx)
 	first, err := sess.PrefillCtx(opctx, ar.prompt)
 	cancel()
 	pspan.End()
 	l.breaker.Record(err)
+	l.concludeProbe(ar, err)
+	l.observe(l.e.clock.Now().Sub(t0), err)
 	if err != nil {
 		l.fail(ar, err)
 		return false
@@ -244,8 +368,10 @@ func (l *lane) advance(ar *activeReq) (didStep, stay bool) {
 	opctx, cancel := l.opCtx(ar.tctx)
 	tok, err := ar.sess.StepCtx(opctx)
 	cancel()
-	l.e.stats.recordStep(l.e.clock.Now().Sub(t0))
+	d := l.e.clock.Now().Sub(t0)
+	l.e.stats.recordStep(d)
 	l.breaker.Record(err)
+	l.observe(d, err)
 	if err != nil {
 		l.fail(ar, err)
 		return false, false
@@ -256,6 +382,26 @@ func (l *lane) advance(ar *activeReq) (didStep, stay bool) {
 		return true, false
 	}
 	return true, true
+}
+
+// concludeProbe settles the breaker's half-open probe when this
+// request's admission claimed it; a no-op for ordinary admissions.
+func (l *lane) concludeProbe(ar *activeReq, err error) {
+	ar.bprobe.Conclude(err)
+	ar.bprobe = nil
+}
+
+// observe feeds one op's latency and failure classification to the
+// health tracker. Caller-side cancellation says nothing about the
+// endpoint and is skipped.
+func (l *lane) observe(d time.Duration, err error) {
+	if l.tracker == nil {
+		return
+	}
+	if err != nil && errors.Is(err, context.Canceled) {
+		return
+	}
+	l.tracker.Observe(d, err != nil && (lostBackend(err) || transport.IsFrameError(err)))
 }
 
 // lostBackend classifies errors that mean the backend (not the request)

@@ -20,6 +20,7 @@ import (
 
 	"genie/internal/compute"
 	"genie/internal/global"
+	"genie/internal/health"
 	"genie/internal/models"
 	"genie/internal/obs"
 	"genie/internal/quant"
@@ -97,6 +98,20 @@ type Config struct {
 	// consecutive failures, 1s cooldown).
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+	// Health, when set, is the shared fail-slow scorer (DESIGN.md §13).
+	// Lanes feed it per-op latency and failure samples, demote Suspect
+	// endpoints (admitting work only when healthy capacity is
+	// saturated), drain Quarantined ones through the failover re-queue
+	// path, trial Reinstating ones a request at a time, issue active
+	// probes while idle, and bound each remote op with an adaptive
+	// deadline derived from healthy-peer latency — converting fail-slow
+	// into the fail-stop the breaker/retry machinery already handles.
+	// Nil disables the layer entirely (binary breaker behavior only).
+	Health *health.Set
+	// HealthOpFloor is the lower bound of the adaptive per-op deadline
+	// derived from Health — headroom for legitimately slow ops like
+	// long-prompt prefills (default 50ms; meaningful only with Health).
+	HealthOpFloor time.Duration
 	// PoolStats, when set, is snapshotted into Stats.Pool on every
 	// Stats() call — the hook a pool.Manager-backed gateway uses to
 	// surface shard membership and per-shard health in /stats without
@@ -137,6 +152,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.HealthOpFloor <= 0 {
+		c.HealthOpFloor = 50 * time.Millisecond
 	}
 }
 
@@ -214,6 +232,9 @@ type activeReq struct {
 	// retries counts backend-loss re-queues consumed against the engine's
 	// RetryBudget.
 	retries int
+	// bprobe is the breaker probe identity when this request's admission
+	// doubled as the half-open probe; its prefill outcome concludes it.
+	bprobe *transport.Probe
 	// replayed is how many leading tokens were already delivered before a
 	// re-queue; the deterministic regeneration on the new lane re-emits
 	// nothing below this index.
@@ -500,11 +521,51 @@ func (e *Engine) requeue(from *lane, ar *activeReq) {
 	}
 }
 
-// anyHealthyBackend reports whether at least one lane's breaker is
-// closed (the /healthz degraded signal).
+// anyHealthyBackend reports whether at least one lane can take work:
+// breaker closed and, when health scoring is on, not quarantined (the
+// /healthz degraded signal).
 func (e *Engine) anyHealthyBackend() bool {
 	for _, l := range e.lanes {
-		if l.breaker.State() == transport.BreakerClosed {
+		if l.breaker.State() != transport.BreakerClosed {
+			continue
+		}
+		if l.tracker != nil && l.tracker.State() == health.Quarantined {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// quarantinedLanes lists lanes currently under health quarantine (the
+// /healthz degraded detail). Empty without health scoring.
+func (e *Engine) quarantinedLanes() []string {
+	var out []string
+	for _, l := range e.lanes {
+		if l.tracker != nil && l.tracker.State() == health.Quarantined {
+			out = append(out, l.name)
+		}
+	}
+	return out
+}
+
+// healthyRoomElsewhere reports whether any other lane is Healthy (full
+// grade, breaker closed) with decode-batch room — the signal a Suspect
+// lane uses to demote itself: it admits work only when healthy
+// capacity is saturated, so a merely-slow lane stops poisoning TTFT
+// without the engine losing its capacity outright.
+func (e *Engine) healthyRoomElsewhere(me *lane) bool {
+	for _, l := range e.lanes {
+		if l == me || l.tracker == nil {
+			continue
+		}
+		if l.tracker.State() != health.Healthy {
+			continue
+		}
+		if l.breaker.State() != transport.BreakerClosed {
+			continue
+		}
+		if int(l.activeN.Load()) < e.cfg.MaxBatch {
 			return true
 		}
 	}
@@ -585,12 +646,21 @@ func (e *Engine) Stats() Stats {
 	for _, l := range e.lanes {
 		st.Active += int(l.activeN.Load())
 		state := l.breaker.State()
-		st.Backends[l.name] = BackendHealth{
+		bh := BackendHealth{
 			Healthy:  state == transport.BreakerClosed,
 			Breaker:  state.String(),
 			Failures: l.failures.Load(),
 			Requeued: l.requeues.Load(),
 		}
+		if l.tracker != nil {
+			bh.Health = l.tracker.State().String()
+			bh.Score = l.tracker.Score()
+			bh.Healthy = bh.Healthy && l.tracker.State() != health.Quarantined
+		}
+		st.Backends[l.name] = bh
+	}
+	if e.cfg.Health != nil {
+		st.Health = e.cfg.Health.Snapshot()
 	}
 	return st
 }

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"genie/internal/health"
 	"genie/internal/obs"
 )
 
@@ -38,14 +39,20 @@ type TenantLoad struct {
 }
 
 // BackendHealth is one backend lane's availability view: whether its
-// breaker is closed, the breaker state by name, and how much trouble
-// the lane has seen (backend-loss errors observed, requests it handed
-// back to the queue).
+// breaker is closed, the breaker state by name, how much trouble the
+// lane has seen (backend-loss errors observed, requests it handed back
+// to the queue), and — when the fail-slow layer is on — the graded
+// health state and score.
 type BackendHealth struct {
 	Healthy  bool   `json:"healthy"`
 	Breaker  string `json:"breaker"`
 	Failures int64  `json:"failures"`
 	Requeued int64  `json:"requeued"`
+	// Health is the graded fail-slow state (healthy/suspect/quarantined/
+	// reinstating); empty without Config.Health. Score is the composite
+	// health score in (0,1], 0 while quarantined.
+	Health string  `json:"health,omitempty"`
+	Score  float64 `json:"score,omitempty"`
 }
 
 // Stats is the engine's observable state — the /stats payload.
@@ -81,6 +88,10 @@ type Stats struct {
 	// Backends maps backend name to its lane's health view — the /stats
 	// surface for breaker transitions and failover activity.
 	Backends map[string]BackendHealth `json:"backends,omitempty"`
+	// Health is the fail-slow scorer's full per-endpoint snapshot
+	// (EWMAs, exact percentiles, error rates, probe counts) when
+	// Config.Health is set; nil otherwise.
+	Health map[string]health.EndpointHealth `json:"health,omitempty"`
 	// Pool carries the backend pool's membership and shard view when the
 	// engine fronts a pool.Manager (Config.PoolStats); nil otherwise.
 	Pool any `json:"pool,omitempty"`
@@ -214,18 +225,18 @@ func summarize(w *obs.Window) LatencySummary {
 // by the engine).
 func (c *collector) snapshot() Stats {
 	st := Stats{
-		Admitted:  c.admitted.Value(),
-		Completed: c.completed.Value(),
-		Shed:      c.shed.Value(),
-		Expired:   c.expired.Value(),
+		Admitted:    c.admitted.Value(),
+		Completed:   c.completed.Value(),
+		Shed:        c.shed.Value(),
+		Expired:     c.expired.Value(),
 		Cancelled:   c.cancelled.Value(),
 		Failed:      c.failed.Value(),
 		Requeued:    c.requeued.Value(),
 		Unavailable: c.unavailable.Value(),
 		TokensOut:   c.tokensOut.Value(),
-		TTFT:      summarize(c.ttfts),
-		Latency:   summarize(c.lats),
-		Uptime:    c.clock.Now().Sub(c.start),
+		TTFT:        summarize(c.ttfts),
+		Latency:     summarize(c.lats),
+		Uptime:      c.clock.Now().Sub(c.start),
 	}
 	c.mu.Lock()
 	st.MaxOccupancy = c.occMax

@@ -207,7 +207,7 @@ func matmulQ8(a []float32, bt *tensor.Tensor, out []float32, m, k, n int) {
 //
 // Full tiles run through matmulQ8TileFull, whose indices are all
 // compile-time bounded (array pointers over the tile) — the bounds-check
-//-free inner loop is where the int8 kernel's serial advantage over the
+// -free inner loop is where the int8 kernel's serial advantage over the
 // f32 path comes from on a single core.
 func matmulQ8Band(qa, qb []int8, asc, bsc []float32, out []float32, i0, i1, j0, j1, k, n int) {
 	var acc [mmNTile]int32

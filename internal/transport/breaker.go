@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"genie/internal/obs"
@@ -63,21 +64,69 @@ type BreakerConfig struct {
 // with a single call per cooldown until one succeeds.
 //
 // Usage: gate each call with Allow, then report its outcome to Record.
-// Every Allow that returns nil must be paired with exactly one Record,
-// otherwise a half-open probe slot leaks and the breaker sticks open.
+// When Allow returns a non-nil *Probe the admitted call is the
+// half-open probe; its holder must invoke Probe.Conclude exactly once
+// with the call's outcome (in addition to Record, which is
+// probe-neutral), otherwise the probe slot leaks and the breaker
+// sticks half-open.
+//
+// The probe slot is claimed by CAS and concluded only by the identity
+// token Allow handed out. Record never attributes an outcome to the
+// probe: a late Record from a call admitted before the trip — the
+// half-open race this design exists for — cannot conclude a probe it
+// never held, admit extra "probes", or close an open breaker.
 type Breaker struct {
 	cfg BreakerConfig
+
+	// probing is the half-open probe slot, claimed by CAS so exactly one
+	// admitted call per cooldown carries probe identity.
+	probing atomic.Bool
 
 	mu      sync.Mutex
 	state   BreakerState
 	fails   int
 	until   time.Time // earliest instant an open breaker admits a probe
-	probing bool      // half-open probe currently in flight
+	probeID uint64    // identity of the probe currently holding the slot
 
 	// Optional obs instrumentation (nil without Instrument).
 	transitions [3]*obs.Counter // indexed by destination state
 	rejected    *obs.Counter
 	stateGauge  *obs.Gauge
+}
+
+// Probe is the identity token of one half-open probe call. The holder
+// must call Conclude exactly once with the call's outcome; Conclude is
+// idempotent and nil-safe (non-probe calls carry a nil *Probe).
+type Probe struct {
+	b    *Breaker
+	id   uint64
+	done atomic.Bool
+}
+
+// Conclude reports the probe call's outcome: success (or an error the
+// breaker doesn't count) closes the breaker, a counted failure reopens
+// it for another cooldown. A stale conclude — the breaker has already
+// moved on — is a no-op.
+func (p *Probe) Conclude(err error) {
+	if p == nil || !p.done.CompareAndSwap(false, true) {
+		return
+	}
+	b := p.b
+	failure := err != nil && b.cfg.IsFailure(err)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerHalfOpen || p.id != b.probeID {
+		return
+	}
+	b.probing.Store(false)
+	if failure {
+		b.fails++
+		b.setState(BreakerOpen)
+		b.until = b.cfg.Now().Add(b.cfg.Cooldown)
+		return
+	}
+	b.fails = 0
+	b.setState(BreakerClosed)
 }
 
 // NewBreaker builds a breaker; the zero config gives threshold 3,
@@ -125,53 +174,58 @@ func (b *Breaker) Instrument(reg *obs.Registry, endpoint string) {
 	b.stateGauge.Set(int64(b.state))
 }
 
-// Allow reports whether a call may proceed. nil admits the call (and,
-// in half-open, claims the probe slot); ErrBreakerOpen rejects it.
-func (b *Breaker) Allow() error {
+// Allow reports whether a call may proceed. A nil error admits the
+// call; in half-open the single admitted call additionally receives
+// the non-nil probe identity token its holder must Conclude.
+// ErrBreakerOpen rejects the call.
+func (b *Breaker) Allow() (*Probe, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case BreakerClosed:
-		return nil
+		return nil, nil
 	case BreakerOpen:
 		if b.cfg.Now().Before(b.until) {
 			b.reject()
-			return ErrBreakerOpen
+			return nil, ErrBreakerOpen
+		}
+		if !b.probing.CompareAndSwap(false, true) {
+			// Lost the slot race to a concurrent caller.
+			b.reject()
+			return nil, ErrBreakerOpen
 		}
 		b.setState(BreakerHalfOpen)
-		b.probing = true
-		return nil
+		b.probeID++
+		return &Probe{b: b, id: b.probeID}, nil
 	default: // BreakerHalfOpen
-		if b.probing {
+		if !b.probing.CompareAndSwap(false, true) {
 			b.reject()
-			return ErrBreakerOpen
+			return nil, ErrBreakerOpen
 		}
-		b.probing = true
-		return nil
+		b.probeID++
+		return &Probe{b: b, id: b.probeID}, nil
 	}
 }
 
-// Record reports the outcome of an admitted call. Success (or an error
-// the breaker doesn't count) closes the breaker and clears the failure
-// streak; a counted failure extends it and trips the breaker at the
-// threshold, or immediately when a half-open probe fails.
+// Record reports the outcome of a non-probe admitted call. Success (or
+// an error the breaker doesn't count) clears the failure streak; a
+// counted failure extends it and trips the breaker at the threshold.
+// Record is probe-neutral by design: while the breaker is open or
+// half-open it only updates the streak, never transitions — late
+// outcomes from calls admitted before the trip used to masquerade as
+// the probe here (closing an open breaker on a stray success, freeing
+// the probe slot on a stray failure); now only Probe.Conclude settles
+// a probe.
 func (b *Breaker) Record(err error) {
 	failure := err != nil && b.cfg.IsFailure(err)
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	wasProbe := b.state == BreakerHalfOpen
-	if wasProbe {
-		b.probing = false
-	}
 	if !failure {
 		b.fails = 0
-		if b.state != BreakerClosed {
-			b.setState(BreakerClosed)
-		}
 		return
 	}
 	b.fails++
-	if wasProbe || (b.state == BreakerClosed && b.fails >= b.cfg.Threshold) {
+	if b.state == BreakerClosed && b.fails >= b.cfg.Threshold {
 		b.setState(BreakerOpen)
 		b.until = b.cfg.Now().Add(b.cfg.Cooldown)
 	}
